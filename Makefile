@@ -1,0 +1,21 @@
+.PHONY: install test bench bench-stats figures examples all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:            ## shape assertions only (fast)
+	pytest benchmarks/ --benchmark-disable
+
+bench-stats:      ## full pytest-benchmark statistics
+	pytest benchmarks/ --benchmark-only
+
+figures:          ## regenerate every paper figure
+	python benchmarks/harness.py
+
+examples:
+	for example in examples/*.py; do python $$example; done
+
+all: test bench figures examples

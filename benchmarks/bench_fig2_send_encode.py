@@ -1,0 +1,57 @@
+"""Figure 2 — sender-side encode times on the SPARC.
+
+Paper: XML dramatically most expensive; MPICH and CORBA linear in record
+size (34 µs to 13 ms for MPICH); PBIO flat (~3 µs) at every size because
+NDR transmits the sender's bytes as-is.
+
+The shape assertions check exactly those relations on our measurements:
+PBIO flat and orders of magnitude below MPICH at 100 KB; XML the most
+expensive; MPICH/CORBA linear.
+"""
+
+import pytest
+
+import support
+
+SYSTEMS = ["XML", "MPICH", "CORBA", "PBIO"]
+
+
+@pytest.fixture(scope="module")
+def exchanges():
+    return {
+        (name, size): support.build_exchange(name, size, support.SPARC, support.I86)
+        for name in SYSTEMS
+        for size in support.SIZES
+    }
+
+
+@pytest.mark.parametrize("size", support.SIZES)
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_send_encode(benchmark, exchanges, system, size):
+    ex = exchanges[(system, size)]
+    benchmark.group = f"fig2 encode {size}"
+    if system == "PBIO":
+        benchmark(ex.bound.encode_segments, ex.native)
+    else:
+        benchmark(ex.bound.encode, ex.native)
+
+
+def test_shape_pbio_flat_and_cheapest(exchanges):
+    times = {
+        key: support.measure_encode_ms(ex) for key, ex in exchanges.items()
+    }
+    # PBIO's encode cost is flat: 100 KB costs no more than 5x 100 B
+    # (the paper reports a constant 3 µs; ours is constant header work).
+    assert times[("PBIO", "100kb")] < 5 * times[("PBIO", "100b")]
+    # 2-3 orders of magnitude under MPICH at 100 KB (paper: 13 ms vs 3 µs).
+    assert times[("MPICH", "100kb")] / times[("PBIO", "100kb")] > 100
+    for size in support.SIZES:
+        # XML is the most expensive encode at every size.
+        assert times[("XML", size)] > times[("MPICH", size)]
+        assert times[("XML", size)] > times[("PBIO", size)]
+        # PBIO is the cheapest at every size.
+        assert times[("PBIO", size)] == min(times[(s, size)] for s in SYSTEMS)
+    # MPICH and CORBA grow roughly linearly (100kb/1kb size ratio = 100x).
+    for linear_system in ("MPICH", "CORBA"):
+        growth = times[(linear_system, "100kb")] / times[(linear_system, "1kb")]
+        assert 20 < growth < 500

@@ -1,0 +1,7 @@
+"""pytest configuration for the benchmark suite."""
+
+import sys
+from pathlib import Path
+
+# Make `import support` work when pytest is invoked from the repo root.
+sys.path.insert(0, str(Path(__file__).parent))

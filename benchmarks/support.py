@@ -1,0 +1,121 @@
+"""Shared builders for the benchmark suite.
+
+Every benchmark follows the paper's experimental setup (Section 4):
+
+* machines: the Sun Ultra 30 (``SPARC_V8``, big-endian) and the x86 PC
+  (``X86``, little-endian), as simulated ABIs;
+* workload: the mechanical-engineering mixed-field records at 100 B,
+  1 KB, 10 KB and 100 KB;
+* protocol: data "is assumed to exist in binary format prior to
+  transmission", so senders start from prebuilt native bytes, and
+  receivers must deliver a record in their own native layout;
+* one-time costs (format registration, meta exchange, datatype commit,
+  converter generation) happen at bind time, before timing starts —
+  except where a benchmark explicitly measures them (the ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.abi import SPARC_V8, X86, MachineDescription, StructLayout, layout_record
+from repro.core import PbioWire
+from repro.net import NetworkModel, best_of
+from repro.wire import IiopWire, MpiWire, XdrWire, XmlWire
+from repro.wire.common import BoundFormat
+from repro.workloads import mechanical
+
+SIZES = mechanical.SIZES
+
+#: The paper's two hosts.
+SPARC = SPARC_V8
+I86 = X86
+
+#: Systems compared in Figures 2 and 3 (construction order = legend order).
+SYSTEM_FACTORIES = {
+    "XML": XmlWire,
+    "MPICH": MpiWire,
+    "CORBA": IiopWire,
+    "PBIO": PbioWire,
+}
+
+
+@dataclass
+class Exchange:
+    """One (system, size, direction) measurement setup."""
+
+    system: str
+    size: str
+    bound: BoundFormat
+    native: bytes  # sender-side native record
+    wire: bytes  # encoded message (for decode-side benchmarks)
+    src_layout: StructLayout
+    dst_layout: StructLayout
+
+
+def build_exchange(
+    system_name: str,
+    size: str,
+    src: MachineDescription = SPARC,
+    dst: MachineDescription = I86,
+    *,
+    conversion: str | None = None,
+) -> Exchange:
+    """Bind one wire system for one record size and direction."""
+    schema = mechanical.schema_for_size(size)
+    src_layout = layout_record(schema, src)
+    dst_layout = layout_record(schema, dst)
+    if system_name == "PBIO":
+        system = PbioWire(conversion or "dcg")
+    elif conversion is not None:
+        raise ValueError("conversion mode only applies to PBIO")
+    else:
+        system = SYSTEM_FACTORIES[system_name]()
+    bound = system.bind(src_layout, dst_layout)
+    native = mechanical.native_bytes(size, src)
+    wire = bound.encode(native)
+    # Warm the converter caches so benchmarks measure steady state.
+    bound.decode(wire)
+    return Exchange(system_name, size, bound, native, wire, src_layout, dst_layout)
+
+
+def measure_encode_ms(ex: Exchange, *, repeats: int = 7, inner: int | None = None) -> float:
+    """Best-case encode time, in ms.  PBIO uses its scatter-gather path
+    (header + application buffer), the others produce their wire bytes."""
+    if hasattr(ex.bound, "encode_segments"):
+        fn = lambda: ex.bound.encode_segments(ex.native)  # noqa: E731
+    else:
+        fn = lambda: ex.bound.encode(ex.native)  # noqa: E731
+    return best_of(fn, repeats=repeats, inner=inner or _inner_for(ex.size)) * 1e3
+
+
+def measure_decode_ms(ex: Exchange, *, repeats: int = 7, inner: int | None = None) -> float:
+    """Best-case decode time (wire message -> receiver-native record), ms."""
+    fn = lambda: ex.bound.decode(ex.wire)  # noqa: E731
+    return best_of(fn, repeats=repeats, inner=inner or _inner_for(ex.size)) * 1e3
+
+
+def _inner_for(size: str) -> int:
+    return {"100b": 50, "1kb": 20, "10kb": 5, "100kb": 2}[size]
+
+
+#: The paper-calibrated network model used by round-trip compositions.
+NETWORK = NetworkModel.ethernet_100mbps()
+
+
+def composed_roundtrip_ms(fwd: Exchange, back: Exchange) -> dict[str, float]:
+    """Figure 1/5-style composition: measured CPU costs + modelled network.
+
+    ``fwd`` is sparc->x86, ``back`` x86->sparc (or whatever pair the caller
+    built).  Returns the per-segment breakdown in milliseconds.
+    """
+    segments = {
+        "fwd_encode": measure_encode_ms(fwd),
+        "fwd_network": NETWORK.one_way_s(len(fwd.wire)) * 1e3,
+        "fwd_decode": measure_decode_ms(fwd) + NETWORK.receive_overhead_s() * 1e3,
+        "back_encode": measure_encode_ms(back),
+        "back_network": NETWORK.one_way_s(len(back.wire)) * 1e3,
+        "back_decode": measure_decode_ms(back) + NETWORK.receive_overhead_s() * 1e3,
+    }
+    segments["total"] = sum(segments.values())
+    return segments

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Self-describing archives across decades of machines.
+
+PBIO began as Portable Binary *I/O*: the same NDR + meta-information
+design works for files.  This example runs an archival pipeline that
+exercises the property that matters for archives — the reader needs *no*
+knowledge of the writer:
+
+1. a VAX-era instrument (byte-packed structs, VAX D floats!) writes a
+   binary archive in its natural representation;
+2. years later, the archive is appended to by an upgraded x86 collector
+   whose record format gained a field;
+3. a modern x86-64 analysis job reads the whole file — both eras, both
+   formats — and a schema-less inspector (the ``pbio-dump`` machinery)
+   lists everything without being told any format at all.
+
+Run: python examples/archive_pipeline.py
+"""
+
+import os
+import tempfile
+
+from repro import abi
+from repro.abi import CType, FieldDecl
+from repro.core import IOContext, PbioFileReader, PbioFileWriter, generic_decode, incoming_format
+
+OBSERVATION_V1 = abi.RecordSchema.from_pairs(
+    "observation",
+    [
+        ("station", "int"),
+        ("timestamp", "int"),
+        ("reading", "double"),
+        ("confidence", "float"),
+    ],
+)
+# The upgrade appends a field (the evolution-friendly direction).
+OBSERVATION_V2 = OBSERVATION_V1.extended(
+    "observation", [FieldDecl("calibrated", CType.BOOL)]
+)
+
+
+def main() -> None:
+    path = os.path.join(tempfile.mkdtemp(), "observations.pbio")
+
+    # --- era 1: the VAX instrument -----------------------------------------
+    vax = IOContext(abi.VAX)
+    with PbioFileWriter.open(vax, path) as writer:
+        h = vax.register_format(OBSERVATION_V1)
+        for i in range(3):
+            writer.write(
+                h,
+                {"station": 7, "timestamp": 1000 + i, "reading": 20.5 + i, "confidence": 0.9},
+            )
+    size_era1 = os.path.getsize(path)
+    print(f"era 1: VAX instrument wrote 3 records ({size_era1} bytes, VAX D floats inside)")
+
+    # --- era 2: the upgraded x86 collector appends ---------------------------
+    x86 = IOContext(abi.X86)
+    with open(path, "ab") as raw:
+        # appending = writing more framed messages after the existing stream
+        import struct
+
+        h2 = x86.register_format(OBSERVATION_V2)
+        for i in range(2):
+            for message in (
+                [x86.announce(h2)] if i == 0 else []
+            ) + [
+                x86.encode(
+                    h2,
+                    {
+                        "station": 7,
+                        "timestamp": 2000 + i,
+                        "reading": 21.0 + i,
+                        "confidence": 0.95,
+                        "calibrated": True,
+                    },
+                )
+            ]:
+                raw.write(struct.pack(">I", len(message)))
+                raw.write(message)
+    print(f"era 2: x86 collector appended 2 v2 records (+{os.path.getsize(path) - size_era1} bytes)")
+
+    # --- era 3: a modern analysis job reads everything -----------------------
+    modern = IOContext(abi.X86_64)
+    modern.expect(OBSERVATION_V1)  # analysis only needs the v1 fields
+    with PbioFileReader.open(modern, path) as reader:
+        readings = [(r["timestamp"], r["reading"]) for r in reader]
+    print(f"era 3: x86-64 analysis decoded {len(readings)} records across both eras:")
+    for ts, val in readings:
+        print(f"    t={ts}  reading={val:.2f}")
+    assert len(readings) == 5
+
+    # --- the schema-less inspector --------------------------------------------
+    print("\nschema-less inspection (what pbio-dump does):")
+    inspector = IOContext(abi.X86_64)  # no expect() calls at all
+    seen = set()
+    with PbioFileReader.open(inspector, path) as reader:
+        for message in reader.iter_raw():
+            fmt = incoming_format(inspector, message)
+            if fmt.fingerprint not in seen:
+                seen.add(fmt.fingerprint)
+                head = fmt.describe().splitlines()[0]
+                print(f"  discovered {head}")
+            record = generic_decode(inspector, message)
+    print(f"  ...{len(seen)} distinct wire formats in one file, zero schemas supplied")
+    assert len(seen) == 2
+    print("\nthe archive outlived two machine generations and a format change.")
+
+
+if __name__ == "__main__":
+    main()

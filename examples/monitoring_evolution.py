@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Online monitoring with application evolution — the paper's motivating
+scenario (Section 1: "online visualization is being used to monitor the
+progress of applications").
+
+A long-running simulation streams state records to a visualization
+monitor.  Mid-run, the simulation is upgraded and starts sending an
+extended record with two new fields.  Because PBIO matches fields by
+name:
+
+* the OLD monitor keeps working, silently ignoring the new fields
+  (no recompile, no relink, no restart — Section 4.4's type extension);
+* a NEW monitor sees the added fields, and the evolution report shows
+  the upgrade followed the append-at-the-end advice, so un-upgraded
+  homogeneous readers would even keep their zero-copy path.
+
+Run: python examples/monitoring_evolution.py
+"""
+
+from repro import abi
+from repro.abi import CType, FieldDecl
+from repro.core import IOContext, PbioConnection, check_evolution
+from repro.core.formats import IOFormat
+from repro.net import InMemoryPipe
+
+SIM_MACHINE = abi.SPARC_V8  # the compute cluster
+MON_MACHINE = abi.X86  # the scientist's desktop
+
+STATE_V1 = abi.RecordSchema.from_pairs(
+    "sim_state",
+    [
+        ("timestep", "int"),
+        ("sim_time", "double"),
+        ("residual", "double"),
+        ("energy", "double"),
+        ("temperatures", "double[16]"),
+    ],
+)
+
+# v2 appends fields (the evolution-friendly direction).
+STATE_V2 = STATE_V1.extended(
+    "sim_state",
+    [FieldDecl("pressure_max", CType.DOUBLE), FieldDecl("cells_refined", CType.INT)],
+)
+
+
+def state(timestep: int, version: int) -> dict:
+    record = {
+        "timestep": timestep,
+        "sim_time": timestep * 1e-3,
+        "residual": 10.0 ** (-timestep / 4),
+        "energy": 42.0 + 0.01 * timestep,
+        "temperatures": tuple(300.0 + i + timestep for i in range(16)),
+    }
+    if version == 2:
+        record["pressure_max"] = 9.8e4 + timestep
+        record["cells_refined"] = 128 * timestep
+    return record
+
+
+def main() -> None:
+    pipe = InMemoryPipe()
+    sim = PbioConnection(IOContext(SIM_MACHINE), pipe.a)
+    monitor = PbioConnection(IOContext(MON_MACHINE), pipe.b)
+    monitor.ctx.expect(STATE_V1)  # the deployed monitor knows only v1
+
+    # --- phase 1: the original simulation streams v1 records ------------
+    v1 = sim.ctx.register_format(STATE_V1)
+    for t in range(3):
+        sim.send(v1, state(t, version=1))
+    for _ in range(3):
+        rec = monitor.recv()
+        print(f"[monitor] t={rec['timestep']} residual={rec['residual']:.2e}")
+
+    # --- phase 2: the simulation is upgraded mid-run ---------------------
+    report = check_evolution(
+        old=IOFormat.from_layout(monitor.ctx._expected["sim_state"].layout),
+        new=IOFormat.from_layout(abi.layout_record(STATE_V2, SIM_MACHINE)),
+    )
+    print("\n" + report.describe() + "\n")
+    assert report.compatible
+
+    v2 = sim.ctx.register_format(STATE_V2)
+    for t in range(3, 6):
+        sim.send(v2, state(t, version=2))
+
+    # The OLD monitor keeps decoding, ignoring pressure_max/cells_refined.
+    for _ in range(3):
+        rec = monitor.recv()
+        assert "pressure_max" not in rec
+        print(f"[old monitor] t={rec['timestep']} energy={rec['energy']:.2f} (new fields ignored)")
+
+    # --- phase 3: a NEW monitor joins the ongoing stream -----------------
+    pipe2 = InMemoryPipe()
+    sim2 = PbioConnection(sim.ctx, pipe2.a)  # same simulation context
+    new_monitor = PbioConnection(IOContext(MON_MACHINE), pipe2.b)
+    new_monitor.ctx.expect(STATE_V2)
+    sim2.send(v2, state(6, version=2))
+    rec = new_monitor.recv()
+    print(f"[new monitor] t={rec['timestep']} pressure_max={rec['pressure_max']:.0f}")
+    assert rec["cells_refined"] == 128 * 6
+    print("\nno component was recompiled, relinked, or restarted.")
+
+
+if __name__ == "__main__":
+    main()

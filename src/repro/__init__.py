@@ -1,0 +1,32 @@
+"""repro — reproduction of *Efficient Wire Formats for High Performance
+Computing* (Bustamante, Eisenhauer, Schwan, Widener; SC 2000).
+
+The package implements PBIO (Portable Binary I/O) and its Natural Data
+Representation wire format, the baselines the paper compares against
+(MPI-style pack/unpack, XML, CORBA IIOP/CDR, XDR), and the substrates
+needed to exercise them: a machine/ABI simulator, a Vcode-like dynamic
+code generation layer, and a network model.
+
+Quickstart::
+
+    from repro import abi, core
+    from repro.workloads import mechanical
+
+    schema = mechanical.schema_for_size("1kb")
+    sender = core.IOContext(machine=abi.X86)
+    receiver = core.IOContext(machine=abi.SPARC_V8)
+    fmt = sender.register_format(schema)
+    wire = sender.encode(fmt, {...})
+    record = receiver.decode(wire)
+"""
+
+__version__ = "1.0.0"
+
+from . import abi  # noqa: F401
+from . import core  # noqa: F401
+from . import net  # noqa: F401
+from . import vcode  # noqa: F401
+from . import wire  # noqa: F401
+from . import workloads  # noqa: F401
+
+__all__ = ["abi", "core", "net", "vcode", "wire", "workloads", "__version__"]

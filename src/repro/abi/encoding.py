@@ -1,0 +1,284 @@
+"""Encode/decode application values to a machine's native byte layout.
+
+In the paper, the application's data already exists in memory in native
+binary form; the middleware never sees "Python dicts".  This module is the
+simulation's stand-in for the C compiler and memory: it turns canonical
+Python values into exactly the bytes a struct instance would occupy on a
+given simulated machine (including padding and byte order), and back.
+
+Benchmarks pre-encode records once (that is "the application's data") and
+then measure only what the middleware does with the bytes, so the cost of
+this layer never pollutes a measurement.
+
+Canonical value forms:
+
+* integer/unsigned/boolean scalar -> :class:`int` / :class:`bool`
+* float scalar -> :class:`float`
+* scalar char -> 1-byte :class:`bytes`
+* fixed array -> tuple of scalars (or numpy array for the fast path)
+* char array -> :class:`bytes` (NUL-padded to declared length)
+* string -> :class:`str` or ``None`` (stored out-of-line, pointer in-struct)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Mapping
+
+import numpy as np
+
+from .layout import LaidOutField, StructLayout
+from .types import NUMPY_CODES, PrimKind, struct_code
+
+#: Arrays at or above this element count take the numpy bulk path.
+_NUMPY_THRESHOLD = 16
+
+
+class NativeCodec:
+    """Precompiled encoder/decoder between canonical values and the native
+    bytes of one :class:`~repro.abi.layout.StructLayout`."""
+
+    def __init__(self, layout: StructLayout):
+        self.layout = layout
+        endian = layout.machine.struct_endian
+        self._ops: list[tuple] = []  # (mode, field, extra...)
+        self._ptr_struct = struct.Struct(
+            endian + ("Q" if layout.machine.pointer_size == 8 else "I")
+        )
+        # Flattened nested fields carry dotted names ("header.3.x"); the
+        # codec navigates nested dicts/lists along these paths.
+        self._paths = {f.name: _parse_path(f.name) for f in layout.fields}
+        vax_floats = layout.machine.float_format == "vax"
+        for f in layout.fields:
+            if f.is_string:
+                self._ops.append(("string", f))
+            elif f.is_char_array:
+                self._ops.append(("chars", f, struct.Struct(f"{endian}{f.count}s")))
+            elif vax_floats and f.kind is PrimKind.FLOAT:
+                self._ops.append(("vaxfloat", f, f.elem_size))
+            elif f.count == 1:
+                self._ops.append(("scalar", f, struct.Struct(f.struct_fmt(endian))))
+            elif f.count >= _NUMPY_THRESHOLD and (f.kind, f.elem_size) in NUMPY_CODES:
+                dtype = np.dtype(layout.machine.numpy_endian + NUMPY_CODES[(f.kind, f.elem_size)])
+                self._ops.append(("nparray", f, dtype))
+            else:
+                self._ops.append(("array", f, struct.Struct(f.struct_fmt(endian))))
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, record: Mapping[str, Any]) -> bytes:
+        """Produce the native bytes of ``record`` (fixed part + any string
+        region).  Missing fields encode as zero."""
+        buf = bytearray(self.layout.size)
+        tail: list[bytes] = []
+        tail_len = 0
+        for op in self._ops:
+            mode, f = op[0], op[1]
+            path = self._paths[f.name]
+            value = record.get(f.name) if len(path) == 1 else _get_path(record, path)
+            if mode == "string":
+                if value is None:
+                    self._ptr_struct.pack_into(buf, f.offset, 0)
+                else:
+                    data = value.encode("utf-8") + b"\x00"
+                    self._ptr_struct.pack_into(buf, f.offset, self.layout.size + tail_len)
+                    tail.append(data)
+                    tail_len += len(data)
+            elif value is None:
+                continue  # leave zeroed
+            elif mode == "vaxfloat":
+                from .floats import ieee_to_vax_d, ieee_to_vax_f
+
+                values = [value] if f.count == 1 else list(value)
+                raw = ieee_to_vax_f(values) if op[2] == 4 else ieee_to_vax_d(values)
+                buf[f.offset : f.offset + f.total_size] = raw
+            elif mode == "scalar":
+                op[2].pack_into(buf, f.offset, value)
+            elif mode == "chars":
+                if isinstance(value, str):
+                    value = value.encode("utf-8")
+                op[2].pack_into(buf, f.offset, value)
+            elif mode == "nparray":
+                arr = np.asarray(value, dtype=op[2])
+                if arr.size != f.count:
+                    raise ValueError(
+                        f"field {f.name}: expected {f.count} elements, got {arr.size}"
+                    )
+                buf[f.offset : f.offset + f.total_size] = arr.tobytes()
+            else:  # array
+                op[2].pack_into(buf, f.offset, *value)
+        if tail:
+            return bytes(buf) + b"".join(tail)
+        return bytes(buf)
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, data: bytes | bytearray | memoryview, offset: int = 0) -> dict[str, Any]:
+        """Rebuild the canonical value dict from native bytes.
+
+        Nested fields come back as nested dicts (and lists for arrays of
+        embedded records), mirroring what :meth:`encode` accepts."""
+        out: dict[str, Any] = {}
+        for op in self._ops:
+            mode, f = op[0], op[1]
+            pos = offset + f.offset
+            if mode == "vaxfloat":
+                from .floats import vax_d_to_ieee, vax_f_to_ieee
+
+                raw = bytes(data[pos : pos + f.total_size])
+                arr = vax_f_to_ieee(raw) if op[2] == 4 else vax_d_to_ieee(raw)
+                value = float(arr[0]) if f.count == 1 else tuple(float(v) for v in arr)
+            elif mode == "scalar":
+                value = op[2].unpack_from(data, pos)[0]
+                if f.kind is PrimKind.BOOLEAN:
+                    value = bool(value)
+            elif mode == "chars":
+                value = op[2].unpack_from(data, pos)[0]
+            elif mode == "nparray":
+                raw = bytes(data[pos : pos + f.total_size])
+                value = np.frombuffer(raw, dtype=op[2])
+            elif mode == "array":
+                value = op[2].unpack_from(data, pos)
+            else:  # string
+                ptr = self._ptr_struct.unpack_from(data, pos)[0]
+                value = None if ptr == 0 else _read_cstring(data, offset + ptr)
+            path = self._paths[f.name]
+            if len(path) == 1:
+                out[f.name] = value
+            else:
+                _set_path(out, path, value)
+        return out
+
+    def decode_field(self, data: bytes | bytearray | memoryview, name: str, offset: int = 0) -> Any:
+        """Decode a single field without touching the rest of the record."""
+        for op in self._ops:
+            if op[1].name == name:
+                f = op[1]
+                pos = offset + f.offset
+                mode = op[0]
+                if mode == "vaxfloat":
+                    from .floats import vax_d_to_ieee, vax_f_to_ieee
+
+                    raw = bytes(data[pos : pos + f.total_size])
+                    arr = vax_f_to_ieee(raw) if op[2] == 4 else vax_d_to_ieee(raw)
+                    return float(arr[0]) if f.count == 1 else tuple(float(v) for v in arr)
+                if mode == "scalar":
+                    value = op[2].unpack_from(data, pos)[0]
+                    return bool(value) if f.kind is PrimKind.BOOLEAN else value
+                if mode == "chars":
+                    return op[2].unpack_from(data, pos)[0]
+                if mode == "nparray":
+                    return np.frombuffer(bytes(data[pos : pos + f.total_size]), dtype=op[2])
+                if mode == "array":
+                    return op[2].unpack_from(data, pos)
+                ptr = self._ptr_struct.unpack_from(data, pos)[0]
+                return None if ptr == 0 else _read_cstring(data, offset + ptr)
+        raise KeyError(name)
+
+
+def _parse_path(name: str) -> tuple:
+    """Split a (possibly dotted) field name into navigation steps.
+
+    Numeric segments become integer list indices: ``"pts.2.x"`` ->
+    ``("pts", 2, "x")``.
+    """
+    return tuple(int(p) if p.isdigit() else p for p in name.split("."))
+
+
+def _get_path(record, path: tuple):
+    """Navigate nested dicts/sequences; None anywhere short-circuits."""
+    value = record
+    for step in path:
+        if value is None:
+            return None
+        try:
+            if isinstance(step, int):
+                value = value[step]
+            else:
+                value = value.get(step)
+        except (IndexError, KeyError, TypeError, AttributeError):
+            return None
+    return value
+
+
+def _set_path(out, path: tuple, value) -> None:
+    """Store ``value`` at a nested path, creating dicts/lists as needed."""
+    cur = out
+    for i, step in enumerate(path[:-1]):
+        empty = [] if isinstance(path[i + 1], int) else {}
+        if isinstance(step, int):
+            while len(cur) <= step:
+                cur.append(None)
+            if cur[step] is None:
+                cur[step] = empty
+            cur = cur[step]
+        else:
+            if step not in cur or cur[step] is None:
+                cur[step] = empty
+            cur = cur[step]
+    last = path[-1]
+    if isinstance(last, int):
+        while len(cur) <= last:
+            cur.append(None)
+        cur[last] = value
+    else:
+        cur[last] = value
+
+
+def _read_cstring(data: bytes | bytearray | memoryview, pos: int) -> str:
+    raw = bytes(data[pos:])
+    end = raw.find(b"\x00")
+    if end < 0:
+        raise ValueError("unterminated string in record buffer")
+    return raw[:end].decode("utf-8")
+
+
+# Codec cache, keyed on layout identity (layouts themselves are cached by
+# repro.abi.layout.layout_record).
+_CODEC_CACHE: dict[int, NativeCodec] = {}
+
+
+def codec_for(layout: StructLayout) -> NativeCodec:
+    """Return the (cached) codec for ``layout``."""
+    codec = _CODEC_CACHE.get(id(layout))
+    if codec is None or codec.layout is not layout:
+        codec = NativeCodec(layout)
+        _CODEC_CACHE[id(layout)] = codec
+    return codec
+
+
+def records_equal(a: Mapping[str, Any], b: Mapping[str, Any], *, rel_tol: float = 1e-6) -> bool:
+    """Compare two canonical record dicts, tolerating float32 round-trips
+    and tuple-vs-numpy array representation differences."""
+    if set(a) != set(b):
+        return False
+    for name, va in a.items():
+        vb = b[name]
+        if isinstance(va, (bytes, bytearray)) and isinstance(vb, (bytes, bytearray)):
+            # Char arrays round-trip with NUL padding to declared length.
+            if bytes(va).rstrip(b"\x00") != bytes(vb).rstrip(b"\x00"):
+                return False
+        elif isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+            if not np.allclose(np.asarray(va, dtype=float), np.asarray(vb, dtype=float), rtol=rel_tol):
+                return False
+        elif isinstance(va, Mapping) and isinstance(vb, Mapping):
+            if not records_equal(va, vb, rel_tol=rel_tol):  # nested record
+                return False
+        elif isinstance(va, (tuple, list)):
+            if len(va) != len(vb):
+                return False
+            for xa, xb in zip(va, vb):
+                if isinstance(xa, Mapping):
+                    if not isinstance(xb, Mapping) or not records_equal(xa, xb, rel_tol=rel_tol):
+                        return False
+                elif isinstance(xa, float):
+                    if abs(xa - xb) > rel_tol * max(1.0, abs(xa)):
+                        return False
+                elif xa != xb:
+                    return False
+        elif isinstance(va, float):
+            if abs(va - vb) > rel_tol * max(1.0, abs(va)):
+                return False
+        elif va != vb:
+            return False
+    return True

@@ -1,0 +1,299 @@
+"""Simulated machine / ABI descriptions.
+
+The paper's experiments run between a Sun Ultra 30 (SPARC, big-endian,
+Solaris 7) and a 450 MHz Pentium II (x86, little-endian).  PBIO's whole
+reason to exist is that the *native* in-memory form of a structure differs
+between such machines in three ways: byte order, primitive sizes
+(``long`` is 4 bytes on SPARC v8 but 8 on Alpha), and alignment-driven
+padding.  A :class:`MachineDescription` captures exactly those properties
+so that layouts, encodings, and conversions between any pair of simulated
+machines reproduce the paper's heterogeneous exchanges bit-for-bit in
+structure (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from .types import CType
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """Sizes, alignments, and byte order of one simulated architecture.
+
+    ``sizes`` and ``aligns`` map every :class:`CType` except ``STRING``
+    (strings are represented out-of-line; the in-struct representation is
+    a pointer whose size is ``pointer_size``).
+    """
+
+    name: str
+    byte_order: str  # "big" | "little"
+    pointer_size: int
+    sizes: Mapping[CType, int]
+    aligns: Mapping[CType, int]
+    description: str = ""
+    #: floating-point representation: "ieee754" or "vax" (F/D floating)
+    float_format: str = "ieee754"
+
+    def __post_init__(self) -> None:
+        if self.byte_order not in ("big", "little"):
+            raise ValueError(f"byte_order must be 'big' or 'little', got {self.byte_order!r}")
+        if self.float_format not in ("ieee754", "vax"):
+            raise ValueError(f"float_format must be 'ieee754' or 'vax', got {self.float_format!r}")
+        for ctype in CType:
+            if ctype is CType.STRING:
+                continue
+            if ctype not in self.sizes:
+                raise ValueError(f"{self.name}: missing size for {ctype}")
+            if ctype not in self.aligns:
+                raise ValueError(f"{self.name}: missing alignment for {ctype}")
+        # Freeze the mappings so machine descriptions are safely shareable.
+        object.__setattr__(self, "sizes", MappingProxyType(dict(self.sizes)))
+        object.__setattr__(self, "aligns", MappingProxyType(dict(self.aligns)))
+
+    def size_of(self, ctype: CType) -> int:
+        if ctype is CType.STRING:
+            return self.pointer_size
+        return self.sizes[ctype]
+
+    def align_of(self, ctype: CType) -> int:
+        if ctype is CType.STRING:
+            return self.pointer_size
+        return self.aligns[ctype]
+
+    @property
+    def struct_endian(self) -> str:
+        """:mod:`struct` byte-order prefix for this machine."""
+        return ">" if self.byte_order == "big" else "<"
+
+    @property
+    def numpy_endian(self) -> str:
+        """numpy dtype byte-order prefix for this machine."""
+        return ">" if self.byte_order == "big" else "<"
+
+    def __repr__(self) -> str:
+        return f"MachineDescription({self.name!r}, {self.byte_order}-endian)"
+
+
+def _machine(
+    name: str,
+    byte_order: str,
+    *,
+    long_size: int,
+    pointer_size: int,
+    double_align: int,
+    long_long_align: int | None = None,
+    description: str = "",
+) -> MachineDescription:
+    """Construct a machine from the handful of parameters that actually
+    vary across the architectures the paper targets."""
+    if long_long_align is None:
+        long_long_align = 8
+    sizes = {
+        CType.CHAR: 1,
+        CType.SIGNED_CHAR: 1,
+        CType.UNSIGNED_CHAR: 1,
+        CType.SHORT: 2,
+        CType.UNSIGNED_SHORT: 2,
+        CType.INT: 4,
+        CType.UNSIGNED_INT: 4,
+        CType.LONG: long_size,
+        CType.UNSIGNED_LONG: long_size,
+        CType.LONG_LONG: 8,
+        CType.UNSIGNED_LONG_LONG: 8,
+        CType.FLOAT: 4,
+        CType.DOUBLE: 8,
+        CType.BOOL: 1,
+    }
+    aligns = {
+        CType.CHAR: 1,
+        CType.SIGNED_CHAR: 1,
+        CType.UNSIGNED_CHAR: 1,
+        CType.SHORT: 2,
+        CType.UNSIGNED_SHORT: 2,
+        CType.INT: 4,
+        CType.UNSIGNED_INT: 4,
+        CType.LONG: min(long_size, pointer_size) if long_size <= 4 else long_size,
+        CType.UNSIGNED_LONG: min(long_size, pointer_size) if long_size <= 4 else long_size,
+        CType.LONG_LONG: long_long_align,
+        CType.UNSIGNED_LONG_LONG: long_long_align,
+        CType.FLOAT: 4,
+        CType.DOUBLE: double_align,
+        CType.BOOL: 1,
+    }
+    return MachineDescription(
+        name=name,
+        byte_order=byte_order,
+        pointer_size=pointer_size,
+        sizes=sizes,
+        aligns=aligns,
+        description=description,
+    )
+
+
+# --- The architectures named in the paper (Section 4.3: "Sparc (v8, v9 and
+# v9 64-bit), MIPS (old 32-bit, new 32-bit and 64-bit ABIs), DEC Alpha and
+# Intel x86"), plus x86-64 for modern homogeneous tests. -------------------
+
+X86 = _machine(
+    "i86",
+    "little",
+    long_size=4,
+    pointer_size=4,
+    double_align=4,  # i386 System V ABI: double aligns to 4 inside structs
+    long_long_align=4,
+    description="Intel x86 (ILP32, System V i386 ABI) — the paper's Pentium II",
+)
+
+X86_64 = _machine(
+    "x86_64",
+    "little",
+    long_size=8,
+    pointer_size=8,
+    double_align=8,
+    description="AMD64 / x86-64 (LP64)",
+)
+
+SPARC_V8 = _machine(
+    "sparc",
+    "big",
+    long_size=4,
+    pointer_size=4,
+    double_align=8,  # SPARC V8 ABI: 8-byte alignment for doubles
+    description="SPARC v8 (ILP32, Solaris) — the paper's Ultra 30",
+)
+
+SPARC_V9 = _machine(
+    "sparc_v9",
+    "big",
+    long_size=4,
+    pointer_size=4,
+    double_align=8,
+    description="SPARC v9 running 32-bit ABI",
+)
+
+SPARC_V9_64 = _machine(
+    "sparc_v9_64",
+    "big",
+    long_size=8,
+    pointer_size=8,
+    double_align=8,
+    description="SPARC v9 64-bit ABI (LP64)",
+)
+
+MIPS_O32 = _machine(
+    "mips_o32",
+    "big",
+    long_size=4,
+    pointer_size=4,
+    double_align=8,
+    description="MIPS old 32-bit ABI (o32)",
+)
+
+MIPS_N32 = _machine(
+    "mips_n32",
+    "big",
+    long_size=4,
+    pointer_size=4,
+    double_align=8,
+    description="MIPS new 32-bit ABI (n32)",
+)
+
+MIPS_N64 = _machine(
+    "mips_n64",
+    "big",
+    long_size=8,
+    pointer_size=8,
+    double_align=8,
+    description="MIPS 64-bit ABI (n64, LP64)",
+)
+
+ALPHA = _machine(
+    "alpha",
+    "little",
+    long_size=8,
+    pointer_size=8,
+    double_align=8,
+    description="DEC Alpha (LP64, little-endian)",
+)
+
+# The paper's future-work targets ("most notably the Intel i960 and
+# StrongArm platforms", Section 5).
+
+I960 = _machine(
+    "i960",
+    "little",
+    long_size=4,
+    pointer_size=4,
+    double_align=8,  # i960 ABI naturally aligns 8-byte quantities
+    long_long_align=8,
+    description="Intel i960 embedded RISC (ILP32)",
+)
+
+STRONGARM = _machine(
+    "strongarm",
+    "little",
+    long_size=4,
+    pointer_size=4,
+    double_align=4,  # legacy ARM OABI: doubles align to 4 in structs
+    long_long_align=4,
+    description="StrongARM (legacy ARM OABI, ILP32)",
+)
+
+#: A pre-IEEE machine: VAX C packs structure members on byte boundaries
+#: (no alignment padding) and floats are VAX F/D floating — the extreme
+#: end of the heterogeneity spectrum PBIO's lineage handled.
+VAX = MachineDescription(
+    name="vax",
+    byte_order="little",
+    pointer_size=4,
+    sizes={
+        CType.CHAR: 1,
+        CType.SIGNED_CHAR: 1,
+        CType.UNSIGNED_CHAR: 1,
+        CType.SHORT: 2,
+        CType.UNSIGNED_SHORT: 2,
+        CType.INT: 4,
+        CType.UNSIGNED_INT: 4,
+        CType.LONG: 4,
+        CType.UNSIGNED_LONG: 4,
+        CType.LONG_LONG: 8,
+        CType.UNSIGNED_LONG_LONG: 8,
+        CType.FLOAT: 4,
+        CType.DOUBLE: 8,
+        CType.BOOL: 1,
+    },
+    aligns={ctype: 1 for ctype in CType if ctype is not CType.STRING},
+    description="DEC VAX (ILP32, byte-packed structs, VAX F/D floats)",
+    float_format="vax",
+)
+
+#: All predefined machines, by name.
+MACHINES: dict[str, MachineDescription] = {
+    m.name: m
+    for m in (
+        X86,
+        X86_64,
+        SPARC_V8,
+        SPARC_V9,
+        SPARC_V9_64,
+        MIPS_O32,
+        MIPS_N32,
+        MIPS_N64,
+        ALPHA,
+        I960,
+        STRONGARM,
+        VAX,
+    )
+}
+
+
+def get_machine(name: str) -> MachineDescription:
+    """Look up a predefined machine by name."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise KeyError(f"unknown machine {name!r}; known: {sorted(MACHINES)}") from None

@@ -1,0 +1,71 @@
+"""PbioConnection: an IOContext bound to a transport.
+
+Handles the meta-information protocol transparently: the first time a
+format travels over the connection its announcement precedes the data
+message; the receiving side absorbs announcements and returns only data.
+This is the convenience layer examples and integration tests use — the
+benchmarks call the context primitives directly so the one-time costs can
+be measured separately.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.transport import Transport
+
+from .context import FormatHandle, IOContext
+
+
+class PbioConnection:
+    """Duplex PBIO messaging over one transport endpoint."""
+
+    def __init__(self, ctx: IOContext, transport: Transport):
+        self.ctx = ctx
+        self.transport = transport
+        self._announced: set[int] = set()
+
+    # -- sending ------------------------------------------------------------
+
+    def send_native(self, handle: FormatHandle, native) -> None:
+        """Send a record already in native binary form (NDR fast path)."""
+        if handle.format_id not in self._announced:
+            self.transport.send(self.ctx.announce(handle))
+            self._announced.add(handle.format_id)
+        self.transport.send_segments(self.ctx.encode_segments(handle, native))
+
+    def send(self, handle: FormatHandle, record: dict[str, Any]) -> None:
+        """Send a value dict (encodes to native form first)."""
+        self.send_native(handle, handle.codec.encode(record))
+
+    # -- receiving ------------------------------------------------------------
+
+    def recv_message(self) -> bytes:
+        """Receive the next *data* message, absorbing announcements."""
+        while True:
+            message = self.transport.recv()
+            info_type = message[2] if len(message) > 2 else -1
+            from . import encoder as enc
+
+            if info_type == enc.MSG_FORMAT:
+                self.ctx.receive(message)
+                continue
+            return message
+
+    def recv(self) -> dict[str, Any]:
+        """Receive and decode the next record to a dict."""
+        return self.ctx.decode(self.recv_message())
+
+    def recv_view(self):
+        """Receive and decode the next record to a (possibly zero-copy)
+        :class:`~repro.abi.views.RecordView`."""
+        return self.ctx.decode_view(self.recv_message())
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -1,0 +1,275 @@
+"""IOContext: the public PBIO API.
+
+One :class:`IOContext` represents a communicating party on a particular
+(simulated) machine.  Writers register the formats of the records they
+produce; readers declare the formats they expect.  Encoding is NDR
+(header + native bytes, no translation); decoding matches the incoming
+wire format against the expected native format by field name and converts
+only where representations actually differ, using a converter generated
+at run time (DCG) or the table-driven interpreter.
+
+Typical use::
+
+    sender = IOContext(machine=abi.X86)
+    receiver = IOContext(machine=abi.SPARC_V8)
+
+    fmt = sender.register_format(schema)
+    receiver.expect(schema)
+
+    announce = sender.announce(fmt)          # once per format
+    message = sender.encode(fmt, record)     # per record
+    receiver.receive(announce)
+    result = receiver.receive(message)       # dict (or use decode_view)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.abi import (
+    MachineDescription,
+    NativeCodec,
+    RecordSchema,
+    RecordView,
+    StructLayout,
+    codec_for,
+    layout_record,
+)
+
+from . import encoder as enc
+from .conversion import InterpretedConverter, build_plan, generate_converter
+from .errors import FormatError, MessageError
+from .formats import IOFormat
+from .matching import MatchResult, match_formats
+from .registry import FormatRegistry
+
+
+@dataclass(frozen=True)
+class FormatHandle:
+    """A writer-side registered format: everything needed to emit records."""
+
+    format_id: int
+    iofmt: IOFormat
+    layout: StructLayout
+    codec: NativeCodec
+
+    @property
+    def name(self) -> str:
+        return self.iofmt.name
+
+
+@dataclass
+class ContextStats:
+    """Instrumentation counters (used by ablation benchmarks)."""
+
+    converters_generated: int = 0
+    converter_cache_hits: int = 0
+    zero_copy_decodes: int = 0
+    converted_decodes: int = 0
+    generation_time_s: float = 0.0
+
+
+class IOContext:
+    """One PBIO party bound to a simulated machine.
+
+    ``conversion`` selects the receiver-side strategy:
+
+    * ``"dcg"`` (default) — runtime-generated specialized converters;
+    * ``"interpreted"``   — the table-driven interpreter;
+    * ``"vcode"``         — DCG lowered onto the virtual RISC VM
+      (mechanism-fidelity mode; slow under Python, see DESIGN.md).
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        *,
+        conversion: str = "dcg",
+        context_id: int | None = None,
+    ):
+        if conversion not in ("dcg", "interpreted", "vcode"):
+            raise ValueError(f"unknown conversion mode {conversion!r}")
+        self.machine = machine
+        self.conversion = conversion
+        self.registry = FormatRegistry(context_id)
+        self.stats = ContextStats()
+        self._handles: dict[int, FormatHandle] = {}
+        self._expected: dict[str, IOFormat] = {}  # format name -> native format
+        self._converters: dict[tuple[bytes, bytes], Callable[[bytes], bytes]] = {}
+        self._zero_copy: dict[tuple[bytes, bytes], bool] = {}
+        self._converter_sources: dict[tuple[bytes, bytes], str] = {}
+
+    @property
+    def context_id(self) -> int:
+        return self.registry.context_id
+
+    # -- writer side --------------------------------------------------------
+
+    def register_format(self, schema: RecordSchema) -> FormatHandle:
+        """Register a record format this context will write."""
+        layout = layout_record(schema, self.machine)
+        iofmt = IOFormat.from_layout(layout)
+        fmt_id = self.registry.register_local(iofmt)
+        handle = FormatHandle(fmt_id, iofmt, layout, codec_for(layout))
+        self._handles[fmt_id] = handle
+        return handle
+
+    def announce(self, handle: FormatHandle) -> bytes:
+        """The one-time format meta-information message for ``handle``."""
+        return enc.encode_format_message(self.context_id, handle.format_id, handle.iofmt)
+
+    def encode_native(self, handle: FormatHandle, native) -> bytes:
+        """Encode a record already in native binary form (contiguous)."""
+        return enc.encode_data_message(self.context_id, handle.format_id, native)
+
+    def encode_segments(self, handle: FormatHandle, native) -> list:
+        """Zero-copy NDR encode: ``[header, native buffer]`` segments."""
+        return enc.encode_data_segments(self.context_id, handle.format_id, native)
+
+    def encode(self, handle: FormatHandle, record: dict[str, Any]) -> bytes:
+        """Convenience: encode a value dict (simulating the application's
+        in-memory struct) and wrap it in a data message."""
+        return self.encode_native(handle, handle.codec.encode(record))
+
+    # -- reader side ----------------------------------------------------------
+
+    def expect(self, schema: RecordSchema) -> IOFormat:
+        """Declare the native format this context wants records decoded to.
+
+        Registered per format *name*; incoming wire formats with the same
+        name are matched against it field by field.
+        """
+        layout = layout_record(schema, self.machine)
+        iofmt = IOFormat.from_layout(layout)
+        self._expected[schema.name] = iofmt
+        return iofmt
+
+    def receive(self, message) -> dict[str, Any] | None:
+        """Process one incoming message.
+
+        Format announcements are absorbed (returns ``None``); data
+        messages return the decoded record dict.
+        """
+        msg_type, context_id, format_id, _ = enc.unpack_header(message)
+        if msg_type == enc.MSG_FORMAT:
+            self._absorb_announcement(message, context_id, format_id)
+            return None
+        return self.decode(message)
+
+    def _absorb_announcement(self, message, context_id: int, format_id: int) -> None:
+        meta = memoryview(message)[enc.HEADER_SIZE :]
+        fmt = IOFormat.from_meta_bytes(meta)
+        self.registry.register_remote(context_id, format_id, fmt)
+
+    # decoding ---------------------------------------------------------------
+
+    def _wire_format_of(self, message) -> tuple[IOFormat, memoryview]:
+        msg_type, context_id, format_id, payload_len = enc.unpack_header(message)
+        if msg_type != enc.MSG_DATA:
+            raise MessageError("expected a data message")
+        payload = memoryview(message)[enc.HEADER_SIZE :]
+        if len(payload) != payload_len:
+            raise MessageError(
+                f"payload length mismatch: header says {payload_len}, got {len(payload)}"
+            )
+        wire_fmt = self.registry.remote_format(context_id, format_id)
+        return wire_fmt, payload
+
+    def _native_format_for(self, wire_fmt: IOFormat) -> IOFormat:
+        native = self._expected.get(wire_fmt.name)
+        if native is None:
+            raise FormatError(
+                f"no expected format declared for {wire_fmt.name!r}; "
+                f"call expect() or use reflection to inspect the format"
+            )
+        return native
+
+    def _converter_for(self, wire_fmt: IOFormat, native: IOFormat):
+        """Return (zero_copy, converter-or-None), building and caching."""
+        key = (wire_fmt.fingerprint, native.fingerprint)
+        zero_copy = self._zero_copy.get(key)
+        if zero_copy is None:
+            match = match_formats(wire_fmt, native)
+            zero_copy = match.zero_copy
+            self._zero_copy[key] = zero_copy
+            if not zero_copy:
+                self._converters[key] = self._build_converter(wire_fmt, native, match)
+        elif not zero_copy and key not in self._converters:  # pragma: no cover
+            self._converters[key] = self._build_converter(wire_fmt, native, None)
+        else:
+            self.stats.converter_cache_hits += 1
+        return zero_copy, self._converters.get(key)
+
+    def _build_converter(self, wire_fmt: IOFormat, native: IOFormat, match: MatchResult | None):
+        plan = build_plan(wire_fmt, native, match)
+        if self.conversion == "interpreted":
+            converter = InterpretedConverter(plan)
+            self.stats.converters_generated += 1
+            self._converter_sources[(wire_fmt.fingerprint, native.fingerprint)] = plan.describe()
+            return converter
+        generated = generate_converter(
+            plan, backend="python" if self.conversion == "dcg" else "vcode"
+        )
+        self.stats.converters_generated += 1
+        self.stats.generation_time_s += generated.generation_time_s
+        self._converter_sources[(wire_fmt.fingerprint, native.fingerprint)] = generated.source
+        return generated.convert
+
+    def converter_sources(self, format_name: str | None = None) -> dict[str, str]:
+        """Inspect the conversion code this context has generated.
+
+        Returns ``{"<wire> -> <native>": source}`` for every converter
+        built so far (generated Python for DCG, vcode disassembly for the
+        vcode backend, the plan description for the interpreter) —
+        a debugging window into what DCG actually emitted.
+        """
+        out = {}
+        for (wire_fp, native_fp), source in self._converter_sources.items():
+            wire_name = native_name = "?"
+            for _, _, fmt in self.registry.remote_formats():
+                if fmt.fingerprint == wire_fp:
+                    wire_name = fmt.name
+            for fmt in self._expected.values():
+                if fmt.fingerprint == native_fp:
+                    native_name = fmt.name
+            if format_name is not None and format_name not in (wire_name, native_name):
+                continue
+            out[f"{wire_name} -> {native_name}"] = source
+        return out
+
+    def decode_native(self, message) -> bytes:
+        """Decode to record bytes in this context's native layout."""
+        wire_fmt, payload = self._wire_format_of(message)
+        native = self._native_format_for(wire_fmt)
+        zero_copy, converter = self._converter_for(wire_fmt, native)
+        if zero_copy:
+            self.stats.zero_copy_decodes += 1
+            return bytes(payload)
+        self.stats.converted_decodes += 1
+        return converter(payload)
+
+    def decode_view(self, message) -> RecordView:
+        """Decode to a :class:`RecordView`.
+
+        In the homogeneous (matching-layout) case the view references the
+        *message buffer itself* — received data used directly, no copy.
+        """
+        wire_fmt, payload = self._wire_format_of(message)
+        native = self._native_format_for(wire_fmt)
+        layout = self._expected_layout(native)
+        zero_copy, converter = self._converter_for(wire_fmt, native)
+        if zero_copy:
+            self.stats.zero_copy_decodes += 1
+            return RecordView(layout, payload)
+        self.stats.converted_decodes += 1
+        return RecordView(layout, converter(payload))
+
+    def decode(self, message) -> dict[str, Any]:
+        """Decode to a value dict (fully materialized)."""
+        return self.decode_view(message).to_dict()
+
+    def _expected_layout(self, native: IOFormat) -> StructLayout:
+        if native.layout is None:  # pragma: no cover - expect() always sets it
+            raise FormatError(f"expected format {native.name!r} has no local layout")
+        return native.layout

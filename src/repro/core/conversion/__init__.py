@@ -1,0 +1,25 @@
+"""Receiver-side conversion: plans, the table-driven interpreter, and
+dynamic code generation (Python and vcode backends)."""
+
+from .plan import ConversionPlan, ConvOp, OpKind, build_plan
+from .interpreted import InterpretedConverter
+from .codegen import (
+    GeneratedConverter,
+    generate_converter,
+    generate_python_converter,
+    generate_vcode_converter,
+)
+from .vectorized import NUMPY_THRESHOLD
+
+__all__ = [
+    "ConversionPlan",
+    "ConvOp",
+    "OpKind",
+    "build_plan",
+    "InterpretedConverter",
+    "GeneratedConverter",
+    "generate_converter",
+    "generate_python_converter",
+    "generate_vcode_converter",
+    "NUMPY_THRESHOLD",
+]

@@ -1,0 +1,220 @@
+"""Conversion plans: the op list a converter executes or compiles.
+
+A plan is derived once per (wire format, native format) pair from the
+name-based :class:`~repro.core.matching.MatchResult`.  Each op moves one
+field (or one coalesced run of fields) from its wire position/representation
+to its native position/representation:
+
+* ``COPY``   — byte-identical data, possibly relocated: a bulk move;
+* ``SWAP``   — same element size, opposite byte order;
+* ``CVT_INT`` / ``CVT_FLOAT`` — element size changes (e.g. 4-byte int to
+  8-byte long, float to double), with any byte-order change folded in;
+* ``CVT_INT_FLOAT`` / ``CVT_FLOAT_INT`` — cross-kind conversions;
+* ``CHARS``  — character buffers (truncate/NUL-pad to the native length);
+* ``STRING`` — out-of-line strings: copy data, rewrite the pointer;
+* ``ZERO``   — expected field absent from the wire: default to zero.
+
+Adjacent ``COPY`` ops whose source and destination advance in lockstep are
+coalesced into single bulk moves (including any intervening padding, which
+is equal on both sides by construction).  In the homogeneous-with-
+appended-field case this collapses the whole plan to approximately one
+``memcpy`` — the cost Figure 7 measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.abi import PrimKind
+
+from ..errors import ConversionError
+from ..formats import IOFormat
+from ..matching import MatchResult, match_formats
+
+
+class OpKind(enum.Enum):
+    COPY = "copy"
+    SWAP = "swap"
+    CVT_INT = "cvt_int"
+    CVT_FLOAT = "cvt_float"
+    CVT_INT_FLOAT = "cvt_int_float"
+    CVT_FLOAT_INT = "cvt_float_int"
+    CHARS = "chars"
+    STRING = "string"
+    ZERO = "zero"
+
+
+@dataclass(frozen=True)
+class ConvOp:
+    """One conversion operation.  For COPY/ZERO, sizes are byte lengths
+    and ``count`` is 1; element ops carry per-element sizes and a count."""
+
+    kind: OpKind
+    dst_off: int
+    src_off: int  # unused for ZERO
+    dst_size: int  # element size (COPY/ZERO: total bytes)
+    src_size: int
+    count: int = 1
+    signed: bool = True  # integer ops: signedness of the *target*
+
+    @property
+    def dst_end(self) -> int:
+        if self.kind in (OpKind.COPY, OpKind.ZERO):
+            return self.dst_off + self.dst_size
+        return self.dst_off + self.dst_size * self.count
+
+    @property
+    def src_end(self) -> int:
+        if self.kind in (OpKind.COPY, OpKind.ZERO):
+            return self.src_off + self.src_size
+        return self.src_off + self.src_size * self.count
+
+
+@dataclass(frozen=True)
+class ConversionPlan:
+    """Ordered ops plus the metadata converters need."""
+
+    wire: IOFormat
+    native: IOFormat
+    ops: tuple[ConvOp, ...]
+    src_endian: str  # struct prefix of the wire format
+    dst_endian: str
+    has_strings: bool
+    src_float_format: str = "ieee754"
+    dst_float_format: str = "ieee754"
+
+    @property
+    def has_vax_floats(self) -> bool:
+        return "vax" in (self.src_float_format, self.dst_float_format)
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the plan is a single full-record copy."""
+        return (
+            len(self.ops) == 1
+            and self.ops[0].kind is OpKind.COPY
+            and self.ops[0].dst_off == 0
+            and self.ops[0].src_off == 0
+            and self.ops[0].dst_size == self.native.record_size
+        )
+
+    def op_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for op in self.ops:
+            hist[op.kind.value] = hist.get(op.kind.value, 0) + 1
+        return hist
+
+    def describe(self) -> str:
+        lines = [f"plan {self.wire.name!r} -> {self.native.name!r} ({len(self.ops)} ops):"]
+        for op in self.ops:
+            lines.append(
+                f"  {op.kind.value:14s} src@{op.src_off:<6d} -> dst@{op.dst_off:<6d} "
+                f"elem {op.src_size}->{op.dst_size} x{op.count}"
+            )
+        return "\n".join(lines)
+
+
+def build_plan(wire: IOFormat, native: IOFormat, match: MatchResult | None = None) -> ConversionPlan:
+    """Derive the conversion plan for one wire/native format pair."""
+    if match is None:
+        match = match_formats(wire, native)
+    same_order = wire.byte_order == native.byte_order
+    ops: list[ConvOp] = []
+    for m in sorted(match.matches, key=lambda m: m.target.offset):
+        t = m.target
+        s = m.source
+        if s is None:
+            ops.append(ConvOp(OpKind.ZERO, t.offset, 0, t.total_size, 0))
+            continue
+        t_kind, s_kind = t.kind, s.kind
+        if t_kind is PrimKind.STRING or s_kind is PrimKind.STRING:
+            if t_kind is not s_kind:
+                raise ConversionError(f"field {t.name!r}: string/non-string mismatch")
+            ops.append(ConvOp(OpKind.STRING, t.offset, s.offset, t.size, s.size))
+            continue
+        if t_kind is PrimKind.CHAR or s_kind is PrimKind.CHAR:
+            if t_kind is not s_kind:
+                raise ConversionError(f"field {t.name!r}: char/non-char mismatch")
+            if s.count == t.count:
+                ops.append(ConvOp(OpKind.COPY, t.offset, s.offset, t.count, s.count))
+            else:
+                ops.append(ConvOp(OpKind.CHARS, t.offset, s.offset, t.count, s.count))
+            continue
+        int_kinds = (PrimKind.INTEGER, PrimKind.UNSIGNED, PrimKind.BOOLEAN)
+        t_int = t_kind in int_kinds
+        s_int = s_kind in int_kinds
+        if s.count != t.count and not (s_int and t_int) and not (not s_int and not t_int):
+            raise ConversionError(f"field {t.name!r}: array length mismatch across kinds")
+        count = min(s.count, t.count)
+        # Extra target elements default to zero (buffer pre-zeroed);
+        # extra source elements are ignored, like unexpected fields.
+        if s_int and t_int:
+            if s.size == t.size:
+                if same_order or s.size == 1:
+                    ops.append(ConvOp(OpKind.COPY, t.offset, s.offset, s.size * count, s.size * count))
+                else:
+                    ops.append(
+                        ConvOp(OpKind.SWAP, t.offset, s.offset, t.size, s.size, count, t_kind is PrimKind.INTEGER)
+                    )
+            else:
+                ops.append(
+                    ConvOp(OpKind.CVT_INT, t.offset, s.offset, t.size, s.size, count, s_kind is PrimKind.INTEGER)
+                )
+        elif not s_int and not t_int:  # float -> float
+            same_float_fmt = wire.float_format == native.float_format
+            if not same_float_fmt:
+                # format change (e.g. VAX F/D <-> IEEE): always a full
+                # conversion, whatever the sizes and byte orders
+                ops.append(ConvOp(OpKind.CVT_FLOAT, t.offset, s.offset, t.size, s.size, count))
+            elif s.size == t.size and same_order:
+                ops.append(ConvOp(OpKind.COPY, t.offset, s.offset, s.size * count, s.size * count))
+            elif s.size == t.size:
+                ops.append(ConvOp(OpKind.SWAP, t.offset, s.offset, t.size, s.size, count))
+            else:
+                ops.append(ConvOp(OpKind.CVT_FLOAT, t.offset, s.offset, t.size, s.size, count))
+        elif s_int and not t_int:
+            if native.float_format != "ieee754":
+                raise ConversionError(
+                    f"field {t.name!r}: integer-to-{native.float_format} float "
+                    f"cross-kind conversion is not supported"
+                )
+            ops.append(
+                ConvOp(OpKind.CVT_INT_FLOAT, t.offset, s.offset, t.size, s.size, count, s_kind is PrimKind.INTEGER)
+            )
+        else:  # float -> int
+            if wire.float_format != "ieee754":
+                raise ConversionError(
+                    f"field {t.name!r}: {wire.float_format} float-to-integer "
+                    f"cross-kind conversion is not supported"
+                )
+            ops.append(
+                ConvOp(OpKind.CVT_FLOAT_INT, t.offset, s.offset, t.size, s.size, count, t_kind is PrimKind.INTEGER)
+            )
+    ops = _coalesce_copies(ops)
+    return ConversionPlan(
+        wire=wire,
+        native=native,
+        ops=tuple(ops),
+        src_endian=">" if wire.byte_order == "big" else "<",
+        dst_endian=">" if native.byte_order == "big" else "<",
+        has_strings=any(op.kind is OpKind.STRING for op in ops),
+        src_float_format=wire.float_format,
+        dst_float_format=native.float_format,
+    )
+
+
+def _coalesce_copies(ops: list[ConvOp]) -> list[ConvOp]:
+    """Merge adjacent COPY ops advancing in lockstep (gap included)."""
+    out: list[ConvOp] = []
+    for op in ops:
+        if op.kind is OpKind.COPY and out and out[-1].kind is OpKind.COPY:
+            prev = out[-1]
+            dst_gap = op.dst_off - prev.dst_end
+            src_gap = op.src_off - prev.src_end
+            if dst_gap == src_gap and 0 <= dst_gap <= 64:
+                merged_len = op.dst_end - prev.dst_off
+                out[-1] = ConvOp(OpKind.COPY, prev.dst_off, prev.src_off, merged_len, merged_len)
+                continue
+        out.append(op)
+    return out

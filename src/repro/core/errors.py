@@ -1,0 +1,31 @@
+"""PBIO exception hierarchy."""
+
+from __future__ import annotations
+
+
+class PbioError(RuntimeError):
+    """Base class for all PBIO errors."""
+
+
+class FormatError(PbioError):
+    """Malformed or unknown format meta-information."""
+
+
+class UnknownFormatError(FormatError):
+    """A data message referenced a format id that was never announced."""
+
+    def __init__(self, context_id: int, format_id: int):
+        super().__init__(
+            f"unknown format id {format_id} from context {context_id:#010x}; "
+            f"the format meta-information message has not been received"
+        )
+        self.context_id = context_id
+        self.format_id = format_id
+
+
+class MessageError(PbioError):
+    """Malformed wire message (bad magic, truncation, bad type)."""
+
+
+class ConversionError(PbioError):
+    """A field cannot be converted between wire and native form."""

@@ -1,0 +1,75 @@
+"""Wire-level field descriptors.
+
+PBIO "writers must provide descriptions of the names, types, sizes and
+positions of the fields in the records they are writing" (Section 3).
+A :class:`WireField` is exactly that tuple — the machine-independent
+*semantic* kind plus the machine-*dependent* size and offset the field has
+in the sender's natural representation.  A list of them plus byte order
+and record length fully describes a wire format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.abi import LaidOutField, PrimKind, StructLayout
+
+from .errors import FormatError
+
+
+@dataclass(frozen=True)
+class WireField:
+    """One field as described in format meta-information."""
+
+    name: str
+    kind: PrimKind
+    size: int  # element size in bytes, in the sender's representation
+    offset: int  # byte offset within the record
+    count: int = 1  # elements (1 = scalar; chars: buffer length)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.count <= 0 or self.offset < 0:
+            raise FormatError(f"invalid wire field geometry: {self}")
+
+    @property
+    def total_size(self) -> int:
+        return self.size * self.count
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.total_size
+
+    @classmethod
+    def from_laid_out(cls, f: LaidOutField) -> "WireField":
+        """Describe a natively laid-out field for transmission."""
+        if f.is_string:
+            return cls(f.name, PrimKind.STRING, f.elem_size, f.offset, 1)
+        return cls(f.name, f.kind, f.elem_size, f.offset, f.count)
+
+
+def wire_fields_from_layout(layout: StructLayout) -> tuple[WireField, ...]:
+    """The full wire-field list of a native layout, in offset order."""
+    return tuple(WireField.from_laid_out(f) for f in layout.fields)
+
+
+def validate_wire_fields(fields: tuple[WireField, ...], record_size: int) -> None:
+    """Check a received field list for internal consistency.
+
+    Meta-information arrives from the network; a malformed description
+    must be rejected before any converter is generated from it.
+    """
+    seen: set[str] = set()
+    for f in fields:
+        if f.name in seen:
+            raise FormatError(f"duplicate field {f.name!r} in wire format")
+        seen.add(f.name)
+        if f.end > record_size:
+            raise FormatError(
+                f"field {f.name!r} extends to {f.end}, past record size {record_size}"
+            )
+        if f.kind is PrimKind.STRING and f.count != 1:
+            raise FormatError(f"string field {f.name!r} cannot be an array")
+    ordered = sorted(fields, key=lambda f: f.offset)
+    for a, b in zip(ordered, ordered[1:]):
+        if b.offset < a.end:
+            raise FormatError(f"fields {a.name!r} and {b.name!r} overlap")

@@ -1,0 +1,170 @@
+"""PBIO files: self-describing binary record files.
+
+PBIO began life as *Portable Binary I/O* — the same NDR idea applied to
+files: records are written in the writer's natural representation, and
+the file carries the format meta-information so any reader on any
+machine can decode it later.  This module provides that capability:
+
+* :class:`PbioFileWriter` — append records (native bytes or value dicts)
+  of any registered format; each format's meta-block is emitted before
+  its first record.
+* :class:`PbioFileReader` — iterate records, decoding to the *reader's*
+  machine; or scan lazily (``iter_raw``) and decode selectively.
+
+The file is literally a stream of PBIO messages (format messages and
+data messages) prefixed by a small file header — so the wire and file
+representations are one format, as in the original system.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import Any, BinaryIO, Iterator
+
+from repro.abi import RecordSchema
+
+from . import encoder as enc
+from .context import FormatHandle, IOContext
+from .errors import MessageError
+
+FILE_MAGIC = b"PBIOFILE"
+FILE_VERSION = 1
+_FILE_HEADER = struct.Struct(">8sHxx")  # magic, version, pad
+_MSG_LEN = struct.Struct(">I")
+
+
+class PbioFileWriter:
+    """Writes a self-describing record file on behalf of one IOContext."""
+
+    def __init__(self, ctx: IOContext, stream: BinaryIO):
+        self.ctx = ctx
+        self._stream = stream
+        self._announced: set[int] = set()
+        self._records_written = 0
+        stream.write(_FILE_HEADER.pack(FILE_MAGIC, FILE_VERSION))
+
+    @classmethod
+    def open(cls, ctx: IOContext, path: str) -> "PbioFileWriter":
+        return cls(ctx, open(path, "wb"))
+
+    def write_native(self, handle: FormatHandle, native) -> None:
+        """Append one record already in native binary form."""
+        if handle.format_id not in self._announced:
+            self._emit(self.ctx.announce(handle))
+            self._announced.add(handle.format_id)
+        self._emit(self.ctx.encode_native(handle, native))
+        self._records_written += 1
+
+    def write(self, handle: FormatHandle, record: dict[str, Any]) -> None:
+        """Append one record given as a value dict."""
+        self.write_native(handle, handle.codec.encode(record))
+
+    def _emit(self, message: bytes) -> None:
+        self._stream.write(_MSG_LEN.pack(len(message)))
+        self._stream.write(message)
+
+    @property
+    def records_written(self) -> int:
+        return self._records_written
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class PbioFileReader:
+    """Reads a PBIO file, decoding records to the reader's machine.
+
+    The reader context must ``expect()`` the record formats it wants
+    decoded; unknown record types can still be enumerated via
+    :meth:`iter_raw` and inspected with the reflection API.
+    """
+
+    def __init__(self, ctx: IOContext, stream: BinaryIO):
+        self.ctx = ctx
+        self._stream = stream
+        header = stream.read(_FILE_HEADER.size)
+        if len(header) != _FILE_HEADER.size:
+            raise MessageError("not a PBIO file: truncated header")
+        magic, version = _FILE_HEADER.unpack(header)
+        if magic != FILE_MAGIC:
+            raise MessageError(f"not a PBIO file: bad magic {magic!r}")
+        if version != FILE_VERSION:
+            raise MessageError(f"unsupported PBIO file version {version}")
+
+    @classmethod
+    def open(cls, ctx: IOContext, path: str) -> "PbioFileReader":
+        stream = open(path, "rb")
+        try:
+            return cls(ctx, stream)
+        except Exception:
+            stream.close()
+            raise
+
+    def iter_raw(self) -> Iterator[bytes]:
+        """Yield every *data* message, absorbing format messages."""
+        while True:
+            raw_len = self._stream.read(_MSG_LEN.size)
+            if not raw_len:
+                return
+            if len(raw_len) != _MSG_LEN.size:
+                raise MessageError("truncated PBIO file (length prefix)")
+            (n,) = _MSG_LEN.unpack(raw_len)
+            message = self._stream.read(n)
+            if len(message) != n:
+                raise MessageError("truncated PBIO file (message body)")
+            msg_type = message[2]
+            if msg_type == enc.MSG_FORMAT:
+                self.ctx.receive(message)
+                continue
+            yield message
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        """Yield every record decoded to a value dict."""
+        for message in self.iter_raw():
+            yield self.ctx.decode(message)
+
+    def read_all(self) -> list[dict[str, Any]]:
+        return list(self)
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def write_records(
+    ctx: IOContext, path: str, schema: RecordSchema, records: list[dict[str, Any]]
+) -> None:
+    """Convenience: write one schema's records to ``path``."""
+    with PbioFileWriter.open(ctx, path) as writer:
+        handle = ctx.register_format(schema)
+        for record in records:
+            writer.write(handle, record)
+
+
+def read_records(ctx: IOContext, path: str, schema: RecordSchema) -> list[dict[str, Any]]:
+    """Convenience: read all records of ``schema`` from ``path``."""
+    ctx.expect(schema)
+    with PbioFileReader.open(ctx, path) as reader:
+        return reader.read_all()
+
+
+def file_to_buffer(ctx: IOContext, schema: RecordSchema, records: list[dict[str, Any]]) -> bytes:
+    """Build an in-memory PBIO file (testing / transmission as a blob)."""
+    buf = io.BytesIO()
+    writer = PbioFileWriter(ctx, buf)
+    handle = ctx.register_format(schema)
+    for record in records:
+        writer.write(handle, record)
+    return buf.getvalue()

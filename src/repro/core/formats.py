@@ -1,0 +1,199 @@
+"""IOFormat: a named record format and its wire meta-information.
+
+An :class:`IOFormat` is what PBIO transmits *once* per format — "format
+meta-information, somewhat like an XML-style description of the message
+content" (Section 4.4).  It binds a format name to the field list, byte
+order and record length of the describing party's natural representation,
+and serializes to/from a compact binary meta message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.abi import PrimKind, StructLayout
+
+from .errors import FormatError
+from .fields import WireField, validate_wire_fields, wire_fields_from_layout
+
+_META_MAGIC = b"PBFM"
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+_KIND_CODES: dict[PrimKind, int] = {
+    PrimKind.INTEGER: 0,
+    PrimKind.UNSIGNED: 1,
+    PrimKind.FLOAT: 2,
+    PrimKind.CHAR: 3,
+    PrimKind.BOOLEAN: 4,
+    PrimKind.STRING: 5,
+}
+_CODE_KINDS = {v: k for k, v in _KIND_CODES.items()}
+
+
+class IOFormat:
+    """A record format: name, fields, byte order, record size.
+
+    Instances describe either a *native* format (derived from a local
+    :class:`StructLayout`) or a *wire* format (reconstructed from received
+    meta-information; ``layout`` is then ``None``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fields: tuple[WireField, ...],
+        byte_order: str,
+        record_size: int,
+        *,
+        float_format: str = "ieee754",
+        layout: StructLayout | None = None,
+    ):
+        if byte_order not in ("big", "little"):
+            raise FormatError(f"bad byte order {byte_order!r}")
+        if float_format not in ("ieee754", "vax"):
+            raise FormatError(f"bad float format {float_format!r}")
+        validate_wire_fields(fields, record_size)
+        self.name = name
+        self.fields = fields
+        self.byte_order = byte_order
+        self.float_format = float_format
+        self.record_size = record_size
+        self.layout = layout
+        self._by_name = {f.name: f for f in fields}
+        self.fingerprint = self._fingerprint()
+
+    @classmethod
+    def from_layout(cls, layout: StructLayout) -> "IOFormat":
+        """Describe a local native layout (the writer's side of Section 3)."""
+        return cls(
+            layout.schema.name,
+            wire_fields_from_layout(layout),
+            layout.machine.byte_order,
+            layout.size,
+            float_format=layout.machine.float_format,
+            layout=layout,
+        )
+
+    # -- identity ----------------------------------------------------------
+
+    def _fingerprint(self) -> bytes:
+        h = hashlib.sha1()
+        h.update(self.name.encode())
+        h.update(self.byte_order.encode())
+        h.update(self.float_format.encode())
+        h.update(str(self.record_size).encode())
+        for f in self.fields:
+            h.update(f"{f.name}|{f.kind.value}|{f.size}|{f.offset}|{f.count};".encode())
+        return h.digest()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IOFormat) and self.fingerprint == other.fingerprint
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint)
+
+    # -- field access ------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> WireField:
+        return self._by_name[name]
+
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    @property
+    def has_strings(self) -> bool:
+        return any(f.kind is PrimKind.STRING for f in self.fields)
+
+    # -- meta-information wire form -----------------------------------------
+
+    def to_meta_bytes(self) -> bytes:
+        """Serialize the format description for transmission."""
+        name_b = self.name.encode("utf-8")
+        parts = [
+            _META_MAGIC,
+            _U8.pack(1 if self.byte_order == "little" else 0),
+            _U8.pack(1 if self.float_format == "vax" else 0),
+            _U32.pack(self.record_size),
+            _U16.pack(len(name_b)),
+            name_b,
+            _U16.pack(len(self.fields)),
+        ]
+        for f in self.fields:
+            fn = f.name.encode("utf-8")
+            parts.append(_U16.pack(len(fn)))
+            parts.append(fn)
+            parts.append(_U8.pack(_KIND_CODES[f.kind]))
+            parts.append(_U8.pack(f.size))
+            parts.append(_U32.pack(f.offset))
+            parts.append(_U32.pack(f.count))
+        return b"".join(parts)
+
+    @classmethod
+    def from_meta_bytes(cls, data: bytes | memoryview) -> "IOFormat":
+        """Reconstruct a wire format from received meta-information."""
+        data = bytes(data)
+        if data[:4] != _META_MAGIC:
+            raise FormatError("bad format meta magic")
+        pos = 4
+        try:
+            little = _U8.unpack_from(data, pos)[0]
+            pos += 1
+            vax_floats = _U8.unpack_from(data, pos)[0]
+            pos += 1
+            record_size = _U32.unpack_from(data, pos)[0]
+            pos += 4
+            name_len = _U16.unpack_from(data, pos)[0]
+            pos += 2
+            name = data[pos : pos + name_len].decode("utf-8")
+            pos += name_len
+            nfields = _U16.unpack_from(data, pos)[0]
+            pos += 2
+            fields = []
+            for _ in range(nfields):
+                fn_len = _U16.unpack_from(data, pos)[0]
+                pos += 2
+                fname = data[pos : pos + fn_len].decode("utf-8")
+                pos += fn_len
+                kind_code = _U8.unpack_from(data, pos)[0]
+                pos += 1
+                size = _U8.unpack_from(data, pos)[0]
+                pos += 1
+                offset = _U32.unpack_from(data, pos)[0]
+                pos += 4
+                count = _U32.unpack_from(data, pos)[0]
+                pos += 4
+                if kind_code not in _CODE_KINDS:
+                    raise FormatError(f"unknown field kind code {kind_code}")
+                fields.append(WireField(fname, _CODE_KINDS[kind_code], size, offset, count))
+        except struct.error as exc:
+            raise FormatError(f"truncated format meta-information: {exc}") from exc
+        return cls(
+            name,
+            tuple(fields),
+            "little" if little else "big",
+            record_size,
+            float_format="vax" if vax_floats else "ieee754",
+        )
+
+    def describe(self) -> str:
+        """Human-readable rendering (the reflection API's pretty form)."""
+        lines = [
+            f"format {self.name!r}: {self.record_size} bytes, "
+            f"{self.byte_order}-endian, {self.float_format} floats, "
+            f"{len(self.fields)} fields"
+        ]
+        for f in self.fields:
+            dim = f"[{f.count}]" if f.count > 1 else ""
+            lines.append(
+                f"  @{f.offset:5d} {f.kind.value}{dim} {f.name} (elem {f.size} B)"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"IOFormat({self.name!r}, {len(self.fields)} fields, {self.record_size} B, {self.byte_order})"

@@ -1,0 +1,83 @@
+"""Format registry: format-id assignment and meta-information exchange.
+
+PBIO transmits full format meta-information *once* per format, after
+which data messages carry only a compact format id (the role played by
+the format server in the full PBIO/FFS lineage).  Each writing context
+owns an id space, scoped by a random 32-bit context id so ids from
+different writers never collide at a receiver.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .errors import FormatError, UnknownFormatError
+from .formats import IOFormat
+
+
+class FormatRegistry:
+    """Bidirectional registry of formats known to one context.
+
+    * Local formats (this context will write them): fingerprint -> id.
+    * Remote formats (announced by peers): (context_id, id) -> IOFormat.
+    """
+
+    def __init__(self, context_id: int | None = None):
+        self.context_id = (
+            context_id if context_id is not None else random.getrandbits(32)
+        )
+        self._local_by_fp: dict[bytes, int] = {}
+        self._local_by_id: dict[int, IOFormat] = {}
+        self._remote: dict[tuple[int, int], IOFormat] = {}
+        self._next_id = 1
+        #: count of meta messages processed (ablation instrumentation)
+        self.announcements_received = 0
+
+    # -- local side ---------------------------------------------------------
+
+    def register_local(self, fmt: IOFormat) -> int:
+        """Assign (or return the existing) id for a format this context
+        writes.  Registration is idempotent by fingerprint."""
+        existing = self._local_by_fp.get(fmt.fingerprint)
+        if existing is not None:
+            return existing
+        fmt_id = self._next_id
+        self._next_id += 1
+        self._local_by_fp[fmt.fingerprint] = fmt_id
+        self._local_by_id[fmt_id] = fmt
+        return fmt_id
+
+    def local_format(self, fmt_id: int) -> IOFormat:
+        try:
+            return self._local_by_id[fmt_id]
+        except KeyError:
+            raise FormatError(f"no local format with id {fmt_id}") from None
+
+    def local_ids(self) -> list[int]:
+        return sorted(self._local_by_id)
+
+    # -- remote side ----------------------------------------------------------
+
+    def register_remote(self, context_id: int, fmt_id: int, fmt: IOFormat) -> None:
+        """Record a format announced by a peer context."""
+        key = (context_id, fmt_id)
+        known = self._remote.get(key)
+        if known is not None and known.fingerprint != fmt.fingerprint:
+            raise FormatError(
+                f"context {context_id:#010x} re-announced id {fmt_id} with a "
+                f"different format ({known.name!r} vs {fmt.name!r})"
+            )
+        self._remote[key] = fmt
+        self.announcements_received += 1
+
+    def remote_format(self, context_id: int, fmt_id: int) -> IOFormat:
+        try:
+            return self._remote[(context_id, fmt_id)]
+        except KeyError:
+            raise UnknownFormatError(context_id, fmt_id) from None
+
+    def knows_remote(self, context_id: int, fmt_id: int) -> bool:
+        return (context_id, fmt_id) in self._remote
+
+    def remote_formats(self) -> list[tuple[int, int, IOFormat]]:
+        return [(c, i, f) for (c, i), f in sorted(self._remote.items())]

@@ -1,0 +1,98 @@
+"""Type extension / application evolution helpers.
+
+Section 4.4: because PBIO matches fields by name, "new fields can be added
+to messages without disruption because application components which don't
+expect the new fields will simply ignore them", and the conversion
+overhead a mismatch imposes "varies proportionally with the extent of the
+mismatch" — so evolving applications should append fields rather than
+prepend them.  These helpers let application authors check those
+properties before deploying a format change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConversionError
+from .formats import IOFormat
+from .matching import match_formats
+
+
+@dataclass(frozen=True)
+class CompatibilityReport:
+    """What happens when records in ``new`` arrive at a reader of ``old``."""
+
+    old: IOFormat
+    new: IOFormat
+    added: tuple[str, ...]  # fields new writers send that old readers ignore
+    removed: tuple[str, ...]  # fields old readers expect that get defaulted
+    relocated: tuple[str, ...]  # shared fields whose geometry changed
+    compatible: bool  # old readers can still decode new records
+    zero_cost_for_old_readers: bool  # decode remains zero-copy (same order)
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        lines = [
+            f"evolution {self.old.name!r} -> {self.new.name!r}: "
+            f"{'compatible' if self.compatible else 'INCOMPATIBLE'}"
+        ]
+        if self.added:
+            lines.append(f"  added (ignored by old readers): {', '.join(self.added)}")
+        if self.removed:
+            lines.append(f"  removed (defaulted for old readers): {', '.join(self.removed)}")
+        if self.relocated:
+            lines.append(f"  relocated (forces conversion): {', '.join(self.relocated)}")
+        if self.zero_cost_for_old_readers:
+            lines.append("  un-upgraded readers keep zero-copy decode")
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+def check_evolution(old: IOFormat, new: IOFormat) -> CompatibilityReport:
+    """Analyze a format change from the perspective of un-upgraded readers.
+
+    ``old`` is what deployed readers expect (their native format);
+    ``new`` is what upgraded writers will announce (a wire format).
+    """
+    notes: list[str] = []
+    try:
+        match = match_formats(new, old)
+        compatible = True
+    except ConversionError as exc:
+        return CompatibilityReport(
+            old=old,
+            new=new,
+            added=(),
+            removed=(),
+            relocated=(),
+            compatible=False,
+            zero_cost_for_old_readers=False,
+            notes=(f"incompatible field change: {exc}",),
+        )
+    added = tuple(f.name for f in match.ignored_wire_fields)
+    removed = match.missing_names
+    relocated = tuple(
+        m.target.name for m in match.matches if m.source is not None and not m.identical
+    )
+    if relocated and added and old.byte_order == new.byte_order:
+        notes.append(
+            "new fields shift existing offsets; appending fields at the end "
+            "of the record would have preserved zero-copy decode (Section 4.4)"
+        )
+    elif old.byte_order != new.byte_order:
+        notes.append(
+            "byte orders differ between writer and reader; conversion is "
+            "required regardless of field placement"
+        )
+    if removed:
+        notes.append("removed fields decode as zero for old readers")
+    return CompatibilityReport(
+        old=old,
+        new=new,
+        added=added,
+        removed=removed,
+        relocated=relocated,
+        compatible=compatible,
+        zero_cost_for_old_readers=match.zero_copy,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,39 @@
+"""Network substrate: transports, the paper-calibrated network model, real
+loopback sockets, and round-trip cost accounting."""
+
+from .transport import InMemoryPipe, Transport, TransportError, frame, read_frame
+from .simulated import (
+    NetworkModel,
+    SimulatedEndpoint,
+    SimulatedLink,
+    paper_network_times_ms,
+)
+from .sockets import EchoServer, SocketTransport, loopback_pair
+from .timing import LegCost, RoundTripCost, TimingTable, best_of, calibrated_inner
+from .channel import ChannelPublisher, EventChannel, SubscriberStats, Subscription
+from .relay import Relay
+
+__all__ = [
+    "Transport",
+    "TransportError",
+    "InMemoryPipe",
+    "frame",
+    "read_frame",
+    "NetworkModel",
+    "SimulatedLink",
+    "SimulatedEndpoint",
+    "paper_network_times_ms",
+    "SocketTransport",
+    "loopback_pair",
+    "EchoServer",
+    "LegCost",
+    "RoundTripCost",
+    "TimingTable",
+    "best_of",
+    "calibrated_inner",
+    "EventChannel",
+    "ChannelPublisher",
+    "Subscription",
+    "SubscriberStats",
+    "Relay",
+]

@@ -1,0 +1,139 @@
+"""Event channels: publish/subscribe record distribution over PBIO.
+
+The paper's introduction motivates loosely-coupled component systems —
+online visualization, remote instruments, "plug-and-play" codes joining
+ongoing computations — and its conclusion claims NDR lets "receivers who
+have no a priori knowledge of data formats ... easily `join' ongoing
+communications".  This module provides that composition layer (the role
+DataExchange/ECho played in the original system's ecosystem):
+
+* any number of publishers (each an :class:`~repro.core.IOContext` on its
+  own simulated machine) emit records into a channel;
+* subscribers attach with their own machine, their own expected formats,
+  and optionally a DCG-compiled filter; they may join at any time —
+  the channel replays the format announcements they missed;
+* each subscriber decodes with its own converter cache: a zero-copy view
+  for homogeneous publishers, generated conversion otherwise; filtered
+  messages are rejected from the 16-byte header + referenced fields
+  alone, without decoding the record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.context import FormatHandle, IOContext
+from repro.core.filters import RecordFilter
+from repro.core import encoder as enc
+
+
+@dataclass
+class SubscriberStats:
+    delivered: int = 0
+    filtered_out: int = 0
+    wrong_type: int = 0
+
+
+class Subscription:
+    """One subscriber: a context, an optional filter, and a handler."""
+
+    def __init__(
+        self,
+        ctx: IOContext,
+        handler: Callable[[dict[str, Any]], None],
+        *,
+        format_name: str | None = None,
+        filter_expr: str | None = None,
+    ):
+        if filter_expr is not None and format_name is None:
+            raise ValueError("a filter requires format_name")
+        self.ctx = ctx
+        self.handler = handler
+        self.format_name = format_name
+        self.stats = SubscriberStats()
+        self._filter = (
+            RecordFilter(ctx, format_name, filter_expr) if filter_expr else None
+        )
+
+    def _offer(self, message: bytes) -> None:
+        msg_type = message[2]
+        if msg_type == enc.MSG_FORMAT:
+            self.ctx.receive(message)
+            return
+        if self.format_name is not None:
+            info = enc.unpack_header(message)
+            fmt = self.ctx.registry.remote_format(info[1], info[2])
+            if fmt.name != self.format_name:
+                self.stats.wrong_type += 1
+                return
+        if self._filter is not None and not self._filter.matches(message):
+            self.stats.filtered_out += 1
+            return
+        self.stats.delivered += 1
+        self.handler(self.ctx.decode(message))
+
+
+class EventChannel:
+    """An in-process record distribution hub with late-join support."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Subscription] = []
+        self._announcements: list[bytes] = []  # replayed to late joiners
+        self.messages_published = 0
+
+    # -- subscribing ---------------------------------------------------------
+
+    def subscribe(
+        self,
+        ctx: IOContext,
+        handler: Callable[[dict[str, Any]], None],
+        *,
+        format_name: str | None = None,
+        filter_expr: str | None = None,
+    ) -> Subscription:
+        """Attach a subscriber; formats announced before it joined are
+        replayed so it can decode the ongoing stream immediately."""
+        sub = Subscription(ctx, handler, format_name=format_name, filter_expr=filter_expr)
+        for announcement in self._announcements:
+            sub._offer(announcement)
+        self._subscribers.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        self._subscribers.remove(sub)
+
+    # -- publishing ------------------------------------------------------------
+
+    def publisher(self, ctx: IOContext) -> "ChannelPublisher":
+        return ChannelPublisher(self, ctx)
+
+    def _publish_message(self, message: bytes) -> None:
+        if message[2] == enc.MSG_FORMAT:
+            self._announcements.append(message)
+        else:
+            self.messages_published += 1
+        for sub in list(self._subscribers):
+            sub._offer(message)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+
+class ChannelPublisher:
+    """Publishing endpoint bound to one IOContext."""
+
+    def __init__(self, channel: EventChannel, ctx: IOContext):
+        self.channel = channel
+        self.ctx = ctx
+        self._announced: set[int] = set()
+
+    def publish_native(self, handle: FormatHandle, native) -> None:
+        if handle.format_id not in self._announced:
+            self.channel._publish_message(self.ctx.announce(handle))
+            self._announced.add(handle.format_id)
+        self.channel._publish_message(self.ctx.encode_native(handle, native))
+
+    def publish(self, handle: FormatHandle, record: dict[str, Any]) -> None:
+        self.publish_native(handle, handle.codec.encode(record))

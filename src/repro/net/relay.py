@@ -1,0 +1,106 @@
+"""Message relays: forwarding PBIO streams without decoding them.
+
+The paper closes with the goal of pushing "selected message operations
+... `into' the communication co-processors" (Section 5).  The enabling
+property is NDR + self-description: an intermediary can route, replicate
+and *filter* messages while treating every record as opaque bytes plus a
+16-byte header — it never converts, and filters it does apply read only
+the fields they name (via :mod:`repro.core.filters`), straight from the
+sender's natural representation.
+
+A :class:`Relay` therefore has no machine of its own in any meaningful
+sense: it observes format announcements (to keep its registry and to
+replay them to late-attached downstreams) and forwards data messages
+verbatim.  Filters are per-downstream, so one stream fans out into
+differently-filtered substreams — the derived-event-channel pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.abi import X86_64
+from repro.core import encoder as enc
+from repro.core.context import IOContext
+from repro.core.filters import RecordFilter
+from repro.net.transport import Transport
+
+
+@dataclass
+class DownstreamStats:
+    forwarded: int = 0
+    filtered_out: int = 0
+    announcements: int = 0
+
+
+class _Downstream:
+    def __init__(self, transport: Transport, flt: RecordFilter | None):
+        self.transport = transport
+        self.filter = flt
+        self.stats = DownstreamStats()
+
+
+class Relay:
+    """Store-and-forward hub for PBIO message streams.
+
+    Typical use::
+
+        relay = Relay()
+        relay.attach(link_to_viz)                       # everything
+        relay.attach(link_to_alarms,
+                     format_name="telemetry",
+                     filter_expr="temperature > 700.0") # hot records only
+        for message in upstream:
+            relay.forward(message)
+    """
+
+    def __init__(self) -> None:
+        # The relay's context exists only to hold the format registry for
+        # filter compilation; records are never decoded to its layouts.
+        self.ctx = IOContext(X86_64)
+        self._downstreams: list[_Downstream] = []
+        self._announcements: list[bytes] = []
+        self.messages_seen = 0
+
+    def attach(
+        self,
+        transport: Transport,
+        *,
+        format_name: str | None = None,
+        filter_expr: str | None = None,
+    ) -> _Downstream:
+        """Add a downstream link, replaying announcements it missed."""
+        flt = None
+        if filter_expr is not None:
+            if format_name is None:
+                raise ValueError("a filter requires format_name")
+            flt = RecordFilter(self.ctx, format_name, filter_expr)
+        downstream = _Downstream(transport, flt)
+        for announcement in self._announcements:
+            transport.send(announcement)
+            downstream.stats.announcements += 1
+        self._downstreams.append(downstream)
+        return downstream
+
+    def forward(self, message: bytes) -> None:
+        """Process one upstream message."""
+        msg_type = message[2] if len(message) > 2 else -1
+        if msg_type == enc.MSG_FORMAT:
+            self.ctx.receive(message)  # absorb for filter compilation
+            self._announcements.append(bytes(message))
+            for downstream in self._downstreams:
+                downstream.transport.send(message)
+                downstream.stats.announcements += 1
+            return
+        self.messages_seen += 1
+        for downstream in self._downstreams:
+            if downstream.filter is not None and not downstream.filter.matches(message):
+                downstream.stats.filtered_out += 1
+                continue
+            downstream.transport.send(message)  # verbatim: zero re-encoding
+            downstream.stats.forwarded += 1
+
+    def pump(self, upstream: Transport, count: int) -> None:
+        """Forward ``count`` messages from an upstream transport."""
+        for _ in range(count):
+            self.forward(upstream.recv())

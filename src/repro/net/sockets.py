@@ -1,0 +1,108 @@
+"""Real loopback TCP transport.
+
+Integration tests use this to prove every wire format survives an actual
+kernel socket (framing, partial reads, large messages), not just the
+in-memory pipe.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable
+
+from .transport import Transport, TransportError, frame, read_frame
+
+
+class SocketTransport(Transport):
+    """Length-prefix framed messages over a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def send(self, payload) -> None:
+        try:
+            self._sock.sendall(frame(payload))
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+
+    def recv(self) -> bytes:
+        return read_frame(self._read_exact)
+
+    def _read_exact(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except OSError as exc:
+                raise TransportError(f"recv failed: {exc}") from exc
+            if not chunk:
+                raise TransportError("connection closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def loopback_pair(timeout_s: float = 10.0) -> tuple[SocketTransport, SocketTransport]:
+    """Create a connected pair of loopback TCP transports."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    client = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    client.settimeout(timeout_s)
+    client.connect(("127.0.0.1", port))
+    server, _ = listener.accept()
+    server.settimeout(timeout_s)
+    listener.close()
+    return SocketTransport(client), SocketTransport(server)
+
+
+class EchoServer:
+    """Background thread applying a handler to each frame and replying.
+
+    Models the peer side of the paper's round-trip experiments: receive,
+    decode, re-encode, send back.  The default handler echoes bytes.
+    """
+
+    def __init__(self, handler: Callable[[bytes], bytes] | None = None):
+        self._handler = handler or (lambda data: data)
+        self._local, remote = loopback_pair()
+        self._remote = remote
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._stopping = False
+        self._thread.start()
+
+    @property
+    def client(self) -> SocketTransport:
+        """The transport the test/benchmark should talk through."""
+        return self._local
+
+    def _serve(self) -> None:
+        try:
+            while not self._stopping:
+                data = self._remote.recv()
+                self._remote.send(self._handler(data))
+        except TransportError:
+            pass  # peer closed
+
+    def close(self) -> None:
+        self._stopping = True
+        self._local.close()
+        self._remote.close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

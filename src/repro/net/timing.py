@@ -1,0 +1,117 @@
+"""Timing utilities and cost-breakdown records.
+
+The paper's Figures 1 and 5 decompose a message round-trip into
+``encode | network | decode`` segments per leg.  ``Encode`` spans from the
+application's send call to the socket write; ``Decode`` spans from
+``recv()`` returning to the data being usable.  These records reproduce
+that accounting so benchmark output can be laid out exactly like the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+def best_of(fn: Callable[[], object], *, repeats: int = 7, inner: int = 1) -> float:
+    """Return the best (minimum) per-call wall time of ``fn`` in seconds.
+
+    Minimum-of-N is the standard technique for CPU-bound micro-timing
+    (noise is strictly additive); ``inner`` amortizes the clock overhead
+    for very fast operations.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        dt = (time.perf_counter() - t0) / inner
+        if dt < best:
+            best = dt
+    return best
+
+
+def calibrated_inner(fn: Callable[[], object], *, target_s: float = 5e-3, max_inner: int = 10_000) -> int:
+    """Pick an inner-loop count so one repeat lasts about ``target_s``."""
+    t0 = time.perf_counter()
+    fn()
+    once = max(time.perf_counter() - t0, 1e-9)
+    return max(1, min(max_inner, int(target_s / once)))
+
+
+@dataclass(frozen=True)
+class LegCost:
+    """One direction of an exchange: sender encode, wire, receiver decode."""
+
+    encode_s: float
+    network_s: float
+    decode_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.encode_s + self.network_s + self.decode_s
+
+
+@dataclass(frozen=True)
+class RoundTripCost:
+    """A full round-trip (the paper's Figure 1/5 rows).
+
+    ``forward`` is e.g. sparc -> x86, ``back`` is x86 -> sparc.
+    """
+
+    label: str
+    payload_bytes: int
+    forward: LegCost
+    back: LegCost
+
+    @property
+    def total_s(self) -> float:
+        return self.forward.total_s + self.back.total_s
+
+    @property
+    def encode_decode_fraction(self) -> float:
+        """Fraction of the round-trip spent outside the network — the
+        paper reports this reaches ~66 % for MPICH."""
+        cpu = (
+            self.forward.encode_s
+            + self.forward.decode_s
+            + self.back.encode_s
+            + self.back.decode_s
+        )
+        return cpu / self.total_s if self.total_s else 0.0
+
+    def row(self) -> str:
+        """One figure-style text row, times in milliseconds."""
+        f, b = self.forward, self.back
+        return (
+            f"{self.label:24s} total {self.total_s * 1e3:9.3f} ms | "
+            f"fwd enc {f.encode_s * 1e3:8.4f} net {f.network_s * 1e3:8.4f} dec {f.decode_s * 1e3:8.4f} | "
+            f"back enc {b.encode_s * 1e3:8.4f} net {b.network_s * 1e3:8.4f} dec {b.decode_s * 1e3:8.4f}"
+        )
+
+
+@dataclass
+class TimingTable:
+    """Accumulates labelled measurements and renders a paper-style table."""
+
+    title: str
+    columns: list[str]
+    rows: list[tuple[str, list[float]]] = field(default_factory=list)
+    unit: str = "ms"
+
+    def add(self, label: str, values: list[float]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append((label, list(values)))
+
+    def render(self) -> str:
+        width = max(12, *(len(c) + 2 for c in self.columns))
+        head = f"{self.title}\n" + " " * 16 + "".join(f"{c:>{width}}" for c in self.columns)
+        lines = [head]
+        for label, values in self.rows:
+            cells = "".join(f"{v:>{width}.4f}" for v in values)
+            lines.append(f"{label:16s}{cells}")
+        lines.append(f"(values in {self.unit})")
+        return "\n".join(lines)

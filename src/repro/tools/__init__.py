@@ -1,0 +1,12 @@
+"""Command-line tools: inspect PBIO messages/files and struct layouts.
+
+* ``pbio-layout`` (:mod:`repro.tools.layout_tool`) — print a record
+  schema's native layout on one or many simulated machines.
+* ``pbio-dump`` (:mod:`repro.tools.dump_tool`) — dump the messages of a
+  PBIO file: formats, records, hex payloads.
+"""
+
+from .layout_tool import main as layout_main
+from .dump_tool import main as dump_main
+
+__all__ = ["layout_main", "dump_main"]

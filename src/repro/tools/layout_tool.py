@@ -1,0 +1,77 @@
+"""pbio-layout: show how a record schema lays out on simulated machines.
+
+Usage::
+
+    pbio-layout --machines i86,sparc  node_id:int  position:'double[3]'  tag:'char[8]'
+
+Prints the per-machine struct layout (offsets, sizes, padding) plus a
+cross-machine comparison showing exactly which heterogeneity sources
+(byte order / type sizes / offsets) a PBIO exchange between each pair
+would have to bridge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.abi import MACHINES, RecordSchema, layout_record
+from repro.core import IOFormat, match_formats
+
+
+def parse_field(spec: str) -> tuple[str, str]:
+    name, sep, typ = spec.partition(":")
+    if not sep or not name or not typ:
+        raise argparse.ArgumentTypeError(f"field must be name:type, got {spec!r}")
+    return name, typ
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pbio-layout", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--machines",
+        default="i86,sparc",
+        help=f"comma-separated machine names (known: {', '.join(sorted(MACHINES))})",
+    )
+    parser.add_argument("--name", default="record", help="record type name")
+    parser.add_argument("fields", nargs="+", type=parse_field, help="name:type declarations")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    machine_names = [m.strip() for m in args.machines.split(",") if m.strip()]
+    unknown = [m for m in machine_names if m not in MACHINES]
+    if unknown:
+        print(f"unknown machines: {unknown} (known: {sorted(MACHINES)})", file=sys.stderr)
+        return 2
+    try:
+        schema = RecordSchema.from_pairs(args.name, list(args.fields))
+    except ValueError as exc:
+        print(f"bad schema: {exc}", file=sys.stderr)
+        return 2
+
+    layouts = {name: layout_record(schema, MACHINES[name]) for name in machine_names}
+    for name, layout in layouts.items():
+        print(layout.describe())
+        print(f"  ({layout.padding_bytes()} pad bytes, {MACHINES[name].byte_order}-endian)\n")
+
+    if len(machine_names) >= 2:
+        print("cross-machine exchange analysis:")
+        for i, a in enumerate(machine_names):
+            for b in machine_names[i + 1 :]:
+                wire = IOFormat.from_layout(layouts[a])
+                native = IOFormat.from_layout(layouts[b])
+                match = match_formats(wire, native)
+                if match.zero_copy:
+                    verdict = "identical natural representation -> zero-copy"
+                else:
+                    verdict = f"{match.mismatch_count} field(s) need conversion"
+                print(f"  {a} -> {b}: {verdict}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

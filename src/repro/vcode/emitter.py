@@ -1,0 +1,157 @@
+"""Code buffer and emission API, mirroring Vcode's ``v_*`` macros.
+
+Real Vcode emits native machine instructions "directly into a memory
+buffer [that] can be executed without reference to an external compiler or
+linker".  Here the buffer holds :class:`~repro.vcode.isa.Instr` objects and
+sealing resolves labels to instruction indices, producing an executable
+:class:`Program` for the VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .isa import Instr, Op, validate
+
+
+@dataclass(frozen=True)
+class Program:
+    """A sealed instruction sequence with resolved branch targets."""
+
+    instrs: tuple[Instr, ...]
+    label_index: dict[str, int] = field(hash=False, compare=False, default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def disassemble(self) -> str:
+        lines = []
+        for i, ins in enumerate(self.instrs):
+            prefix = f"{i:4d}: "
+            lines.append(prefix + repr(ins))
+        return "\n".join(lines)
+
+
+class Emitter:
+    """Append-only instruction buffer with Vcode-style emit methods.
+
+    Register operands are plain integers (``r3`` is just ``3``); use
+    :class:`~repro.vcode.regalloc.RegisterPool` to manage them the way
+    Vcode's ``v_getreg``/``v_putreg`` do.
+    """
+
+    def __init__(self) -> None:
+        self._instrs: list[Instr] = []
+        self._labels: set[str] = set()
+        self._label_counter = 0
+        self._sealed = False
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _emit(self, op: Op, *args) -> None:
+        if self._sealed:
+            raise RuntimeError("cannot emit into a sealed program")
+        instr = Instr(op, args)
+        validate(instr)
+        self._instrs.append(instr)
+
+    def new_label(self, stem: str = "L") -> str:
+        self._label_counter += 1
+        return f"{stem}{self._label_counter}"
+
+    def seal(self) -> Program:
+        """Resolve labels and freeze the program (Vcode's ``v_end``)."""
+        label_index: dict[str, int] = {}
+        for i, ins in enumerate(self._instrs):
+            if ins.op is Op.LABEL:
+                name = ins.args[0]
+                if name in label_index:
+                    raise ValueError(f"duplicate label {name!r}")
+                label_index[name] = i
+        for ins in self._instrs:
+            if ins.op in (Op.JMP, Op.BLT, Op.BGE, Op.BEQ, Op.BNE):
+                target = ins.args[-1]
+                if target not in label_index:
+                    raise ValueError(f"undefined label {target!r}")
+        self._sealed = True
+        return Program(tuple(self._instrs), label_index)
+
+    # -- memory -----------------------------------------------------------
+
+    def ld(self, dst: int, base: str, offset: int, size: int, *, signed: bool, endian: str) -> None:
+        """Load an integer of ``size`` bytes from ``base[offset]``."""
+        self._emit(Op.LD, dst, base, offset, size, signed, endian)
+
+    def st(self, src: int, base: str, offset: int, size: int, *, endian: str) -> None:
+        """Store the low ``size`` bytes of integer register ``src``."""
+        self._emit(Op.ST, src, base, offset, size, True, endian)
+
+    def ldf(self, dst: int, base: str, offset: int, size: int, *, endian: str) -> None:
+        self._emit(Op.LDF, dst, base, offset, size, endian)
+
+    def stf(self, src: int, base: str, offset: int, size: int, *, endian: str) -> None:
+        self._emit(Op.STF, src, base, offset, size, endian)
+
+    def memcpy(self, dst_base: str, dst_off: int, src_base: str, src_off: int, length: int) -> None:
+        self._emit(Op.MEMCPY, dst_base, dst_off, src_base, src_off, length)
+
+    # -- ALU --------------------------------------------------------------
+
+    def movi(self, dst: int, imm: int) -> None:
+        self._emit(Op.MOVI, dst, imm)
+
+    def mov(self, dst: int, src: int) -> None:
+        self._emit(Op.MOV, dst, src)
+
+    def add(self, dst: int, a: int, b: int) -> None:
+        self._emit(Op.ADD, dst, a, b)
+
+    def addi(self, dst: int, a: int, imm: int) -> None:
+        self._emit(Op.ADDI, dst, a, imm)
+
+    def sub(self, dst: int, a: int, b: int) -> None:
+        self._emit(Op.SUB, dst, a, b)
+
+    def muli(self, dst: int, a: int, imm: int) -> None:
+        self._emit(Op.MULI, dst, a, imm)
+
+    # -- conversions ------------------------------------------------------
+
+    def fmov(self, dst: int, src: int) -> None:
+        self._emit(Op.FMOV, dst, src)
+
+    def cvt_i2f(self, dst_f: int, src_r: int) -> None:
+        self._emit(Op.CVT_I2F, dst_f, src_r)
+
+    def cvt_f2i(self, dst_r: int, src_f: int) -> None:
+        self._emit(Op.CVT_F2I, dst_r, src_f)
+
+    def cvt_f2f(self, dst_f: int, src_f: int) -> None:
+        """Float-to-float move; width changes happen at store time."""
+        self._emit(Op.CVT_F2F, dst_f, src_f)
+
+    # -- control ----------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise ValueError(f"label {name!r} already placed")
+        self._labels.add(name)
+        self._emit(Op.LABEL, name)
+
+    def jmp(self, target: str) -> None:
+        self._emit(Op.JMP, target)
+
+    def blt(self, a: int, b: int, target: str) -> None:
+        self._emit(Op.BLT, a, b, target)
+
+    def bge(self, a: int, b: int, target: str) -> None:
+        self._emit(Op.BGE, a, b, target)
+
+    def beq(self, a: int, b: int, target: str) -> None:
+        self._emit(Op.BEQ, a, b, target)
+
+    def bne(self, a: int, b: int, target: str) -> None:
+        self._emit(Op.BNE, a, b, target)
+
+    def ret(self) -> None:
+        self._emit(Op.RET)

@@ -1,0 +1,97 @@
+"""Virtual RISC instruction set, after Engler's Vcode.
+
+The paper generates receiver-side conversion routines through Vcode, "an
+API for a virtual RISC instruction set" whose macros each expand to one or
+two native instructions.  We reproduce that layer structurally: programs
+are sequences of :class:`Instr` over integer registers ``r0..r31``, float
+registers ``f0..f15``, and named memory segments (the receive buffer and
+the destination record).  A small VM (:mod:`repro.vcode.vm`) stands in
+for the host CPU.
+
+The instruction inventory is the subset a marshalling routine needs:
+loads/stores of every primitive width in either byte order, integer and
+float conversions, basic ALU ops, compare-and-branch, and a bulk ``memcpy``
+(real Vcode would emit a call to the C library's memcpy; we model the same
+thing as one instruction).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Op(enum.Enum):
+    # memory: (dst_reg, base_name, offset_reg_or_imm, size, signed, endian)
+    LD = "ld"  # integer load
+    LDF = "ldf"  # float load (f4/f8) into float register
+    ST = "st"  # integer store
+    STF = "stf"  # float store
+    MEMCPY = "memcpy"  # (dst_base, dst_off, src_base, src_off, length)
+
+    # ALU: (dst, src_a, src_b_or_imm)
+    MOVI = "movi"  # load immediate
+    MOV = "mov"
+    ADD = "add"
+    ADDI = "addi"
+    SUB = "sub"
+    MULI = "muli"
+
+    # float register moves/conversions: (dst_f, src) in various combos
+    FMOV = "fmov"
+    CVT_I2F = "cvt_i2f"  # int reg -> float reg
+    CVT_F2I = "cvt_f2i"  # float reg -> int reg (truncating)
+    CVT_F2F = "cvt_f2f"  # width change is implicit in store size
+
+    # control: labels are symbolic targets resolved at seal time
+    LABEL = "label"
+    JMP = "jmp"
+    BLT = "blt"  # (reg_a, reg_b, label)
+    BGE = "bge"
+    BEQ = "beq"
+    BNE = "bne"
+    RET = "ret"
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One virtual instruction."""
+
+    op: Op
+    args: tuple[Any, ...]
+
+    def __repr__(self) -> str:
+        return f"{self.op.value} {', '.join(map(str, self.args))}"
+
+
+#: Number of integer and float registers, per the v8/v9 flavour of Vcode.
+NUM_INT_REGS = 32
+NUM_FLOAT_REGS = 16
+
+#: Integer load/store widths the ISA supports.
+INT_WIDTHS = (1, 2, 4, 8)
+#: Float widths.
+FLOAT_WIDTHS = (4, 8)
+
+
+def validate(instr: Instr) -> None:
+    """Structural validation of one instruction (used by the emitter)."""
+    op, args = instr.op, instr.args
+    if op in (Op.LD, Op.ST):
+        _, _, _, size, signed, endian = args
+        if size not in INT_WIDTHS:
+            raise ValueError(f"{op}: bad integer width {size}")
+        if endian not in ("big", "little"):
+            raise ValueError(f"{op}: bad endian {endian!r}")
+        if not isinstance(signed, bool):
+            raise ValueError(f"{op}: signed flag must be bool")
+    elif op in (Op.LDF, Op.STF):
+        _, _, _, size, endian = args
+        if size not in FLOAT_WIDTHS:
+            raise ValueError(f"{op}: bad float width {size}")
+        if endian not in ("big", "little"):
+            raise ValueError(f"{op}: bad endian {endian!r}")
+    elif op is Op.MEMCPY:
+        if len(args) != 5:
+            raise ValueError("memcpy needs 5 operands")

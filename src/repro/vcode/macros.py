@@ -1,0 +1,153 @@
+"""High-level emission macros: field conversion sequences.
+
+These are the vcode equivalents of the paper's "customized data conversion
+routines [that] access and store data elements, convert elements between
+basic types" — each macro emits the short load/convert/store sequence for
+one field (or a counted loop for arrays), reading from segment ``"src"``
+(the receive buffer, in wire byte order) and writing to ``"dst"`` (the
+receiver's native record).
+
+The macros are deliberately independent of PBIO's plan data structures so
+the vcode layer stays a standalone substrate; the DCG backend in
+:mod:`repro.core.conversion.codegen` lowers its plan onto these.
+"""
+
+from __future__ import annotations
+
+from .emitter import Emitter, Program
+from .regalloc import RegisterPool
+
+#: Loops longer than this are emitted as counted loops; shorter ones are
+#: fully unrolled (the trade real code generators make).
+UNROLL_LIMIT = 8
+
+
+class ConversionEmitter:
+    """Builds a conversion :class:`Program` field by field."""
+
+    def __init__(self, src_endian: str, dst_endian: str):
+        self.em = Emitter()
+        self.pool = RegisterPool()
+        self.src_endian = src_endian
+        self.dst_endian = dst_endian
+
+    # -- per-field macros ---------------------------------------------------
+
+    def copy_bytes(self, dst_off: int, src_off: int, length: int) -> None:
+        """Raw byte copy (identical representation on both sides)."""
+        self.em.memcpy("dst", dst_off, "src", src_off, length)
+
+    def convert_int(
+        self,
+        dst_off: int,
+        dst_size: int,
+        src_off: int,
+        src_size: int,
+        *,
+        signed: bool,
+        count: int = 1,
+    ) -> None:
+        """Integer field: byte order and/or width change, possibly an array."""
+        if count <= UNROLL_LIMIT:
+            with self.pool.scratch_int() as r:
+                for i in range(count):
+                    self.em.ld(r, "src", src_off + i * src_size, src_size, signed=signed, endian=self.src_endian)
+                    self.em.st(r, "dst", dst_off + i * dst_size, dst_size, endian=self.dst_endian)
+            return
+        self._counted_loop(
+            count,
+            lambda idx_src, idx_dst: self._int_body(idx_src, idx_dst, dst_off, dst_size, src_off, src_size, signed),
+            src_stride=src_size,
+            dst_stride=dst_size,
+        )
+
+    def _int_body(self, idx_src: int, idx_dst: int, dst_off: int, dst_size: int, src_off: int, src_size: int, signed: bool) -> None:
+        with self.pool.scratch_int() as r:
+            self.em.ld(r, "src", (idx_src, src_off), src_size, signed=signed, endian=self.src_endian)
+            self.em.st(r, "dst", (idx_dst, dst_off), dst_size, endian=self.dst_endian)
+
+    def convert_float(
+        self,
+        dst_off: int,
+        dst_size: int,
+        src_off: int,
+        src_size: int,
+        *,
+        count: int = 1,
+    ) -> None:
+        """Float field: byte order and/or float<->double width change."""
+        if count <= UNROLL_LIMIT:
+            with self.pool.scratch_float() as f:
+                for i in range(count):
+                    self.em.ldf(f, "src", src_off + i * src_size, src_size, endian=self.src_endian)
+                    self.em.stf(f, "dst", dst_off + i * dst_size, dst_size, endian=self.dst_endian)
+            return
+        self._counted_loop(
+            count,
+            lambda idx_src, idx_dst: self._float_body(idx_src, idx_dst, dst_off, dst_size, src_off, src_size),
+            src_stride=src_size,
+            dst_stride=dst_size,
+        )
+
+    def _float_body(self, idx_src: int, idx_dst: int, dst_off: int, dst_size: int, src_off: int, src_size: int) -> None:
+        with self.pool.scratch_float() as f:
+            self.em.ldf(f, "src", (idx_src, src_off), src_size, endian=self.src_endian)
+            self.em.stf(f, "dst", (idx_dst, dst_off), dst_size, endian=self.dst_endian)
+
+    def convert_int_to_float(
+        self, dst_off: int, dst_size: int, src_off: int, src_size: int, *, signed: bool, count: int = 1
+    ) -> None:
+        """Cross-kind conversion (int field matched to a float field)."""
+        with self.pool.scratch_int() as r, self.pool.scratch_float() as f:
+            for i in range(count):
+                self.em.ld(r, "src", src_off + i * src_size, src_size, signed=signed, endian=self.src_endian)
+                self.em.cvt_i2f(f, r)
+                self.em.stf(f, "dst", dst_off + i * dst_size, dst_size, endian=self.dst_endian)
+
+    def convert_float_to_int(
+        self, dst_off: int, dst_size: int, src_off: int, src_size: int, *, count: int = 1
+    ) -> None:
+        with self.pool.scratch_int() as r, self.pool.scratch_float() as f:
+            for i in range(count):
+                self.em.ldf(f, "src", src_off + i * src_size, src_size, endian=self.src_endian)
+                self.em.cvt_f2i(r, f)
+                self.em.st(r, "dst", dst_off + i * dst_size, dst_size, endian=self.dst_endian)
+
+    def zero_fill(self, dst_off: int, length: int) -> None:
+        """Default a missing field to zero bytes."""
+        with self.pool.scratch_int() as r:
+            self.em.movi(r, 0)
+            pos = 0
+            while pos < length:
+                chunk = 8 if length - pos >= 8 else 1
+                self.em.st(r, "dst", dst_off + pos, chunk, endian=self.dst_endian)
+                pos += chunk
+
+    # -- loop scaffolding ----------------------------------------------------
+
+    def _counted_loop(self, count: int, body, *, src_stride: int, dst_stride: int) -> None:
+        em = self.em
+        idx_src = self.pool.get_int()
+        idx_dst = self.pool.get_int()
+        end_src = self.pool.get_int()
+        try:
+            em.movi(idx_src, 0)
+            em.movi(idx_dst, 0)
+            em.movi(end_src, count * src_stride)
+            top = em.new_label("loop")
+            done = em.new_label("done")
+            em.label(top)
+            em.bge(idx_src, end_src, done)
+            body(idx_src, idx_dst)
+            em.addi(idx_src, idx_src, src_stride)
+            em.addi(idx_dst, idx_dst, dst_stride)
+            em.jmp(top)
+            em.label(done)
+        finally:
+            self.pool.put_int(end_src)
+            self.pool.put_int(idx_dst)
+            self.pool.put_int(idx_src)
+
+    def finish(self) -> Program:
+        self.em.ret()
+        return self.em.seal()

@@ -1,0 +1,222 @@
+"""Peephole optimization passes over sealed vcode programs.
+
+The paper's future work includes "the development of selected runtime
+binary code optimization methods".  These passes are the classic ones a
+runtime code generator applies cheaply, in one linear scan each:
+
+* **move coalescing** — runs of pure load/store element moves (no byte
+  order or width change) advancing contiguously collapse into one
+  ``memcpy``;
+* **immediate-add folding** — chains of ``addi r, r, k`` in straight-line
+  code fold into one instruction;
+* **dead-immediate elimination** — a ``movi`` overwritten before any read
+  in the same basic block is dropped;
+* **label pruning** — labels no branch targets are removed.
+
+All passes preserve observable behaviour (verified by the differential
+tests in ``tests/vcode/test_optimizer.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .emitter import Program
+from .isa import Instr, Op
+
+_BRANCH_OPS = (Op.JMP, Op.BLT, Op.BGE, Op.BEQ, Op.BNE)
+
+
+@dataclass
+class OptimizationStats:
+    """What each pass changed (ablation/inspection instrumentation)."""
+
+    moves_coalesced: int = 0
+    memcpys_created: int = 0
+    addis_folded: int = 0
+    dead_movis_removed: int = 0
+    labels_pruned: int = 0
+    passes: list[str] = field(default_factory=list)
+
+    @property
+    def total_removed(self) -> int:
+        return (
+            self.moves_coalesced
+            + self.addis_folded
+            + self.dead_movis_removed
+            + self.labels_pruned
+            - self.memcpys_created
+        )
+
+
+def optimize(program: Program) -> tuple[Program, OptimizationStats]:
+    """Run all passes; returns the optimized program and statistics."""
+    stats = OptimizationStats()
+    instrs = list(program.instrs)
+    instrs = _coalesce_moves(instrs, stats)
+    instrs = _fold_addi(instrs, stats)
+    instrs = _remove_dead_movi(instrs, stats)
+    instrs = _prune_labels(instrs, stats)
+    return _reseal(instrs), stats
+
+
+def _reseal(instrs: list[Instr]) -> Program:
+    label_index = {
+        ins.args[0]: i for i, ins in enumerate(instrs) if ins.op is Op.LABEL
+    }
+    return Program(tuple(instrs), label_index)
+
+
+def _is_pure_move_pair(a: Instr, b: Instr) -> bool:
+    """LD r, src, imm / ST r, dst, imm with identical width and endian:
+    a byte-identical element move."""
+    if a.op is not Op.LD or b.op is not Op.ST:
+        return False
+    ld_dst, _, ld_off, ld_size, _sgn, ld_end = a.args
+    st_src, _, st_off, st_size, _sgn2, st_end = b.args
+    return (
+        ld_dst == st_src
+        and isinstance(ld_off, int)
+        and isinstance(st_off, int)
+        and ld_size == st_size
+        and ld_end == st_end
+    )
+
+
+def _coalesce_moves(instrs: list[Instr], stats: OptimizationStats) -> list[Instr]:
+    out: list[Instr] = []
+    i = 0
+    n = len(instrs)
+    while i < n:
+        # collect a maximal run of contiguous pure move pairs
+        run: list[tuple[Instr, Instr]] = []
+        j = i
+        while j + 1 < n and _is_pure_move_pair(instrs[j], instrs[j + 1]):
+            if run:
+                prev_ld, prev_st = run[-1]
+                size = prev_ld.args[3]
+                if (
+                    instrs[j].args[1] != prev_ld.args[1]
+                    or instrs[j + 1].args[1] != prev_st.args[1]
+                    or instrs[j].args[2] != prev_ld.args[2] + size
+                    or instrs[j + 1].args[2] != prev_st.args[2] + size
+                ):
+                    break
+            run.append((instrs[j], instrs[j + 1]))
+            j += 2
+        if len(run) >= 2:
+            first_ld, first_st = run[0]
+            last_ld, _ = run[-1]
+            length = last_ld.args[2] + last_ld.args[3] - first_ld.args[2]
+            out.append(
+                Instr(
+                    Op.MEMCPY,
+                    (first_st.args[1], first_st.args[2], first_ld.args[1], first_ld.args[2], length),
+                )
+            )
+            # The replaced loads had a register side effect: each scratch
+            # register ends up holding its last loaded value, and later
+            # code may legitimately read it.  Re-emit the final load of
+            # each distinct register to preserve semantics exactly.
+            last_load_of: dict[int, Instr] = {}
+            for ld, _st in run:
+                last_load_of[ld.args[0]] = ld
+            restored = list(last_load_of.values())
+            out.extend(restored)
+            stats.moves_coalesced += len(run)
+            stats.memcpys_created += 1
+            i = j
+        else:
+            out.append(instrs[i])
+            i += 1
+    stats.passes.append("coalesce_moves")
+    return out
+
+
+def _fold_addi(instrs: list[Instr], stats: OptimizationStats) -> list[Instr]:
+    out: list[Instr] = []
+    for ins in instrs:
+        if (
+            ins.op is Op.ADDI
+            and out
+            and out[-1].op is Op.ADDI
+            and ins.args[0] == ins.args[1] == out[-1].args[0] == out[-1].args[1]
+        ):
+            prev = out.pop()
+            out.append(Instr(Op.ADDI, (ins.args[0], ins.args[1], prev.args[2] + ins.args[2])))
+            stats.addis_folded += 1
+        else:
+            out.append(ins)
+    stats.passes.append("fold_addi")
+    return out
+
+
+def _reads_register(ins: Instr, reg: int) -> bool:
+    """Conservative: does this instruction read integer register ``reg``?"""
+    op = ins.op
+    if op in (Op.LD, Op.LDF):
+        offset = ins.args[2]
+        return isinstance(offset, tuple) and offset[0] == reg
+    if op in (Op.ST, Op.STF):
+        offset = ins.args[2]
+        if isinstance(offset, tuple) and offset[0] == reg:
+            return True
+        return op is Op.ST and ins.args[0] == reg
+    if op is Op.MEMCPY:
+        return any(isinstance(a, tuple) and a[0] == reg for a in ins.args)
+    if op in (Op.MOV, Op.CVT_I2F):
+        return ins.args[1] == reg
+    if op in (Op.ADD, Op.SUB):
+        return reg in (ins.args[1], ins.args[2])
+    if op in (Op.ADDI, Op.MULI):
+        return ins.args[1] == reg
+    if op in (Op.BLT, Op.BGE, Op.BEQ, Op.BNE):
+        return reg in (ins.args[0], ins.args[1])
+    if op is Op.RET:
+        return reg == 1  # r1 is the return register
+    return False
+
+
+def _writes_int_register(ins: Instr) -> int | None:
+    if ins.op in (Op.LD, Op.MOVI, Op.MOV, Op.ADD, Op.ADDI, Op.SUB, Op.MULI, Op.CVT_F2I):
+        return ins.args[0]
+    return None
+
+
+def _remove_dead_movi(instrs: list[Instr], stats: OptimizationStats) -> list[Instr]:
+    """Drop a MOVI whose register is rewritten before any read, within a
+    basic block (scan stops at labels/branches)."""
+    dead: set[int] = set()
+    n = len(instrs)
+    for i, ins in enumerate(instrs):
+        if ins.op is not Op.MOVI:
+            continue
+        reg = ins.args[0]
+        for j in range(i + 1, n):
+            nxt = instrs[j]
+            if nxt.op is Op.LABEL or nxt.op in _BRANCH_OPS or nxt.op is Op.RET:
+                break
+            if _reads_register(nxt, reg):
+                break
+            if _writes_int_register(nxt) == reg:
+                dead.add(i)
+                break
+    if dead:
+        stats.dead_movis_removed = len(dead)
+        instrs = [ins for i, ins in enumerate(instrs) if i not in dead]
+    stats.passes.append("remove_dead_movi")
+    return instrs
+
+
+def _prune_labels(instrs: list[Instr], stats: OptimizationStats) -> list[Instr]:
+    targets = {
+        ins.args[-1] for ins in instrs if ins.op in _BRANCH_OPS
+    }
+    out = []
+    for ins in instrs:
+        if ins.op is Op.LABEL and ins.args[0] not in targets:
+            stats.labels_pruned += 1
+            continue
+        out.append(ins)
+    stats.passes.append("prune_labels")
+    return out

@@ -1,0 +1,81 @@
+"""Register pool, mirroring Vcode's ``v_getreg`` / ``v_putreg``.
+
+Conversion code generators grab scratch registers for the duration of a
+field's load/convert/store sequence and release them after; loop counters
+stay allocated across the loop body.  Exhaustion raises rather than
+spilling — conversion routines have tiny live sets, so a spill would
+indicate a generator bug.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .isa import NUM_FLOAT_REGS, NUM_INT_REGS
+
+
+class RegisterExhausted(RuntimeError):
+    """No free register of the requested class."""
+
+
+class RegisterPool:
+    """Tracks free/allocated integer and float registers."""
+
+    def __init__(
+        self,
+        num_int: int = NUM_INT_REGS,
+        num_float: int = NUM_FLOAT_REGS,
+        reserved_int: int = 2,
+    ):
+        # Low integer registers are reserved for the VM calling convention
+        # (r0 = constant zero, r1 = return value), like real RISC ABIs.
+        self._free_int = list(range(num_int - 1, reserved_int - 1, -1))
+        self._free_float = list(range(num_float - 1, -1, -1))
+        self._live_int: set[int] = set()
+        self._live_float: set[int] = set()
+
+    def get_int(self) -> int:
+        if not self._free_int:
+            raise RegisterExhausted("out of integer registers")
+        reg = self._free_int.pop()
+        self._live_int.add(reg)
+        return reg
+
+    def put_int(self, reg: int) -> None:
+        if reg not in self._live_int:
+            raise ValueError(f"r{reg} is not allocated")
+        self._live_int.remove(reg)
+        self._free_int.append(reg)
+
+    def get_float(self) -> int:
+        if not self._free_float:
+            raise RegisterExhausted("out of float registers")
+        reg = self._free_float.pop()
+        self._live_float.add(reg)
+        return reg
+
+    def put_float(self, reg: int) -> None:
+        if reg not in self._live_float:
+            raise ValueError(f"f{reg} is not allocated")
+        self._live_float.remove(reg)
+        self._free_float.append(reg)
+
+    @contextmanager
+    def scratch_int(self):
+        reg = self.get_int()
+        try:
+            yield reg
+        finally:
+            self.put_int(reg)
+
+    @contextmanager
+    def scratch_float(self):
+        reg = self.get_float()
+        try:
+            yield reg
+        finally:
+            self.put_float(reg)
+
+    @property
+    def live_counts(self) -> tuple[int, int]:
+        return len(self._live_int), len(self._live_float)

@@ -1,0 +1,161 @@
+"""Executor for sealed vcode programs.
+
+Stands in for the host CPU that would run Vcode's generated native
+instructions.  Programs run against named memory segments (``"src"`` is
+the receive buffer, ``"dst"`` the native record being built); integer
+registers hold Python ints (wrapped to 64 bits on store), float registers
+hold Python floats.
+
+Addressing: load/store ``offset`` operands are either an immediate int or
+a ``(reg, disp)`` pair meaning ``regs[reg] + disp`` — the two addressing
+modes conversion loops need.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Mapping
+
+from .emitter import Program
+from .isa import Op
+
+_INT_FMT = {
+    (1, True): "b",
+    (1, False): "B",
+    (2, True): "h",
+    (2, False): "H",
+    (4, True): "i",
+    (4, False): "I",
+    (8, True): "q",
+    (8, False): "Q",
+}
+_FLOAT_FMT = {4: "f", 8: "d"}
+
+_MASK64 = (1 << 64) - 1
+
+
+class VMError(RuntimeError):
+    """Fault while executing a vcode program (bad address, bad opcode)."""
+
+
+class VM:
+    """A reusable virtual CPU; ``run`` executes one program to RET.
+
+    With ``collect_stats=True``, ``op_counts`` records how many times each
+    opcode executed — the instruction-level measure the optimizer ablation
+    uses to show generated-code improvements independent of wall time.
+    """
+
+    def __init__(self, max_steps: int = 50_000_000, collect_stats: bool = False):
+        self.max_steps = max_steps
+        self.regs = [0] * 32
+        self.fregs = [0.0] * 16
+        self.steps = 0
+        self.collect_stats = collect_stats
+        self.op_counts: dict[str, int] = {}
+
+    def run(self, program: Program, memory: Mapping[str, bytearray | memoryview | bytes]) -> int:
+        """Execute ``program`` against ``memory`` segments.
+
+        Returns the value of r1 (the return-value register).  Segments
+        written to (ST/STF/MEMCPY destinations) must be mutable.
+        """
+        regs = self.regs
+        fregs = self.fregs
+        for i in range(len(regs)):
+            regs[i] = 0
+        instrs = program.instrs
+        labels = program.label_index
+        pc = 0
+        steps = 0
+        limit = self.max_steps
+        n = len(instrs)
+        try:
+            while pc < n:
+                steps += 1
+                if steps > limit:
+                    raise VMError(f"step limit {limit} exceeded (runaway loop?)")
+                ins = instrs[pc]
+                op = ins.op
+                a = ins.args
+                if self.collect_stats:
+                    self.op_counts[op.value] = self.op_counts.get(op.value, 0) + 1
+                if op is Op.LD:
+                    dst, base, offset, size, signed, endian = a
+                    pos = regs[offset[0]] + offset[1] if type(offset) is tuple else offset
+                    fmt = (">" if endian == "big" else "<") + _INT_FMT[(size, signed)]
+                    regs[dst] = struct.unpack_from(fmt, memory[base], pos)[0]
+                elif op is Op.ST:
+                    src, base, offset, size, _signed, endian = a
+                    pos = regs[offset[0]] + offset[1] if type(offset) is tuple else offset
+                    value = regs[src]
+                    # Truncate to the stored width, as a real store would.
+                    value &= (1 << (8 * size)) - 1
+                    fmt = (">" if endian == "big" else "<") + _INT_FMT[(size, False)]
+                    struct.pack_into(fmt, memory[base], pos, value)
+                elif op is Op.LDF:
+                    dst, base, offset, size, endian = a
+                    pos = regs[offset[0]] + offset[1] if type(offset) is tuple else offset
+                    fmt = (">" if endian == "big" else "<") + _FLOAT_FMT[size]
+                    fregs[dst] = struct.unpack_from(fmt, memory[base], pos)[0]
+                elif op is Op.STF:
+                    src, base, offset, size, endian = a
+                    pos = regs[offset[0]] + offset[1] if type(offset) is tuple else offset
+                    fmt = (">" if endian == "big" else "<") + _FLOAT_FMT[size]
+                    struct.pack_into(fmt, memory[base], pos, fregs[src])
+                elif op is Op.MEMCPY:
+                    dst_base, dst_off, src_base, src_off, length = a
+                    dpos = regs[dst_off[0]] + dst_off[1] if type(dst_off) is tuple else dst_off
+                    spos = regs[src_off[0]] + src_off[1] if type(src_off) is tuple else src_off
+                    src_mem = memory[src_base]
+                    memory[dst_base][dpos : dpos + length] = bytes(src_mem[spos : spos + length])
+                elif op is Op.MOVI:
+                    regs[a[0]] = a[1]
+                elif op is Op.MOV:
+                    regs[a[0]] = regs[a[1]]
+                elif op is Op.ADD:
+                    regs[a[0]] = (regs[a[1]] + regs[a[2]]) & _MASK64
+                elif op is Op.ADDI:
+                    regs[a[0]] = (regs[a[1]] + a[2]) & _MASK64
+                elif op is Op.SUB:
+                    regs[a[0]] = (regs[a[1]] - regs[a[2]]) & _MASK64
+                elif op is Op.MULI:
+                    regs[a[0]] = (regs[a[1]] * a[2]) & _MASK64
+                elif op is Op.FMOV:
+                    fregs[a[0]] = fregs[a[1]]
+                elif op is Op.CVT_I2F:
+                    fregs[a[0]] = float(_signed64(regs[a[1]]))
+                elif op is Op.CVT_F2I:
+                    regs[a[0]] = int(fregs[a[1]]) & _MASK64
+                elif op is Op.CVT_F2F:
+                    fregs[a[0]] = fregs[a[1]]
+                elif op is Op.LABEL:
+                    pass
+                elif op is Op.JMP:
+                    pc = labels[a[0]]
+                elif op is Op.BLT:
+                    if _signed64(regs[a[0]]) < _signed64(regs[a[1]]):
+                        pc = labels[a[2]]
+                elif op is Op.BGE:
+                    if _signed64(regs[a[0]]) >= _signed64(regs[a[1]]):
+                        pc = labels[a[2]]
+                elif op is Op.BEQ:
+                    if regs[a[0]] == regs[a[1]]:
+                        pc = labels[a[2]]
+                elif op is Op.BNE:
+                    if regs[a[0]] != regs[a[1]]:
+                        pc = labels[a[2]]
+                elif op is Op.RET:
+                    break
+                else:  # pragma: no cover - enum is closed
+                    raise VMError(f"unknown opcode {op}")
+                pc += 1
+        except (struct.error, IndexError, KeyError) as exc:
+            raise VMError(f"fault at pc={pc} ({instrs[pc]!r}): {exc}") from exc
+        self.steps = steps
+        return regs[1]
+
+
+def _signed64(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value

@@ -1,0 +1,75 @@
+"""Common interface all wire-format systems implement.
+
+The paper's evaluation (Section 4) compares systems on an identical task:
+the application holds a record *already in native binary form*; the
+sender-side middleware turns it into a wire message; the receiver-side
+middleware turns the wire message into a record in the *receiver's* native
+form, usable by the application.  :class:`WireFormat` captures exactly
+that contract, so benchmarks can treat PBIO, MPI, XML, XDR, and IIOP
+uniformly.
+
+A system may need per-format setup (MPI's ``MPI_Type_commit``, PBIO's
+format registration, XML's schema binding); ``bind`` performs it once and
+returns a :class:`BoundFormat` whose ``encode``/``decode`` are the steady-
+state per-message operations the paper times.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.abi import StructLayout
+
+
+class WireFormatError(RuntimeError):
+    """Marshalling/unmarshalling failure (mismatched formats, bad data)."""
+
+
+class BoundFormat(ABC):
+    """Per-(sender layout, receiver layout) compiled marshalling state."""
+
+    #: wire system name, e.g. "MPICH"
+    system: str
+
+    @abstractmethod
+    def encode(self, native: bytes | bytearray | memoryview) -> bytes:
+        """Sender side: native record bytes -> complete wire message."""
+
+    @abstractmethod
+    def decode(self, wire: bytes | bytearray | memoryview) -> bytes:
+        """Receiver side: wire message -> record bytes in receiver layout."""
+
+    def wire_size(self, native: bytes) -> int:
+        """Size in bytes of the wire message for one record."""
+        return len(self.encode(native))
+
+
+class WireSystem(ABC):
+    """Factory for bound formats; one instance per middleware under test."""
+
+    name: str = "?"
+
+    @abstractmethod
+    def bind(self, src_layout: StructLayout, dst_layout: StructLayout) -> BoundFormat:
+        """Compile marshalling state for one sender/receiver layout pair.
+
+        For systems with a priori agreement (MPI, XDR, IIOP) the two
+        layouts must describe the same schema; PBIO relaxes this to
+        name-based matching.
+        """
+
+
+def check_same_schema(src_layout: StructLayout, dst_layout: StructLayout, system: str) -> None:
+    """Enforce the a priori agreement fixed-format systems require.
+
+    MPI's "type-matching rules require strict a priori agreement on the
+    content of messages" — differing field lists are a usage error, which
+    is exactly the inflexibility the paper contrasts PBIO against.
+    """
+    src_sig = [(f.name, f.kind, f.count) for f in src_layout.fields]
+    dst_sig = [(f.name, f.kind, f.count) for f in dst_layout.fields]
+    if src_sig != dst_sig:
+        raise WireFormatError(
+            f"{system}: sender and receiver record types disagree "
+            f"(a priori agreement violated); sender={src_sig} receiver={dst_sig}"
+        )

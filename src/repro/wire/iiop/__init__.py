@@ -1,0 +1,29 @@
+"""CORBA IIOP baseline: CDR marshalling with reader-makes-right byte
+order, framed in GIOP messages."""
+
+from .cdr import CDR_SIZES, CdrInputStream, CdrOutputStream, CdrStructCodec
+from .giop import HEADER_SIZE, BoundIiop, IiopWire, pack_header, unpack_header
+from .orb import (
+    CorbaSystemException,
+    Interface,
+    ObjectAdapter,
+    Operation,
+    OrbClient,
+)
+
+__all__ = [
+    "Interface",
+    "Operation",
+    "OrbClient",
+    "ObjectAdapter",
+    "CorbaSystemException",
+    "CdrOutputStream",
+    "CdrInputStream",
+    "CdrStructCodec",
+    "CDR_SIZES",
+    "IiopWire",
+    "BoundIiop",
+    "pack_header",
+    "unpack_header",
+    "HEADER_SIZE",
+]

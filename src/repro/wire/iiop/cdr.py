@@ -1,0 +1,180 @@
+"""CORBA CDR (Common Data Representation) marshalling.
+
+CDR is the "reader-makes-right" format the paper discusses: the sender
+writes in *its own* byte order and a header flag tells the receiver
+whether to swap.  That avoids unnecessary byte-swapping between
+same-order machines — but, as Section 2 notes, it is "not sufficient to
+allow such message exchanges without copying of data at both sender and
+receiver", because CDR's on-wire alignment (each primitive aligned to its
+size from the start of the stream) still differs from native struct
+layout, so both ends walk the data element by element.
+
+IDL primitive sizes are fixed by the spec regardless of native ABI:
+octet/char/boolean 1, short 2, long/float 4, long long/double 8.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.abi import CType, PrimKind, StructLayout
+
+from ..common import WireFormatError
+
+#: CDR on-wire size per declared C type (mapped to the closest IDL type).
+CDR_SIZES: dict[CType, int] = {
+    CType.CHAR: 1,
+    CType.SIGNED_CHAR: 1,
+    CType.UNSIGNED_CHAR: 1,
+    CType.BOOL: 1,
+    CType.SHORT: 2,
+    CType.UNSIGNED_SHORT: 2,
+    CType.INT: 4,
+    CType.UNSIGNED_INT: 4,
+    CType.LONG: 4,  # IDL long is 32-bit
+    CType.UNSIGNED_LONG: 4,
+    CType.LONG_LONG: 8,
+    CType.UNSIGNED_LONG_LONG: 8,
+    CType.FLOAT: 4,
+    CType.DOUBLE: 8,
+}
+
+
+class CdrOutputStream:
+    """Aligned, native-byte-order CDR writer (what ORB stubs call)."""
+
+    def __init__(self, byte_order: str):
+        self.byte_order = byte_order
+        self._endian = ">" if byte_order == "big" else "<"
+        self._buf = bytearray()
+
+    def align(self, alignment: int) -> None:
+        pad = (-len(self._buf)) % alignment
+        if pad:
+            self._buf.extend(b"\x00" * pad)
+
+    def put(self, code: str, size: int, value) -> None:
+        self.align(size)
+        self._buf.extend(struct.pack(self._endian + code, value))
+
+    def put_octets(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class CdrInputStream:
+    """Aligned CDR reader; swaps iff sender and reader orders differ."""
+
+    def __init__(self, data, sender_order: str, reader_order: str):
+        self._data = data
+        self._pos = 0
+        self._endian = ">" if sender_order == "big" else "<"
+        self.needs_swap = sender_order != reader_order
+
+    def align(self, alignment: int) -> None:
+        self._pos += (-self._pos) % alignment
+
+    def get(self, code: str, size: int):
+        self.align(size)
+        if self._pos + size > len(self._data):
+            raise WireFormatError("CDR stream truncated")
+        value = struct.unpack_from(self._endian + code, self._data, self._pos)[0]
+        self._pos += size
+        return value
+
+    def get_octets(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise WireFormatError("CDR stream truncated")
+        out = bytes(self._data[self._pos : self._pos + n])
+        self._pos += n
+        return out
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+
+def _cdr_code(kind: PrimKind, size: int) -> str:
+    from repro.abi.types import struct_code
+
+    wire_kind = kind if kind is not PrimKind.BOOLEAN else PrimKind.UNSIGNED
+    if wire_kind is PrimKind.CHAR:
+        return "s"
+    return struct_code(wire_kind, size)
+
+
+class CdrStructCodec:
+    """Marshals one struct layout to/from CDR, element by element.
+
+    Equivalent to the stub an IDL compiler emits: CDR stream offsets
+    (including alignment padding) are computed once at construction — a
+    compiled stub knows them statically — and each element then moves
+    through one marshalling call, which is the per-element cost structure
+    of real ORB stubs that Figure 2/3 reflect for CORBA.
+
+    Unmarshalling is built per byte-order at first need: reader-makes-
+    right means the receiving stub picks the swap/no-swap variant from
+    the GIOP flags byte.
+    """
+
+    def __init__(self, layout: StructLayout):
+        if layout.has_strings:
+            raise WireFormatError("CDR struct baseline models fixed-size records")
+        if layout.machine.float_format != "ieee754":
+            raise WireFormatError("the CDR baseline models IEEE hosts")
+        self.layout = layout
+        self._native_endian = layout.machine.struct_endian
+        from repro.abi.types import struct_code
+
+        pos = 0
+        plan: list[tuple] = []
+        for f in layout.fields:
+            cdr_size = CDR_SIZES[f.ctype]
+            if f.kind is PrimKind.CHAR:
+                nst = struct.Struct(f"{self._native_endian}{f.count}s")
+                plan.append(("chars", f.offset, pos, nst, f.count))
+                pos += f.count
+                continue
+            native = struct.Struct(self._native_endian + struct_code(f.kind, f.elem_size))
+            code = _cdr_code(f.kind, cdr_size)
+            pos += (-pos) % cdr_size  # stub aligns once per field run
+            for i in range(f.count):
+                plan.append(("elem", f.offset + i * f.elem_size, pos, native, code, cdr_size))
+                pos += cdr_size
+        self._plan = plan
+        self.wire_size = pos
+        self._wire_structs: dict[str, list] = {}
+
+    def _compiled(self, byte_order: str) -> list:
+        """Per-element op list with wire structs for one byte order."""
+        ops = self._wire_structs.get(byte_order)
+        if ops is None:
+            endian = ">" if byte_order == "big" else "<"
+            cache: dict[str, struct.Struct] = {}
+            ops = []
+            for entry in self._plan:
+                if entry[0] == "chars":
+                    _, noff, woff, nst, count = entry
+                    wst = cache.setdefault(f"{count}s", struct.Struct(f"{endian}{count}s"))
+                    ops.append((noff, woff, nst, wst))
+                else:
+                    _, noff, woff, nst, code, _size = entry
+                    wst = cache.setdefault(code, struct.Struct(endian + code))
+                    ops.append((noff, woff, nst, wst))
+            self._wire_structs[byte_order] = ops
+        return ops
+
+    def marshal(self, native, out: bytearray, byte_order: str) -> None:
+        """Write one record into ``out`` (preallocated, ``wire_size`` long)."""
+        for noff, woff, nst, wst in self._compiled(byte_order):
+            wst.pack_into(out, woff, nst.unpack_from(native, noff)[0])
+
+    def unmarshal(self, payload, sender_order: str, out: bytearray) -> None:
+        """Read one record from CDR ``payload`` into a native buffer."""
+        for noff, woff, nst, wst in self._compiled(sender_order):
+            nst.pack_into(out, noff, wst.unpack_from(payload, woff)[0])

@@ -1,0 +1,211 @@
+"""A minimal ORB: GIOP Request/Reply with CDR-marshalled record arguments.
+
+The paper's CORBA comparison concerns the wire format, but "CORBA-style
+communications" (Section 1) means RPC: stubs marshal a request, the ORB
+dispatches on object key + operation, a reply comes back.  This module
+provides that slice so the repo can stand in for a 2000-era ORB in
+end-to-end experiments: interface definitions (operation -> request/reply
+record types), client-side invocation, server-side dispatch, and system
+exceptions for unknown objects/operations.
+
+Marshalling is the same element-wise CDR as :mod:`.cdr`; the GIOP request
+header (request id, response flag, object key, operation name) follows
+GIOP 1.0's shape with service contexts omitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.abi import MachineDescription, RecordSchema, codec_for, layout_record
+from repro.net.transport import Transport
+
+from ..common import WireFormatError
+from .cdr import CdrInputStream, CdrOutputStream, CdrStructCodec
+from .giop import HEADER_SIZE, MSG_REPLY, MSG_REQUEST, pack_header, unpack_header
+
+#: GIOP reply status values (subset).
+REPLY_OK = 0
+REPLY_SYSTEM_EXCEPTION = 2
+
+
+class CorbaSystemException(WireFormatError):
+    """Raised client-side when the server replies with an exception."""
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One IDL operation: request and reply record types."""
+
+    name: str
+    request_schema: RecordSchema
+    reply_schema: RecordSchema
+
+
+class Interface:
+    """A set of operations (an IDL interface, sans inheritance)."""
+
+    def __init__(self, name: str, operations: list[Operation]):
+        self.name = name
+        self.operations = {op.name: op for op in operations}
+        if len(self.operations) != len(operations):
+            raise WireFormatError(f"interface {name}: duplicate operation names")
+
+    def __getitem__(self, name: str) -> Operation:
+        try:
+            return self.operations[name]
+        except KeyError:
+            raise WireFormatError(f"interface {self.name} has no operation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.operations
+
+
+def _put_string(out: CdrOutputStream, text: str) -> None:
+    data = text.encode("utf-8") + b"\x00"
+    out.put("I", 4, len(data))
+    out.put_octets(data)
+
+
+def _get_string(stream: CdrInputStream) -> str:
+    n = stream.get("I", 4)
+    raw = stream.get_octets(n)
+    return raw[:-1].decode("utf-8")
+
+
+def _put_sequence_octet(out: CdrOutputStream, data: bytes) -> None:
+    out.put("I", 4, len(data))
+    out.put_octets(data)
+
+
+def _get_sequence_octet(stream: CdrInputStream) -> bytes:
+    return stream.get_octets(stream.get("I", 4))
+
+
+class OrbClient:
+    """Client-side stubs: marshal request, send, unmarshal reply."""
+
+    def __init__(self, machine: MachineDescription, interface: Interface):
+        self.machine = machine
+        self.interface = interface
+        self._codecs: dict[tuple[str, str], CdrStructCodec] = {}
+        self._next_request_id = 1
+
+    def _codec(self, schema: RecordSchema) -> CdrStructCodec:
+        key = (schema.name, self.machine.name)
+        codec = self._codecs.get(key)
+        if codec is None:
+            codec = CdrStructCodec(layout_record(schema, self.machine))
+            self._codecs[key] = codec
+        return codec
+
+    def invoke(self, transport: Transport, object_key: bytes, operation: str, request: dict) -> dict:
+        op = self.interface[operation]
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        # -- marshal request ----------------------------------------------
+        body = CdrOutputStream(self.machine.byte_order)
+        body.put("I", 4, request_id)
+        body.put("B", 1, 1)  # response_expected
+        _put_sequence_octet(body, object_key)
+        _put_string(body, operation)
+        req_codec = self._codec(op.request_schema)
+        native = codec_for(req_codec.layout).encode(request)
+        arg_buf = bytearray(req_codec.wire_size)
+        req_codec.marshal(native, arg_buf, self.machine.byte_order)
+        body.align(8)  # body alignment boundary for the argument block
+        body.put_octets(bytes(arg_buf))
+        payload = body.getvalue()
+        transport.send(pack_header(self.machine.byte_order, MSG_REQUEST, len(payload)) + payload)
+        # -- unmarshal reply -----------------------------------------------
+        message = transport.recv()
+        order, msg_type, size = unpack_header(message)
+        if msg_type != MSG_REPLY:
+            raise WireFormatError(f"expected GIOP Reply, got message type {msg_type}")
+        stream = CdrInputStream(memoryview(message)[HEADER_SIZE:], order, self.machine.byte_order)
+        reply_id = stream.get("I", 4)
+        if reply_id != request_id:
+            raise WireFormatError(f"reply id {reply_id} does not match request {request_id}")
+        status = stream.get("I", 4)
+        if status == REPLY_SYSTEM_EXCEPTION:
+            raise CorbaSystemException(_get_string(stream))
+        stream.align(8)
+        reply_codec = self._codec(op.reply_schema)
+        out = bytearray(reply_codec.layout.size)
+        reply_codec.unmarshal(memoryview(message)[HEADER_SIZE + stream.position :], order, out)
+        return codec_for(reply_codec.layout).decode(out)
+
+
+class ObjectAdapter:
+    """Server side: object registry + request dispatch."""
+
+    def __init__(self, machine: MachineDescription, interface: Interface):
+        self.machine = machine
+        self.interface = interface
+        self._servants: dict[bytes, dict[str, Callable[[dict], dict]]] = {}
+        self._codecs: dict[str, CdrStructCodec] = {}
+
+    def register(self, object_key: bytes, operations: dict[str, Callable[[dict], dict]]) -> None:
+        unknown = [op for op in operations if op not in self.interface]
+        if unknown:
+            raise WireFormatError(f"operations not in interface: {unknown}")
+        self._servants[object_key] = dict(operations)
+
+    def _codec(self, schema: RecordSchema) -> CdrStructCodec:
+        codec = self._codecs.get(schema.name)
+        if codec is None:
+            codec = CdrStructCodec(layout_record(schema, self.machine))
+            self._codecs[schema.name] = codec
+        return codec
+
+    def handle(self, message: bytes) -> bytes:
+        """Process one GIOP Request; returns the GIOP Reply bytes."""
+        order, msg_type, _size = unpack_header(message)
+        if msg_type != MSG_REQUEST:
+            raise WireFormatError(f"object adapter expects Requests, got type {msg_type}")
+        stream = CdrInputStream(memoryview(message)[HEADER_SIZE:], order, self.machine.byte_order)
+        request_id = stream.get("I", 4)
+        stream.get("B", 1)  # response_expected
+        object_key = _get_sequence_octet(stream)
+        operation = _get_string(stream)
+        try:
+            servant = self._servants.get(object_key)
+            if servant is None:
+                raise CorbaSystemException(f"OBJECT_NOT_EXIST: {object_key!r}")
+            method = servant.get(operation)
+            if method is None:
+                raise CorbaSystemException(f"BAD_OPERATION: {operation!r}")
+            op = self.interface[operation]
+            stream.align(8)
+            req_codec = self._codec(op.request_schema)
+            native = bytearray(req_codec.layout.size)
+            req_codec.unmarshal(
+                memoryview(message)[HEADER_SIZE + stream.position :], order, native
+            )
+            request = codec_for(req_codec.layout).decode(native)
+            result = method(request)
+            reply_codec = self._codec(op.reply_schema)
+            result_native = codec_for(reply_codec.layout).encode(result)
+            return self._reply_ok(request_id, reply_codec, result_native)
+        except CorbaSystemException as exc:
+            return self._reply_exception(request_id, str(exc))
+
+    def _reply_ok(self, request_id: int, codec: CdrStructCodec, native: bytes) -> bytes:
+        body = CdrOutputStream(self.machine.byte_order)
+        body.put("I", 4, request_id)
+        body.put("I", 4, REPLY_OK)
+        body.align(8)
+        arg = bytearray(codec.wire_size)
+        codec.marshal(native, arg, self.machine.byte_order)
+        body.put_octets(bytes(arg))
+        payload = body.getvalue()
+        return pack_header(self.machine.byte_order, MSG_REPLY, len(payload)) + payload
+
+    def _reply_exception(self, request_id: int, text: str) -> bytes:
+        body = CdrOutputStream(self.machine.byte_order)
+        body.put("I", 4, request_id)
+        body.put("I", 4, REPLY_SYSTEM_EXCEPTION)
+        _put_string(body, text)
+        payload = body.getvalue()
+        return pack_header(self.machine.byte_order, MSG_REPLY, len(payload)) + payload

@@ -1,0 +1,21 @@
+"""MPICH-like baseline: derived datatypes, interpreted pack/unpack, and a
+point-to-point layer with strict a priori type agreement."""
+
+from .datatypes import EXTERNAL32_SIZES, CommittedDatatype, TypemapEntry
+from .pack import BoundMpi, MpiWire, mpi_pack, mpi_unpack
+from .comm import MpiEndpoint
+from .typealgebra import BasicType, CommittedType, Datatype
+
+__all__ = [
+    "CommittedDatatype",
+    "TypemapEntry",
+    "EXTERNAL32_SIZES",
+    "MpiWire",
+    "BoundMpi",
+    "mpi_pack",
+    "mpi_unpack",
+    "MpiEndpoint",
+    "Datatype",
+    "BasicType",
+    "CommittedType",
+]

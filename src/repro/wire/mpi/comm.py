@@ -1,0 +1,57 @@
+"""A minimal MPI-style point-to-point layer over a transport.
+
+Provides the ``MPI_Send``/``MPI_Recv`` shape the round-trip experiments
+need: messages carry a small envelope (tag, packed length) and a packed
+external32 payload.  There is deliberately *no* format meta-information in
+the message — that is MPI's design point, and the reason it cannot do the
+type-extension experiments of Section 4.4.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.abi import StructLayout
+from repro.net.transport import Transport
+
+from ..common import WireFormatError
+from .datatypes import CommittedDatatype
+from .pack import mpi_pack, mpi_unpack
+
+_ENVELOPE = struct.Struct(">iI")  # (tag, payload length)
+
+
+class MpiEndpoint:
+    """One communicating process: commit datatypes, then send/recv."""
+
+    def __init__(self, transport: Transport):
+        self.transport = transport
+        self._types: dict[str, CommittedDatatype] = {}
+
+    def commit(self, layout: StructLayout) -> CommittedDatatype:
+        """``MPI_Type_commit`` for a structure datatype."""
+        dtype = CommittedDatatype(layout)
+        self._types[layout.schema.name] = dtype
+        return dtype
+
+    def send(self, dtype: CommittedDatatype, native, tag: int = 0) -> None:
+        """Pack and transmit one record (``MPI_Send`` of a struct type)."""
+        out = bytearray(dtype.wire_size)
+        mpi_pack(dtype, native, out)
+        self.transport.send(_ENVELOPE.pack(tag, len(out)) + bytes(out))
+
+    def recv(self, dtype: CommittedDatatype, expected_tag: int = 0) -> bytes:
+        """Receive and unpack one record into a fresh native buffer."""
+        message = self.transport.recv()
+        tag, length = _ENVELOPE.unpack_from(message, 0)
+        if tag != expected_tag:
+            raise WireFormatError(f"MPI: tag mismatch (got {tag}, want {expected_tag})")
+        payload = memoryview(message)[_ENVELOPE.size :]
+        if length != len(payload) or length != dtype.wire_size:
+            raise WireFormatError(
+                f"MPI: truncation error — message of {length} bytes does not "
+                f"match receive type extent {dtype.wire_size}"
+            )
+        out = bytearray(dtype.layout.size)
+        mpi_unpack(dtype, payload, 0, out)
+        return bytes(out)

@@ -1,0 +1,121 @@
+"""MPI derived datatypes: construction, commit, and flattened typemaps.
+
+Models the slice of MPI the paper benchmarks: user-defined structure
+datatypes (``MPI_Type_create_struct``) whose pack/unpack engine walks a
+flattened *typemap* — one entry per primitive element — exactly the
+"table-driven interpreter" Section 4.3 describes ("most MPI
+implementations marshal user-defined datatypes via mechanisms that amount
+to interpreted versions of field-by-field packing").
+
+The canonical wire representation follows MPI's ``external32``: packed
+(no gaps), big-endian, with fixed per-type sizes so both parties agree
+regardless of native ABI.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.abi import CType, PrimKind, StructLayout
+
+from ..common import WireFormatError
+
+#: external32 on-wire sizes per declared C type (MPI-2 standard, 13.5.2).
+EXTERNAL32_SIZES: dict[CType, int] = {
+    CType.CHAR: 1,
+    CType.SIGNED_CHAR: 1,
+    CType.UNSIGNED_CHAR: 1,
+    CType.SHORT: 2,
+    CType.UNSIGNED_SHORT: 2,
+    CType.INT: 4,
+    CType.UNSIGNED_INT: 4,
+    CType.LONG: 4,
+    CType.UNSIGNED_LONG: 4,
+    CType.LONG_LONG: 8,
+    CType.UNSIGNED_LONG_LONG: 8,
+    CType.FLOAT: 4,
+    CType.DOUBLE: 8,
+    CType.BOOL: 1,
+}
+
+
+@dataclass(frozen=True)
+class TypemapEntry:
+    """One primitive element: where it lives natively and on the wire."""
+
+    native_offset: int
+    wire_offset: int
+    native_struct: struct.Struct
+    wire_struct: struct.Struct
+    is_block: bool = False  # char-array block copy
+    block_len: int = 0
+
+
+class CommittedDatatype:
+    """The result of ``MPI_Type_commit``: a flattened element typemap.
+
+    ``entries`` drive the interpreted pack/unpack loops in
+    :mod:`repro.wire.mpi.pack`; ``wire_size`` is the packed external32
+    extent of one record.
+    """
+
+    def __init__(self, layout: StructLayout):
+        if layout.has_strings:
+            raise WireFormatError("MPI derived datatypes model fixed-size structs")
+        if layout.machine.float_format != "ieee754":
+            raise WireFormatError("the MPI baseline models IEEE hosts")
+        self.layout = layout
+        endian = layout.machine.struct_endian
+        entries: list[TypemapEntry] = []
+        wire_pos = 0
+        from repro.abi.types import struct_code
+
+        for f in layout.fields:
+            wire_elem = EXTERNAL32_SIZES[f.ctype]
+            if f.kind is PrimKind.CHAR:
+                # Contiguous MPI_CHAR block: the one case every datatype
+                # engine turns into a single copy.
+                entries.append(
+                    TypemapEntry(
+                        native_offset=f.offset,
+                        wire_offset=wire_pos,
+                        native_struct=struct.Struct(f"{endian}{f.count}s"),
+                        wire_struct=struct.Struct(f">{f.count}s"),
+                        is_block=True,
+                        block_len=f.count,
+                    )
+                )
+                wire_pos += f.count
+                continue
+            native_code = struct_code(f.kind, f.elem_size)
+            wire_kind = f.kind if f.kind is not PrimKind.BOOLEAN else PrimKind.UNSIGNED
+            wire_code = struct_code(wire_kind, wire_elem)
+            nst = struct.Struct(endian + native_code)
+            wst = struct.Struct(">" + wire_code)
+            for i in range(f.count):
+                entries.append(
+                    TypemapEntry(
+                        native_offset=f.offset + i * f.elem_size,
+                        wire_offset=wire_pos,
+                        native_struct=nst,
+                        wire_struct=wst,
+                    )
+                )
+                wire_pos += wire_elem
+        self.entries = entries
+        self.wire_size = wire_pos
+
+    def signature(self) -> tuple:
+        """MPI type signature: the sequence of basic wire types.
+
+        Two committed datatypes match (can communicate) iff their
+        signatures are equal — MPI's strict a priori agreement.
+        """
+        return tuple(
+            ("block", e.block_len) if e.is_block else ("elem", e.wire_struct.format)
+            for e in self.entries
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,210 @@
+"""MPI derived-datatype algebra: the full constructor set.
+
+The paper's MPI baseline exercises structure datatypes, but MPI's
+datatype engine is an algebra: basic types composed through
+``MPI_Type_contiguous``, ``MPI_Type_vector``, ``MPI_Type_indexed`` and
+``MPI_Type_create_struct``, then committed.  This module implements that
+algebra over the simulated ABIs.  A datatype denotes a *typemap* — a
+sequence of (basic type, displacement) pairs — and composition follows
+the MPI-2 rules:
+
+* ``contiguous(n, T)`` — n copies of T at stride ``extent(T)``;
+* ``vector(count, blocklen, stride, T)`` — blocks of T with a stride in
+  units of ``extent(T)``;
+* ``indexed(blocklens, displs, T)`` — irregular blocks, displacements in
+  units of ``extent(T)``;
+* ``create_struct(blocklens, byte_displs, types)`` — heterogeneous, byte
+  displacements, extent padded to the max member alignment (as compilers
+  pad structs).
+
+Commit flattens to the element list used by the interpreted pack engine;
+two committed types can communicate iff their *type signatures* (the
+sequence of basic types, ignoring displacements) match — MPI's matching
+rule, tested in ``tests/wire/test_typealgebra.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.abi import MachineDescription
+from repro.abi.types import CType, PrimKind, struct_code
+
+from ..common import WireFormatError
+from .datatypes import EXTERNAL32_SIZES
+
+
+@dataclass(frozen=True)
+class BasicType:
+    """A named MPI basic type bound to a machine representation."""
+
+    ctype: CType
+    machine: MachineDescription
+
+    @property
+    def size(self) -> int:
+        return self.machine.size_of(self.ctype)
+
+    @property
+    def alignment(self) -> int:
+        return self.machine.align_of(self.ctype)
+
+    @property
+    def wire_size(self) -> int:
+        return EXTERNAL32_SIZES[self.ctype]
+
+    def __repr__(self) -> str:
+        return f"MPI_{self.ctype.name}"
+
+
+@dataclass(frozen=True)
+class TypemapItem:
+    basic: BasicType
+    displacement: int  # bytes from the datatype's origin
+
+
+class Datatype:
+    """An (uncommitted) derived datatype: a typemap plus lb/extent."""
+
+    def __init__(self, typemap: list[TypemapItem], extent: int, alignment: int):
+        if not typemap:
+            raise WireFormatError("empty datatypes are not constructible")
+        self.typemap = list(typemap)
+        self.extent = extent
+        self.alignment = alignment
+        self._committed: CommittedType | None = None
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def basic(cls, ctype: CType, machine: MachineDescription) -> "Datatype":
+        b = BasicType(ctype, machine)
+        return cls([TypemapItem(b, 0)], extent=b.size, alignment=b.alignment)
+
+    def contiguous(self, count: int) -> "Datatype":
+        """``MPI_Type_contiguous(count, self)``."""
+        if count < 1:
+            raise WireFormatError("contiguous count must be >= 1")
+        typemap = [
+            TypemapItem(item.basic, i * self.extent + item.displacement)
+            for i in range(count)
+            for item in self.typemap
+        ]
+        return Datatype(typemap, self.extent * count, self.alignment)
+
+    def vector(self, count: int, blocklength: int, stride: int) -> "Datatype":
+        """``MPI_Type_vector``: ``count`` blocks of ``blocklength`` elements,
+        strides in units of the old type's extent."""
+        if count < 1 or blocklength < 1:
+            raise WireFormatError("vector count/blocklength must be >= 1")
+        typemap = []
+        for i in range(count):
+            base = i * stride * self.extent
+            for j in range(blocklength):
+                off = base + j * self.extent
+                typemap.extend(
+                    TypemapItem(item.basic, off + item.displacement) for item in self.typemap
+                )
+        span = ((count - 1) * stride + blocklength) * self.extent
+        return Datatype(typemap, span, self.alignment)
+
+    def indexed(self, blocklengths: list[int], displacements: list[int]) -> "Datatype":
+        """``MPI_Type_indexed``: displacements in units of the old extent."""
+        if len(blocklengths) != len(displacements):
+            raise WireFormatError("indexed: blocklengths and displacements differ in length")
+        typemap = []
+        max_end = 0
+        for blocklength, displ in zip(blocklengths, displacements):
+            for j in range(blocklength):
+                off = (displ + j) * self.extent
+                typemap.extend(
+                    TypemapItem(item.basic, off + item.displacement) for item in self.typemap
+                )
+                max_end = max(max_end, off + self.extent)
+        return Datatype(typemap, max_end, self.alignment)
+
+    @classmethod
+    def create_struct(
+        cls,
+        blocklengths: list[int],
+        displacements: list[int],
+        types: list["Datatype"],
+    ) -> "Datatype":
+        """``MPI_Type_create_struct``: byte displacements, mixed types."""
+        if not (len(blocklengths) == len(displacements) == len(types)):
+            raise WireFormatError("create_struct: argument lengths differ")
+        typemap = []
+        max_align = 1
+        end = 0
+        for blocklength, displ, dtype in zip(blocklengths, displacements, types):
+            max_align = max(max_align, dtype.alignment)
+            for j in range(blocklength):
+                base = displ + j * dtype.extent
+                typemap.extend(
+                    TypemapItem(item.basic, base + item.displacement) for item in dtype.typemap
+                )
+                end = max(end, base + dtype.extent)
+        extent = (end + max_align - 1) // max_align * max_align  # struct padding
+        return cls(typemap, extent, max_align)
+
+    # -- commit ------------------------------------------------------------
+
+    def commit(self) -> "CommittedType":
+        """Flatten and freeze for use by the pack engine."""
+        if self._committed is None:
+            self._committed = CommittedType(self)
+        return self._committed
+
+    @property
+    def num_elements(self) -> int:
+        return len(self.typemap)
+
+    def signature(self) -> tuple:
+        """The type signature: basic-type sequence without displacements."""
+        return tuple(item.basic.ctype for item in self.typemap)
+
+
+class CommittedType:
+    """Committed form: per-element codecs and packed external32 layout."""
+
+    def __init__(self, dtype: Datatype):
+        self.datatype = dtype
+        entries = []
+        wire_pos = 0
+        struct_cache: dict[tuple, struct.Struct] = {}
+        for item in sorted(dtype.typemap, key=lambda it: it.displacement):
+            b = item.basic
+            kind = b.ctype.kind
+            wire_kind = kind if kind is not PrimKind.BOOLEAN else PrimKind.UNSIGNED
+            if kind is PrimKind.CHAR:
+                nst = struct_cache.setdefault(
+                    ("c", b.machine.struct_endian), struct.Struct(b.machine.struct_endian + "1s")
+                )
+                wst = struct_cache.setdefault(("c", ">"), struct.Struct(">1s"))
+            else:
+                nkey = (kind, b.size, b.machine.struct_endian)
+                nst = struct_cache.setdefault(
+                    nkey, struct.Struct(b.machine.struct_endian + struct_code(kind, b.size))
+                )
+                wkey = (wire_kind, b.wire_size, ">")
+                wst = struct_cache.setdefault(
+                    wkey, struct.Struct(">" + struct_code(wire_kind, b.wire_size))
+                )
+            entries.append((item.displacement, wire_pos, nst, wst))
+            wire_pos += b.wire_size
+        self.entries = entries
+        self.wire_size = wire_pos
+
+    def pack(self, native, outbuf: bytearray, position: int = 0) -> int:
+        for noff, woff, nst, wst in self.entries:
+            wst.pack_into(outbuf, position + woff, nst.unpack_from(native, noff)[0])
+        return position + self.wire_size
+
+    def unpack(self, inbuf, position: int, outbuf: bytearray) -> int:
+        for noff, woff, nst, wst in self.entries:
+            nst.pack_into(outbuf, noff, wst.unpack_from(inbuf, position + woff)[0])
+        return position + self.wire_size
+
+    def signature(self) -> tuple:
+        return self.datatype.signature()

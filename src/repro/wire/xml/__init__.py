@@ -1,0 +1,19 @@
+"""XML baseline: text encoder, from-scratch SAX parser (Expat stand-in),
+and a handler-based decoder that converts strings back to native binary."""
+
+from .encoder import XmlEncoder, escape_text
+from .parser import ContentHandler, SaxParser, XmlParseError, parse_with_callbacks, unescape
+from .decoder import BoundXml, XmlDecoder, XmlWire
+
+__all__ = [
+    "XmlEncoder",
+    "XmlDecoder",
+    "XmlWire",
+    "BoundXml",
+    "SaxParser",
+    "ContentHandler",
+    "XmlParseError",
+    "parse_with_callbacks",
+    "escape_text",
+    "unescape",
+]

@@ -1,0 +1,116 @@
+"""XML wire-format decoder: handler-based string->binary conversion.
+
+The receiving side of the paper's XML baseline: an Expat-style handler
+"interpret[s] the element name, convert[s] the data value from a string to
+the appropriate binary type and store[s] it in the appropriate place".
+
+Field matching is by element name, so — like PBIO — XML transparently
+tolerates unexpected fields (ignored) and reordered fields; that is the
+robustness Section 4.4 grants it.  The price is string parsing and
+string->binary conversion for every element, every message.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.abi import PrimKind, StructLayout
+
+from ..common import BoundFormat, WireFormatError, WireSystem
+from .encoder import XmlEncoder
+from .parser import SaxParser, XmlParseError
+
+
+class _RecordHandler:
+    """SAX handler that fills a native-layout buffer field by field."""
+
+    def __init__(self, fields: dict[str, tuple], out: bytearray):
+        self._fields = fields
+        self._out = out
+        self._depth = 0
+        self._current: tuple | None = None
+        self._text: list[str] = []
+
+    def start_element(self, name: str, attrs: dict[str, str]) -> None:
+        self._depth += 1
+        if self._depth == 2:
+            # Unknown element names are simply ignored — type extension.
+            self._current = self._fields.get(name)
+            self._text = []
+
+    def characters(self, text: str) -> None:
+        if self._current is not None:
+            self._text.append(text)
+
+    def end_element(self, name: str) -> None:
+        if self._depth == 2 and self._current is not None:
+            f, st = self._current
+            raw = "".join(self._text)
+            kind = f.kind
+            try:
+                if kind is PrimKind.CHAR:
+                    st.pack_into(self._out, f.offset, raw.encode("latin-1"))
+                elif kind is PrimKind.FLOAT:
+                    values = [float(tok) for tok in raw.split()]
+                    st.pack_into(self._out, f.offset, *values)
+                elif kind is PrimKind.BOOLEAN:
+                    values = [1 if tok == "true" else 0 for tok in raw.split()]
+                    st.pack_into(self._out, f.offset, *values)
+                else:
+                    values = [int(tok) for tok in raw.split()]
+                    st.pack_into(self._out, f.offset, *values)
+            except (ValueError, struct.error) as exc:
+                raise WireFormatError(f"XML field {name!r}: {exc}") from exc
+            self._current = None
+        self._depth -= 1
+
+
+class XmlDecoder:
+    """Per-layout compiled decoder."""
+
+    def __init__(self, layout: StructLayout):
+        if layout.has_strings:
+            raise WireFormatError("XML baseline models fixed-size records")
+        if layout.machine.float_format != "ieee754":
+            raise WireFormatError("the XML baseline models IEEE hosts")
+        self.layout = layout
+        endian = layout.machine.struct_endian
+        self._fields = {
+            f.name: (f, struct.Struct(f.struct_fmt(endian))) for f in layout.fields
+        }
+
+    def decode(self, wire) -> bytes:
+        out = bytearray(self.layout.size)
+        handler = _RecordHandler(self._fields, out)
+        try:
+            SaxParser(handler).parse(wire)
+        except XmlParseError as exc:
+            raise WireFormatError(f"XML parse error: {exc}") from exc
+        return bytes(out)
+
+
+class XmlWire(WireSystem):
+    """The XML-based system of the paper's comparison.
+
+    Unlike the fixed-format systems, ``bind`` accepts *different* sender
+    and receiver schemas: matching is by element name at parse time.
+    """
+
+    name = "XML"
+
+    def bind(self, src_layout: StructLayout, dst_layout: StructLayout) -> "BoundXml":
+        return BoundXml(src_layout, dst_layout)
+
+
+class BoundXml(BoundFormat):
+    system = "XML"
+
+    def __init__(self, src_layout: StructLayout, dst_layout: StructLayout):
+        self._encoder = XmlEncoder(src_layout)
+        self._decoder = XmlDecoder(dst_layout)
+
+    def encode(self, native) -> bytes:
+        return self._encoder.encode(native)
+
+    def decode(self, wire) -> bytes:
+        return self._decoder.decode(wire)

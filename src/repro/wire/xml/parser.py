@@ -1,0 +1,233 @@
+"""An event-driven (SAX / Expat-style) XML parser, from scratch.
+
+The paper's XML baseline uses Expat, which "calls handler routines for
+every data element in the XML stream" — the handler interprets the element
+name, converts the string to a binary value and stores it.  This module
+reproduces that architecture: :class:`SaxParser` scans the document once
+and invokes ``start_element`` / ``characters`` / ``end_element`` callbacks;
+it keeps no DOM.
+
+Supported XML subset (all the wire format needs, plus the common cases a
+robust parser must tolerate): elements with attributes, self-closing
+elements, character data with the five standard entities plus numeric
+character references, comments, processing instructions, and CDATA.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+
+class XmlParseError(ValueError):
+    """Malformed XML input."""
+
+
+class ContentHandler(Protocol):
+    def start_element(self, name: str, attrs: dict[str, str]) -> None: ...
+    def characters(self, text: str) -> None: ...
+    def end_element(self, name: str) -> None: ...
+
+
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+def unescape(text: str) -> str:
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    pos = 0
+    while True:
+        amp = text.find("&", pos)
+        if amp < 0:
+            out.append(text[pos:])
+            break
+        out.append(text[pos:amp])
+        end = text.find(";", amp + 1)
+        if end < 0:
+            raise XmlParseError("unterminated entity reference")
+        entity = text[amp + 1 : end]
+        if entity.startswith("#"):
+            try:
+                if entity[1:2] in ("x", "X"):
+                    code_point = int(entity[2:], 16)
+                else:
+                    code_point = int(entity[1:])
+                out.append(chr(code_point))
+            except (ValueError, OverflowError) as exc:
+                raise XmlParseError(f"bad character reference &{entity};") from exc
+        elif entity in _ENTITIES:
+            out.append(_ENTITIES[entity])
+        else:
+            raise XmlParseError(f"unknown entity &{entity};")
+        pos = end + 1
+    return "".join(out)
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in "_:"
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_:.-"
+
+
+class SaxParser:
+    """Single-pass, callback-based parser over a complete document."""
+
+    def __init__(self, handler: ContentHandler):
+        self.handler = handler
+
+    def parse(self, document: str | bytes) -> None:
+        if isinstance(document, (bytes, bytearray, memoryview)):
+            document = bytes(document).decode("utf-8")
+        text = document
+        n = len(text)
+        pos = 0
+        stack: list[str] = []
+        handler = self.handler
+        seen_root = False
+        while pos < n:
+            lt = text.find("<", pos)
+            if lt < 0:
+                if text[pos:].strip():
+                    raise XmlParseError("character data outside root element")
+                break
+            if lt > pos:
+                chunk = text[pos:lt]
+                if stack:
+                    handler.characters(unescape(chunk))
+                elif chunk.strip():
+                    raise XmlParseError("character data outside root element")
+            pos = lt + 1
+            if pos >= n:
+                raise XmlParseError("truncated markup")
+            ch = text[pos]
+            if ch == "?":
+                end = text.find("?>", pos)
+                if end < 0:
+                    raise XmlParseError("unterminated processing instruction")
+                pos = end + 2
+            elif ch == "!":
+                if text.startswith("!--", pos):
+                    end = text.find("-->", pos + 3)
+                    if end < 0:
+                        raise XmlParseError("unterminated comment")
+                    pos = end + 3
+                elif text.startswith("![CDATA[", pos):
+                    end = text.find("]]>", pos + 8)
+                    if end < 0:
+                        raise XmlParseError("unterminated CDATA section")
+                    if not stack:
+                        raise XmlParseError("CDATA outside root element")
+                    handler.characters(text[pos + 8 : end])
+                    pos = end + 3
+                else:
+                    # DOCTYPE and friends: skip to closing '>'
+                    end = text.find(">", pos)
+                    if end < 0:
+                        raise XmlParseError("unterminated declaration")
+                    pos = end + 1
+            elif ch == "/":
+                pos += 1
+                name, pos = self._read_name(text, pos)
+                pos = self._skip_ws(text, pos)
+                if pos >= n or text[pos] != ">":
+                    raise XmlParseError(f"malformed end tag </{name}")
+                pos += 1
+                if not stack or stack[-1] != name:
+                    raise XmlParseError(
+                        f"mismatched end tag </{name}> (open: {stack[-1] if stack else None})"
+                    )
+                stack.pop()
+                handler.end_element(name)
+            else:
+                name, pos = self._read_name(text, pos)
+                attrs, pos = self._read_attrs(text, pos)
+                if pos < n and text[pos] == "/":
+                    if pos + 1 >= n or text[pos + 1] != ">":
+                        raise XmlParseError("malformed self-closing tag")
+                    pos += 2
+                    if not stack and seen_root:
+                        raise XmlParseError("multiple root elements")
+                    seen_root = True
+                    handler.start_element(name, attrs)
+                    handler.end_element(name)
+                elif pos < n and text[pos] == ">":
+                    pos += 1
+                    if not stack and seen_root:
+                        raise XmlParseError("multiple root elements")
+                    seen_root = True
+                    stack.append(name)
+                    handler.start_element(name, attrs)
+                else:
+                    raise XmlParseError(f"malformed start tag <{name}")
+        if stack:
+            raise XmlParseError(f"unclosed elements at end of document: {stack}")
+        if not seen_root:
+            raise XmlParseError("no root element")
+
+    @staticmethod
+    def _read_name(text: str, pos: int) -> tuple[str, int]:
+        if pos >= len(text) or not _is_name_start(text[pos]):
+            raise XmlParseError(f"expected name at position {pos}")
+        start = pos
+        pos += 1
+        while pos < len(text) and _is_name_char(text[pos]):
+            pos += 1
+        return text[start:pos], pos
+
+    @staticmethod
+    def _skip_ws(text: str, pos: int) -> int:
+        while pos < len(text) and text[pos] in " \t\r\n":
+            pos += 1
+        return pos
+
+    def _read_attrs(self, text: str, pos: int) -> tuple[dict[str, str], int]:
+        attrs: dict[str, str] = {}
+        n = len(text)
+        while True:
+            pos = self._skip_ws(text, pos)
+            if pos >= n:
+                raise XmlParseError("truncated start tag")
+            if text[pos] in "/>":
+                return attrs, pos
+            name, pos = self._read_name(text, pos)
+            pos = self._skip_ws(text, pos)
+            if pos >= n or text[pos] != "=":
+                raise XmlParseError(f"attribute {name!r} missing '='")
+            pos = self._skip_ws(text, pos + 1)
+            if pos >= n or text[pos] not in "'\"":
+                raise XmlParseError(f"attribute {name!r} value must be quoted")
+            quote = text[pos]
+            end = text.find(quote, pos + 1)
+            if end < 0:
+                raise XmlParseError(f"unterminated attribute value for {name!r}")
+            if name in attrs:
+                raise XmlParseError(f"duplicate attribute {name!r}")
+            attrs[name] = unescape(text[pos + 1 : end])
+            pos = end + 1
+
+
+def parse_with_callbacks(
+    document: str | bytes,
+    *,
+    start: Callable[[str, dict[str, str]], None] | None = None,
+    chars: Callable[[str], None] | None = None,
+    end: Callable[[str], None] | None = None,
+) -> None:
+    """Convenience wrapper: parse with plain callables as handlers."""
+
+    class _H:
+        def start_element(self, name, attrs):
+            if start:
+                start(name, attrs)
+
+        def characters(self, text):
+            if chars:
+                chars(text)
+
+        def end_element(self, name):
+            if end:
+                end(name)
+
+    SaxParser(_H()).parse(document)

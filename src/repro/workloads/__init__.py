@@ -1,0 +1,25 @@
+"""Benchmark workloads: the paper's mechanical-engineering records plus
+random schema/record generators for property tests and streams."""
+
+from . import mechanical
+from .generators import random_record, random_schema, record_stream
+from .mechanical import SIZES, all_schemas, native_bytes, nominal_bytes, sample_record, schema_for_size
+from .trace import TraceEntry, TraceEvent, TraceSpec, generate_trace, trace_summary
+
+__all__ = [
+    "mechanical",
+    "SIZES",
+    "schema_for_size",
+    "all_schemas",
+    "sample_record",
+    "native_bytes",
+    "nominal_bytes",
+    "random_schema",
+    "random_record",
+    "record_stream",
+    "TraceSpec",
+    "TraceEntry",
+    "TraceEvent",
+    "generate_trace",
+    "trace_summary",
+]

@@ -1,0 +1,162 @@
+"""Random schema and record generators.
+
+Used by property-based tests (random layouts must round-trip through every
+wire format) and by stream workloads (message sequences for the channel
+and round-trip harnesses).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.abi import CType, FieldDecl, RecordSchema
+
+#: C types eligible for random schemas (strings excluded by default since
+#: several baselines — notably the MPI pack baseline — model fixed-size
+#: structures only).
+_SCALAR_TYPES: tuple[CType, ...] = (
+    CType.CHAR,
+    CType.SIGNED_CHAR,
+    CType.UNSIGNED_CHAR,
+    CType.SHORT,
+    CType.UNSIGNED_SHORT,
+    CType.INT,
+    CType.UNSIGNED_INT,
+    CType.LONG,
+    CType.UNSIGNED_LONG,
+    CType.LONG_LONG,
+    CType.UNSIGNED_LONG_LONG,
+    CType.FLOAT,
+    CType.DOUBLE,
+    CType.BOOL,
+)
+
+
+def random_schema(
+    rng: np.random.Generator,
+    *,
+    name: str = "random",
+    min_fields: int = 1,
+    max_fields: int = 12,
+    max_array: int = 16,
+    allow_strings: bool = False,
+    allow_nested: bool = False,
+    _depth: int = 0,
+) -> RecordSchema:
+    """Generate a random record schema (deterministic given ``rng`` state)."""
+    n = int(rng.integers(min_fields, max_fields + 1))
+    fields = []
+    for i in range(n):
+        if allow_nested and _depth < 2 and rng.random() < 0.15:
+            sub = random_schema(
+                rng,
+                name=f"sub{_depth}_{i}",
+                min_fields=1,
+                max_fields=4,
+                max_array=4,
+                allow_strings=False,
+                allow_nested=allow_nested,
+                _depth=_depth + 1,
+            )
+            count = int(rng.integers(1, 4)) if rng.random() < 0.3 else 1
+            fields.append(FieldDecl.nested(f"f{i}", sub, count))
+            continue
+        if allow_strings and rng.random() < 0.1:
+            fields.append(FieldDecl(f"f{i}", CType.STRING))
+            continue
+        ctype = _SCALAR_TYPES[int(rng.integers(len(_SCALAR_TYPES)))]
+        count = 1
+        if ctype is not CType.BOOL and rng.random() < 0.3:
+            count = int(rng.integers(2, max_array + 1))
+        fields.append(FieldDecl(f"f{i}", ctype, count))
+    return RecordSchema(name, fields)
+
+
+def _int_bounds(ctype: CType, size: int) -> tuple[int, int]:
+    if ctype.is_signed:
+        return -(1 << (8 * size - 1)), (1 << (8 * size - 1)) - 1
+    return 0, (1 << (8 * size)) - 1
+
+
+def random_record(
+    schema: RecordSchema,
+    rng: np.random.Generator,
+    *,
+    int_size_hint: dict[str, int] | None = None,
+) -> dict[str, Any]:
+    """Generate values for every field of ``schema``.
+
+    Integer values are drawn to fit the *smallest* size that field takes
+    on any machine (``int_size_hint`` can narrow further), so records stay
+    representable across heterogeneous exchanges.
+    """
+    out: dict[str, Any] = {}
+    for decl in schema:
+        if decl.is_nested:
+            values = [
+                random_record(decl.schema, rng, int_size_hint=int_size_hint)
+                for _ in range(decl.count)
+            ]
+            out[decl.name] = values[0] if decl.count == 1 else values
+            continue
+        ctype = decl.ctype
+        if ctype is CType.STRING:
+            length = int(rng.integers(0, 24))
+            out[decl.name] = "".join(
+                chr(int(c)) for c in rng.integers(97, 123, length)
+            )
+            continue
+        if ctype is CType.CHAR:
+            raw = bytes(int(c) for c in rng.integers(32, 127, decl.count))
+            out[decl.name] = raw if decl.count > 1 else raw[:1]
+            continue
+        if ctype is CType.BOOL:
+            vals = [bool(rng.random() < 0.5) for _ in range(decl.count)]
+            out[decl.name] = vals[0] if decl.count == 1 else tuple(vals)
+            continue
+        if ctype.is_float:
+            vals = rng.uniform(-1e6, 1e6, decl.count)
+            if ctype is CType.FLOAT:
+                vals = vals.astype(np.float32).astype(float)
+            out[decl.name] = float(vals[0]) if decl.count == 1 else tuple(float(v) for v in vals)
+            continue
+        # integers: respect the narrowest cross-machine size (long can be
+        # 4 bytes on ILP32 targets, so bound longs at 4 bytes by default)
+        base_size = {
+            CType.SIGNED_CHAR: 1,
+            CType.UNSIGNED_CHAR: 1,
+            CType.SHORT: 2,
+            CType.UNSIGNED_SHORT: 2,
+            CType.INT: 4,
+            CType.UNSIGNED_INT: 4,
+            CType.LONG: 4,
+            CType.UNSIGNED_LONG: 4,
+            CType.LONG_LONG: 8,
+            CType.UNSIGNED_LONG_LONG: 8,
+        }[ctype]
+        if int_size_hint and decl.name in int_size_hint:
+            base_size = min(base_size, int_size_hint[decl.name])
+        if base_size == 8:
+            # 64-bit ranges overflow numpy's bounded-integer sampler; draw
+            # raw bytes and reinterpret.
+            signed = ctype.is_signed
+            vals = [
+                int.from_bytes(rng.bytes(8), "little", signed=signed)
+                for _ in range(decl.count)
+            ]
+        else:
+            lo, hi = _int_bounds(ctype, base_size)
+            vals = [int(rng.integers(lo, hi, endpoint=True)) for _ in range(decl.count)]
+        out[decl.name] = vals[0] if decl.count == 1 else tuple(vals)
+    return out
+
+
+def record_stream(
+    schema: RecordSchema, *, count: int, seed: int = 0
+) -> Iterator[dict[str, Any]]:
+    """Yield ``count`` deterministic records for ``schema``."""
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        yield random_record(schema, rng)

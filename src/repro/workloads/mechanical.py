@@ -1,0 +1,129 @@
+"""The paper's benchmark workload.
+
+Figure 1's caption says the message sizes come from "a real mechanical
+engineering application", exchanged as "mixed-field structures of various
+sizes" (Section 4.3): roughly 100 bytes, 1 KB, 10 KB and 100 KB.  We model
+them as finite-element node/element update records: a block of scalar
+state (ids, timestep, scalar physics values, a tag) followed by
+progressively larger arrays of doubles, floats, and ints.
+
+The mixed primitive types matter: they force the conversion layer to do
+more than one bulk byteswap (different element widths, interleaved with
+padding), exactly the situation PBIO's planner and DCG are built for.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.abi import MachineDescription, RecordSchema, codec_for, layout_record
+
+#: The four record sizes of the paper's evaluation, in presentation order.
+SIZES: tuple[str, ...] = ("100b", "1kb", "10kb", "100kb")
+
+# Scalar header shared by all sizes (~94 bytes of packed data on ILP32).
+_SCALAR_HEADER: list[tuple[str, str]] = [
+    ("node_id", "int"),
+    ("timestep", "int"),
+    ("mass", "double"),
+    ("volume", "double"),
+    ("temperature", "double"),
+    ("pressure", "double"),
+    ("flags", "unsigned int"),
+    ("material", "short"),
+    # A lone float here pushes the following double array onto a 4-mod-8
+    # offset: the i386 ABI keeps it there while SPARC pads to 8, so the
+    # two machines genuinely lay this struct out differently (the paper's
+    # third heterogeneity source, beyond byte order and type sizes).
+    ("epsilon", "float"),
+    ("tag", "char[8]"),
+    ("position", "double[3]"),
+    ("velocity", "float[4]"),
+]
+
+# Array payloads per size, chosen so the x86 native record lands near the
+# paper's nominal sizes (see test_mechanical.py for the enforced bounds).
+_ARRAY_PAYLOADS: dict[str, list[tuple[str, str]]] = {
+    "100b": [],
+    "1kb": [
+        ("displacement", "double[72]"),
+        ("stress", "float[64]"),
+        ("connectivity", "int[23]"),
+    ],
+    "10kb": [
+        ("displacement", "double[768]"),
+        ("stress", "float[512]"),
+        ("connectivity", "int[383]"),
+        ("strain", "double[52]"),
+    ],
+    "100kb": [
+        ("displacement", "double[8192]"),
+        ("stress", "float[4096]"),
+        ("connectivity", "int[4096]"),
+        ("strain", "double[500]"),
+    ],
+}
+
+
+def schema_for_size(size: str, *, name: str | None = None) -> RecordSchema:
+    """Return the mixed-field record schema for one of the paper's sizes.
+
+    ``size`` is one of ``"100b"``, ``"1kb"``, ``"10kb"``, ``"100kb"``.
+    """
+    key = size.lower()
+    if key not in _ARRAY_PAYLOADS:
+        raise ValueError(f"size must be one of {SIZES}, got {size!r}")
+    pairs = _SCALAR_HEADER + _ARRAY_PAYLOADS[key]
+    return RecordSchema.from_pairs(name or f"mech_{key}", pairs)
+
+
+def all_schemas() -> dict[str, RecordSchema]:
+    """All four paper-sized schemas, keyed by size label."""
+    return {size: schema_for_size(size) for size in SIZES}
+
+
+def sample_record(size: str, *, seed: int = 0) -> dict[str, Any]:
+    """Generate a deterministic, physically plausible record for ``size``."""
+    schema = schema_for_size(size)
+    rng = np.random.default_rng(seed)
+    record: dict[str, Any] = {
+        "node_id": int(rng.integers(1, 1_000_000)),
+        "timestep": int(rng.integers(0, 100_000)),
+        "mass": float(rng.uniform(0.1, 10.0)),
+        "volume": float(rng.uniform(0.001, 1.0)),
+        "temperature": float(rng.uniform(250.0, 2000.0)),
+        "pressure": float(rng.uniform(1e3, 1e7)),
+        "flags": int(rng.integers(0, 2**32)),
+        "material": int(rng.integers(0, 512)),
+        "epsilon": float(np.float32(rng.uniform(1e-9, 1e-3))),
+        "tag": b"NODE%03d" % (seed % 1000),
+        "position": tuple(float(x) for x in rng.uniform(-1.0, 1.0, 3)),
+        "velocity": tuple(float(np.float32(x)) for x in rng.uniform(-10.0, 10.0, 4)),
+    }
+    for decl in schema:
+        if decl.name in record:
+            continue
+        if decl.ctype.value == "double":
+            record[decl.name] = rng.uniform(-1e3, 1e3, decl.count)
+        elif decl.ctype.value == "float":
+            record[decl.name] = rng.uniform(-1e3, 1e3, decl.count).astype(np.float32)
+        else:  # int connectivity
+            record[decl.name] = rng.integers(0, 1_000_000, decl.count, dtype=np.int64)
+    return record
+
+
+def native_bytes(size: str, machine: MachineDescription, *, seed: int = 0) -> bytes:
+    """The record as it would sit in application memory on ``machine``.
+
+    Benchmarks start from this: in the paper, data "is assumed to exist in
+    binary format prior to transmission" (Section 4.2).
+    """
+    codec = codec_for(layout_record(schema_for_size(size), machine))
+    return codec.encode(sample_record(size, seed=seed))
+
+
+def nominal_bytes(size: str) -> int:
+    """The nominal byte count a size label denotes (100b -> 100, ...)."""
+    return {"100b": 100, "1kb": 1024, "10kb": 10240, "100kb": 102400}[size.lower()]

@@ -1,0 +1,191 @@
+"""Unit tests for native encode/decode per simulated ABI."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.abi import (
+    SPARC_V8,
+    X86,
+    X86_64,
+    RecordSchema,
+    RecordView,
+    codec_for,
+    layout_record,
+    records_equal,
+)
+
+
+def make(machine, *pairs):
+    schema = RecordSchema.from_pairs("t", list(pairs))
+    return codec_for(layout_record(schema, machine))
+
+
+class TestScalarRoundTrip:
+    @pytest.mark.parametrize("machine", [X86, SPARC_V8, X86_64])
+    def test_mixed_scalars(self, machine):
+        codec = make(machine, ("i", "int"), ("d", "double"), ("s", "short"), ("u", "unsigned int"))
+        rec = {"i": -42, "d": 3.5, "s": 7, "u": 4000000000}
+        assert codec.decode(codec.encode(rec)) == rec
+
+    def test_byte_order_visible_in_bytes(self):
+        rec = {"i": 1}
+        little = make(X86, ("i", "int")).encode(rec)
+        big = make(SPARC_V8, ("i", "int")).encode(rec)
+        assert little == b"\x01\x00\x00\x00"
+        assert big == b"\x00\x00\x00\x01"
+
+    def test_padding_is_zeroed(self):
+        codec = make(SPARC_V8, ("c", "char"), ("d", "double"))
+        data = codec.encode({"c": b"x", "d": 1.0})
+        assert data[1:8] == b"\x00" * 7
+
+    def test_missing_fields_encode_as_zero(self):
+        codec = make(X86, ("a", "int"), ("b", "double"))
+        rec = codec.decode(codec.encode({"a": 5}))
+        assert rec == {"a": 5, "b": 0.0}
+
+    def test_boolean_round_trip(self):
+        codec = make(X86, ("flag", "bool"))
+        assert codec.decode(codec.encode({"flag": True}))["flag"] is True
+        assert codec.decode(codec.encode({"flag": False}))["flag"] is False
+
+    def test_char_scalar(self):
+        codec = make(X86, ("c", "char"))
+        assert codec.decode(codec.encode({"c": b"Z"}))["c"] == b"Z"
+
+
+class TestArrays:
+    def test_small_array_tuple(self):
+        codec = make(X86, ("v", "int[4]"))
+        out = codec.decode(codec.encode({"v": (1, 2, 3, 4)}))
+        assert tuple(out["v"]) == (1, 2, 3, 4)
+
+    def test_large_array_numpy_path(self):
+        codec = make(SPARC_V8, ("v", "double[100]"))
+        values = np.arange(100, dtype=float)
+        out = codec.decode(codec.encode({"v": values}))
+        assert isinstance(out["v"], np.ndarray)
+        np.testing.assert_array_equal(np.asarray(out["v"], dtype=float), values)
+
+    def test_large_array_is_big_endian_on_sparc(self):
+        codec = make(SPARC_V8, ("v", "int[32]"))
+        data = codec.encode({"v": np.arange(32)})
+        assert struct.unpack_from(">i", data, 4)[0] == 1
+
+    def test_char_array_nul_padded(self):
+        codec = make(X86, ("name", "char[8]"))
+        out = codec.decode(codec.encode({"name": b"abc"}))
+        assert out["name"] == b"abc\x00\x00\x00\x00\x00"[:8]
+
+    def test_char_array_accepts_str(self):
+        codec = make(X86, ("name", "char[8]"))
+        assert codec.decode(codec.encode({"name": "hi"}))["name"].startswith(b"hi")
+
+    def test_wrong_array_length_rejected(self):
+        codec = make(X86, ("v", "double[32]"))
+        with pytest.raises(ValueError):
+            codec.encode({"v": np.arange(31, dtype=float)})
+
+
+class TestStrings:
+    def test_string_round_trip(self):
+        codec = make(X86, ("tag", "string"), ("n", "int"))
+        out = codec.decode(codec.encode({"tag": "hello", "n": 3}))
+        assert out == {"tag": "hello", "n": 3}
+
+    def test_null_string(self):
+        codec = make(X86, ("tag", "string"))
+        assert codec.decode(codec.encode({"tag": None}))["tag"] is None
+
+    def test_two_strings_out_of_line(self):
+        codec = make(X86_64, ("a", "string"), ("b", "string"))
+        out = codec.decode(codec.encode({"a": "xx", "b": "yyyy"}))
+        assert out == {"a": "xx", "b": "yyyy"}
+
+    def test_string_region_after_fixed_part(self):
+        codec = make(X86, ("tag", "string"))
+        data = codec.encode({"tag": "abc"})
+        assert len(data) == codec.layout.size + 4  # "abc\0"
+
+
+class TestCrossMachineBytes:
+    def test_same_values_different_layout_bytes(self):
+        # The same logical record must produce different native bytes on
+        # machines with different layout rules; that mismatch is what the
+        # wire-format systems under test must bridge.
+        rec = {"i": 1, "d": 2.0}
+        pairs = (("i", "int"), ("d", "double"))
+        b_x86 = make(X86, *pairs).encode(rec)
+        b_sparc = make(SPARC_V8, *pairs).encode(rec)
+        assert len(b_x86) == 12 and len(b_sparc) == 16
+        assert b_x86 != b_sparc
+
+    def test_decode_field_matches_full_decode(self):
+        codec = make(SPARC_V8, ("i", "int"), ("d", "double"), ("v", "float[3]"))
+        rec = {"i": 9, "d": -1.25, "v": (1.0, 2.0, 3.0)}
+        data = codec.encode(rec)
+        full = codec.decode(data)
+        for name in rec:
+            got = codec.decode_field(data, name)
+            want = full[name]
+            if isinstance(want, tuple):
+                assert tuple(got) == want
+            else:
+                assert got == want
+
+    def test_decode_field_unknown_name(self):
+        codec = make(X86, ("i", "int"))
+        with pytest.raises(KeyError):
+            codec.decode_field(b"\x00" * 4, "nope")
+
+
+class TestRecordView:
+    def test_view_reads_without_copy(self):
+        codec = make(X86, ("i", "int"), ("d", "double"))
+        data = bytearray(codec.encode({"i": 5, "d": 1.5}))
+        view = RecordView(codec.layout, data)
+        assert view.i == 5 and view.d == 1.5
+        # Mutating the buffer is visible through the view: proof of zero-copy.
+        struct.pack_into("<i", data, 0, 77)
+        assert view.i == 77
+
+    def test_view_getitem_and_iteration(self):
+        codec = make(X86, ("a", "int"), ("b", "int"))
+        view = RecordView(codec.layout, codec.encode({"a": 1, "b": 2}))
+        assert view["a"] == 1
+        assert list(view) == ["a", "b"]
+        assert view.to_dict() == {"a": 1, "b": 2}
+
+    def test_view_is_read_only(self):
+        codec = make(X86, ("a", "int"))
+        view = RecordView(codec.layout, codec.encode({"a": 1}))
+        with pytest.raises(AttributeError):
+            view.a = 2
+
+    def test_view_missing_attribute(self):
+        codec = make(X86, ("a", "int"))
+        view = RecordView(codec.layout, codec.encode({"a": 1}))
+        with pytest.raises(AttributeError):
+            _ = view.nope
+
+    def test_raw_bytes_window(self):
+        codec = make(X86, ("a", "int"))
+        buf = b"\xff" * 4 + codec.encode({"a": 3}) + b"\xff" * 4
+        view = RecordView(codec.layout, buf, offset=4)
+        assert bytes(view.raw_bytes()) == codec.encode({"a": 3})
+
+
+class TestRecordsEqual:
+    def test_equal_with_float32_loss(self):
+        a = {"x": 0.1}
+        codec = make(X86, ("x", "float"))
+        b = codec.decode(codec.encode(a))
+        assert records_equal(a, b)
+
+    def test_not_equal_different_keys(self):
+        assert not records_equal({"a": 1}, {"b": 1})
+
+    def test_numpy_vs_tuple(self):
+        assert records_equal({"v": (1.0, 2.0)}, {"v": np.array([1.0, 2.0])})

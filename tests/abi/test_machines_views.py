@@ -1,0 +1,170 @@
+"""Tests for machine descriptions and array record views."""
+
+import numpy as np
+import pytest
+
+from repro.abi import (
+    ALPHA,
+    I960,
+    MACHINES,
+    SPARC_V8,
+    STRONGARM,
+    X86,
+    X86_64,
+    CType,
+    RecordArrayView,
+    RecordSchema,
+    codec_for,
+    get_machine,
+    layout_record,
+)
+
+
+class TestMachineDescriptions:
+    def test_all_registered_machines_complete(self):
+        for machine in MACHINES.values():
+            for ctype in CType:
+                assert machine.size_of(ctype) > 0
+                assert machine.align_of(ctype) > 0
+
+    def test_get_machine(self):
+        assert get_machine("i86") is X86
+        with pytest.raises(KeyError, match="unknown machine"):
+            get_machine("pdp11")
+
+    def test_string_slot_is_pointer_sized(self):
+        assert X86.size_of(CType.STRING) == 4
+        assert X86_64.size_of(CType.STRING) == 8
+
+    def test_struct_endian_prefixes(self):
+        assert X86.struct_endian == "<"
+        assert SPARC_V8.struct_endian == ">"
+
+    def test_lp64_vs_ilp32(self):
+        assert ALPHA.size_of(CType.LONG) == 8
+        assert X86.size_of(CType.LONG) == 4
+
+    def test_i960_vs_strongarm_double_alignment(self):
+        # The paper's future-work targets differ exactly in the property
+        # PBIO has to bridge: in-struct double alignment.
+        schema = RecordSchema.from_pairs("t", [("c", "char"), ("d", "double")])
+        assert layout_record(schema, I960)["d"].offset == 8
+        assert layout_record(schema, STRONGARM)["d"].offset == 4
+
+    def test_machine_repr(self):
+        assert "little" in repr(X86)
+
+    def test_invalid_byte_order_rejected(self):
+        from repro.abi import MachineDescription
+
+        with pytest.raises(ValueError):
+            MachineDescription(
+                name="bogus",
+                byte_order="pdp",
+                pointer_size=4,
+                sizes=dict(X86.sizes),
+                aligns=dict(X86.aligns),
+            )
+
+    def test_exchange_between_future_work_machines(self):
+        from repro.core import IOContext
+        from repro.abi import records_equal
+
+        schema = RecordSchema.from_pairs("t", [("c", "char"), ("d", "double"), ("l", "long")])
+        rec = {"c": b"x", "d": 2.5, "l": -9}
+        sender = IOContext(I960)
+        receiver = IOContext(STRONGARM)
+        h = sender.register_format(schema)
+        receiver.expect(schema)
+        receiver.receive(sender.announce(h))
+        assert records_equal(rec, receiver.receive(sender.encode(h, rec)))
+
+
+class TestRecordArrayView:
+    def setup_method(self):
+        self.schema = RecordSchema.from_pairs(
+            "point", [("idx", "int"), ("x", "double"), ("y", "double")]
+        )
+        self.layout = layout_record(self.schema, X86_64)
+        codec = codec_for(self.layout)
+        self.n = 20
+        self.buf = b"".join(
+            codec.encode({"idx": i, "x": i * 1.0, "y": -i * 1.0}) for i in range(self.n)
+        )
+
+    def test_len_and_indexing(self):
+        view = RecordArrayView(self.layout, self.buf, self.n)
+        assert len(view) == self.n
+        assert view[3].idx == 3
+        assert view[19].x == 19.0
+
+    def test_negative_and_out_of_range(self):
+        view = RecordArrayView(self.layout, self.buf, self.n)
+        with pytest.raises(IndexError):
+            view[self.n]
+        with pytest.raises(IndexError):
+            view[-1]
+
+    def test_iteration(self):
+        view = RecordArrayView(self.layout, self.buf, self.n)
+        assert [r.idx for r in view] == list(range(self.n))
+
+    def test_column_gather(self):
+        view = RecordArrayView(self.layout, self.buf, self.n)
+        np.testing.assert_array_equal(
+            np.asarray(view.column("x"), dtype=float), np.arange(self.n, dtype=float)
+        )
+        np.testing.assert_array_equal(
+            np.asarray(view.column("idx"), dtype=int), np.arange(self.n)
+        )
+
+    def test_column_rejects_arrays(self):
+        schema = RecordSchema.from_pairs("t", [("v", "double[2]")])
+        layout = layout_record(schema, X86_64)
+        buf = codec_for(layout).encode({"v": (1.0, 2.0)})
+        view = RecordArrayView(layout, buf, 1)
+        with pytest.raises(ValueError, match="scalar"):
+            view.column("v")
+
+    def test_base_offset(self):
+        view = RecordArrayView(self.layout, b"\xff" * 8 + self.buf, self.n, base=8)
+        assert view[0].idx == 0
+
+    def test_strings_rejected(self):
+        schema = RecordSchema.from_pairs("t", [("s", "string")])
+        layout = layout_record(schema, X86_64)
+        with pytest.raises(ValueError, match="fixed-size"):
+            RecordArrayView(layout, b"", 0)
+
+
+class TestGenerators:
+    def test_random_schema_deterministic(self):
+        from repro.workloads.generators import random_schema
+
+        a = random_schema(np.random.default_rng(5))
+        b = random_schema(np.random.default_rng(5))
+        assert [f.name for f in a] == [f.name for f in b]
+        assert [f.ctype for f in a] == [f.ctype for f in b]
+
+    def test_random_record_covers_schema(self):
+        from repro.workloads.generators import random_record, random_schema
+
+        rng = np.random.default_rng(6)
+        schema = random_schema(rng, allow_strings=True)
+        record = random_record(schema, rng)
+        assert set(record) == set(schema.field_names())
+
+    def test_record_stream_count(self):
+        from repro.workloads.generators import record_stream
+
+        schema = RecordSchema.from_pairs("t", [("i", "int")])
+        assert len(list(record_stream(schema, count=7, seed=1))) == 7
+
+    def test_int_size_hint_narrows(self):
+        from repro.workloads.generators import random_record
+
+        schema = RecordSchema.from_pairs("t", [("l", "long long")])
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            rec = random_record(schema, rng, int_size_hint={"l": 2})
+            assert -(1 << 15) <= rec["l"] < (1 << 15)

@@ -1,0 +1,266 @@
+"""Tests for conversion plans and all three converter backends."""
+
+import struct
+
+import pytest
+
+from repro.abi import (
+    ALPHA,
+    SPARC_V8,
+    SPARC_V9_64,
+    X86,
+    X86_64,
+    RecordSchema,
+    codec_for,
+    layout_record,
+    records_equal,
+)
+from repro.core import IOFormat, OpKind, build_plan
+from repro.core.conversion import (
+    InterpretedConverter,
+    generate_converter,
+    generate_python_converter,
+    generate_vcode_converter,
+)
+from repro.core.errors import ConversionError
+
+
+def make_pair(src_machine, dst_machine, src_pairs, dst_pairs=None, name="t"):
+    src_schema = RecordSchema.from_pairs(name, list(src_pairs))
+    dst_schema = RecordSchema.from_pairs(name, list(dst_pairs or src_pairs))
+    src_layout = layout_record(src_schema, src_machine)
+    dst_layout = layout_record(dst_schema, dst_machine)
+    plan = build_plan(IOFormat.from_layout(src_layout), IOFormat.from_layout(dst_layout))
+    return src_layout, dst_layout, plan
+
+
+BACKENDS = ["interpreted", "python", "vcode"]
+
+
+def converter_for(plan, backend):
+    if backend == "interpreted":
+        return InterpretedConverter(plan)
+    return generate_converter(plan, backend=backend).convert
+
+
+def round_trip(src_machine, dst_machine, pairs, record, backend, dst_pairs=None):
+    src_layout, dst_layout, plan = make_pair(src_machine, dst_machine, pairs, dst_pairs)
+    native = codec_for(src_layout).encode(record)
+    out = converter_for(plan, backend)(native)
+    return codec_for(dst_layout).decode(out)
+
+
+class TestPlanShape:
+    def test_identical_layout_coalesces_to_single_copy(self):
+        _, _, plan = make_pair(X86, X86, [("a", "int"), ("b", "int"), ("c", "double")])
+        assert plan.is_identity
+        assert plan.op_histogram() == {"copy": 1}
+
+    def test_coalesce_spans_padding_gaps(self):
+        # char + pad + int on both sides: padding advances in lockstep.
+        _, _, plan = make_pair(SPARC_V8, SPARC_V8, [("c", "char"), ("i", "int")])
+        assert plan.is_identity
+
+    def test_swap_op_for_byte_order(self):
+        _, _, plan = make_pair(X86, SPARC_V8, [("d", "double[4]")])
+        assert [op.kind for op in plan.ops] == [OpKind.SWAP]
+        assert plan.ops[0].count == 4
+
+    def test_single_byte_fields_copy_across_orders(self):
+        _, _, plan = make_pair(X86, SPARC_V8, [("c", "char[8]"), ("b", "uint8[4]")])
+        assert all(op.kind is OpKind.COPY for op in plan.ops)
+
+    def test_cvt_int_for_size_change(self):
+        _, _, plan = make_pair(SPARC_V8, SPARC_V9_64, [("l", "long")])
+        assert [op.kind for op in plan.ops] == [OpKind.CVT_INT]
+
+    def test_zero_op_for_missing_field(self):
+        _, _, plan = make_pair(X86, X86, [("a", "int")], [("a", "int"), ("b", "double")])
+        kinds = {op.kind for op in plan.ops}
+        assert OpKind.ZERO in kinds
+
+    def test_describe_renders(self):
+        _, _, plan = make_pair(X86, SPARC_V8, [("a", "int"), ("d", "double")])
+        assert "swap" in plan.describe()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestConverterCorrectness:
+    def test_byte_order_only(self, backend):
+        rec = {"i": -123456, "d": 3.25, "f": 1.5, "s": -7}
+        out = round_trip(X86, SPARC_V8, [("i", "int"), ("d", "double"), ("f", "float"), ("s", "short")], rec, backend)
+        assert records_equal(rec, out)
+
+    def test_reverse_direction(self, backend):
+        rec = {"i": 42, "d": -2.5}
+        out = round_trip(SPARC_V8, X86, [("i", "int"), ("d", "double")], rec, backend)
+        assert records_equal(rec, out)
+
+    def test_same_order_different_offsets(self, backend):
+        rec = {"i": 7, "d": 9.75}
+        out = round_trip(X86, ALPHA, [("i", "int"), ("d", "double")], rec, backend)
+        assert records_equal(rec, out)
+
+    def test_long_widening_with_sign(self, backend):
+        rec = {"l": -5, "u": 4000000000}
+        out = round_trip(SPARC_V8, SPARC_V9_64, [("l", "long"), ("u", "unsigned long")], rec, backend)
+        assert records_equal(rec, out)
+
+    def test_long_narrowing(self, backend):
+        rec = {"l": -123456}
+        out = round_trip(SPARC_V9_64, SPARC_V8, [("l", "long")], rec, backend)
+        assert records_equal(rec, out)
+
+    def test_arrays_large_and_small(self, backend):
+        rec = {"small": (1.5, -2.5, 3.5), "big": tuple(float(i) for i in range(100))}
+        out = round_trip(X86, SPARC_V8, [("small", "double[3]"), ("big", "double[100]")], rec, backend)
+        assert records_equal(rec, out)
+
+    def test_int_array_swap(self, backend):
+        rec = {"v": tuple(range(-50, 50))}
+        out = round_trip(SPARC_V8, X86, [("v", "int[100]")], rec, backend)
+        assert records_equal(rec, out)
+
+    def test_char_arrays_copied(self, backend):
+        rec = {"name": b"hello\x00\x00\x00", "x": 3}
+        out = round_trip(X86, SPARC_V8, [("name", "char[8]"), ("x", "int")], rec, backend)
+        assert records_equal(rec, out)
+
+    def test_bool_conversion(self, backend):
+        rec = {"flag": True, "n": 9}
+        out = round_trip(X86, SPARC_V8, [("flag", "bool"), ("n", "int")], rec, backend)
+        assert out["flag"] == 1 and out["n"] == 9
+
+    def test_missing_field_zeroed(self, backend):
+        out = round_trip(X86, SPARC_V8, [("a", "int")], {"a": 5}, backend, dst_pairs=[("a", "int"), ("b", "double")])
+        assert out == {"a": 5, "b": 0.0}
+
+    def test_extra_field_ignored(self, backend):
+        out = round_trip(
+            X86, SPARC_V8, [("z", "int"), ("a", "int")], {"z": 99, "a": 5}, backend, dst_pairs=[("a", "int")]
+        )
+        assert out == {"a": 5}
+
+    def test_int_to_float_cross_kind(self, backend):
+        out = round_trip(X86, SPARC_V8, [("x", "int")], {"x": -3}, backend, dst_pairs=[("x", "double")])
+        assert out["x"] == -3.0
+
+    def test_float_to_int_cross_kind(self, backend):
+        out = round_trip(X86, SPARC_V8, [("x", "double")], {"x": 9.75}, backend, dst_pairs=[("x", "int")])
+        assert out["x"] == 9
+
+    def test_float_to_double_widening(self, backend):
+        out = round_trip(X86, SPARC_V8, [("x", "float")], {"x": 1.5}, backend, dst_pairs=[("x", "double")])
+        assert out["x"] == 1.5
+
+    def test_mixed_record_all_op_kinds(self, backend):
+        pairs = [
+            ("c", "char"),
+            ("i", "int"),
+            ("l", "long"),
+            ("d", "double[20]"),
+            ("f", "float[3]"),
+            ("u", "unsigned short"),
+            ("name", "char[12]"),
+        ]
+        rec = {
+            "c": b"q",
+            "i": -1,
+            "l": 123456,
+            "d": tuple(float(i) * 0.5 for i in range(20)),
+            "f": (0.25, 0.5, 0.75),
+            "u": 65535,
+            "name": b"converter",
+        }
+        out = round_trip(SPARC_V8, ALPHA, pairs, rec, backend)
+        assert records_equal(rec, out)
+
+
+class TestStrings:
+    # The vcode backend models fixed-size records; strings are tested on
+    # the interpreted and python backends.
+    @pytest.mark.parametrize("backend", ["interpreted", "python"])
+    def test_string_relocation(self, backend):
+        rec = {"tag": "hello world", "n": 5}
+        out = round_trip(X86, SPARC_V8, [("tag", "string"), ("n", "int")], rec, backend)
+        assert out == {"tag": "hello world", "n": 5}
+
+    @pytest.mark.parametrize("backend", ["interpreted", "python"])
+    def test_null_string(self, backend):
+        out = round_trip(X86, SPARC_V8, [("tag", "string")], {"tag": None}, backend)
+        assert out == {"tag": None}
+
+    @pytest.mark.parametrize("backend", ["interpreted", "python"])
+    def test_pointer_width_change(self, backend):
+        rec = {"tag": "x" * 40, "n": 1}
+        out = round_trip(X86, X86_64, [("tag", "string"), ("n", "int")], rec, backend)
+        assert out == rec
+
+    def test_vcode_backend_rejects_strings(self):
+        _, _, plan = make_pair(X86, SPARC_V8, [("tag", "string")])
+        with pytest.raises(ConversionError):
+            generate_vcode_converter(plan)
+
+
+class TestGeneratedCode:
+    def test_source_is_returned_and_specialized(self):
+        _, _, plan = make_pair(X86, SPARC_V8, [("i", "int"), ("d", "double[50]")])
+        gen = generate_python_converter(plan)
+        assert "def convert" in gen.source
+        assert gen.generation_time_s > 0
+        assert gen.backend == "python"
+        # offsets are baked in as literals, no loops over ops
+        assert "for op" not in gen.source
+
+    def test_identity_plan_single_statement(self):
+        _, _, plan = make_pair(X86, X86, [("a", "int"), ("b", "double")])
+        gen = generate_python_converter(plan)
+        body = [l for l in gen.source.splitlines() if l.strip() and "def " not in l]
+        # dst alloc + one copy + return
+        assert len(body) == 3
+
+    def test_vcode_source_is_disassembly(self):
+        _, _, plan = make_pair(X86, SPARC_V8, [("i", "int")])
+        gen = generate_vcode_converter(plan)
+        assert "ld" in gen.source
+
+    def test_unknown_backend_rejected(self):
+        _, _, plan = make_pair(X86, X86, [("a", "int")])
+        with pytest.raises(ValueError):
+            generate_converter(plan, backend="llvm")
+
+    def test_converter_accepts_memoryview(self):
+        src_layout, dst_layout, plan = make_pair(X86, SPARC_V8, [("i", "int")])
+        native = codec_for(src_layout).encode({"i": 77})
+        out = generate_python_converter(plan).convert(memoryview(native))
+        assert codec_for(dst_layout).decode(out)["i"] == 77
+
+
+class TestCSemantics:
+    """Conversion edge semantics must match what C casts would do."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_narrowing_truncates_like_c(self, backend):
+        # 0x1_0000_0001 narrowed to 32 bits -> 1
+        src_layout, dst_layout, plan = make_pair(
+            SPARC_V9_64, SPARC_V8, [("l", "long")]
+        )
+        native = codec_for(src_layout).encode({"l": 0x100000001})
+        out = converter_for(plan, backend)(native)
+        assert codec_for(dst_layout).decode(out)["l"] == 1
+
+    @pytest.mark.parametrize("backend", ["interpreted", "python"])
+    def test_double_to_float_overflow_is_inf(self, backend):
+        src_layout, dst_layout, plan = make_pair(
+            X86, X86, [("x", "double")], [("x", "float")]
+        )
+        native = codec_for(src_layout).encode({"x": 1e300})
+        out = converter_for(plan, backend)(native)
+        assert codec_for(dst_layout).decode(out)["x"] == float("inf")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_float_to_int_truncates(self, backend):
+        src_layout, dst_layout, plan = make_pair(X86, X86, [("x", "double")], [("x", "int")])
+        native = codec_for(src_layout).encode({"x": -2.9})
+        out = converter_for(plan, backend)(native)
+        assert codec_for(dst_layout).decode(out)["x"] == -2

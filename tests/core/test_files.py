@@ -1,0 +1,149 @@
+"""Tests for PBIO self-describing files."""
+
+import io
+
+import pytest
+
+from repro.abi import ALPHA, SPARC_V8, X86, RecordSchema, records_equal
+from repro.core import IOContext, MessageError, read_records, write_records
+from repro.core.files import (
+    FILE_MAGIC,
+    PbioFileReader,
+    PbioFileWriter,
+    file_to_buffer,
+)
+from repro.workloads.generators import record_stream
+
+
+def schema(*pairs, name="rec"):
+    return RecordSchema.from_pairs(name, list(pairs))
+
+
+SIMPLE = schema(("i", "int"), ("d", "double"), ("name", "char[8]"))
+
+
+class TestWriteRead:
+    def test_round_trip_same_machine(self, tmp_path):
+        path = str(tmp_path / "data.pbio")
+        records = [{"i": k, "d": k * 0.5, "name": b"n%d" % k} for k in range(10)]
+        write_records(IOContext(X86), path, SIMPLE, records)
+        out = read_records(IOContext(X86), path, SIMPLE)
+        assert len(out) == 10
+        for want, got in zip(records, out):
+            assert records_equal(want, got)
+
+    def test_cross_machine_file(self, tmp_path):
+        # Written on sparc, read on x86: the file carries its own format.
+        path = str(tmp_path / "data.pbio")
+        records = [{"i": 1, "d": 2.5, "name": b"abc"}]
+        write_records(IOContext(SPARC_V8), path, SIMPLE, records)
+        out = read_records(IOContext(X86), path, SIMPLE)
+        assert records_equal(records[0], out[0])
+
+    def test_read_by_three_different_machines(self, tmp_path):
+        path = str(tmp_path / "data.pbio")
+        records = list(record_stream(SIMPLE, count=4, seed=5))
+        write_records(IOContext(ALPHA), path, SIMPLE, records)
+        for machine in (X86, SPARC_V8, ALPHA):
+            out = read_records(IOContext(machine), path, SIMPLE)
+            for want, got in zip(records, out):
+                assert records_equal(want, got, rel_tol=1e-5)
+
+    def test_meta_written_once_per_format(self):
+        ctx = IOContext(X86)
+        buf = io.BytesIO()
+        writer = PbioFileWriter(ctx, buf)
+        h = ctx.register_format(SIMPLE)
+        for k in range(5):
+            writer.write(h, {"i": k, "d": 0.0, "name": b"x"})
+        assert writer.records_written == 5
+        reader_ctx = IOContext(X86)
+        reader_ctx.expect(SIMPLE)
+        reader = PbioFileReader(reader_ctx, io.BytesIO(buf.getvalue()))
+        assert len(reader.read_all()) == 5
+        assert reader_ctx.registry.announcements_received == 1
+
+    def test_multiple_formats_interleaved(self, tmp_path):
+        path = str(tmp_path / "multi.pbio")
+        s1 = schema(("a", "int"), name="r1")
+        s2 = schema(("b", "double"), name="r2")
+        ctx = IOContext(X86)
+        with PbioFileWriter.open(ctx, path) as writer:
+            h1, h2 = ctx.register_format(s1), ctx.register_format(s2)
+            writer.write(h1, {"a": 1})
+            writer.write(h2, {"b": 2.0})
+            writer.write(h1, {"a": 3})
+        rctx = IOContext(SPARC_V8)
+        rctx.expect(s1)
+        rctx.expect(s2)
+        with PbioFileReader.open(rctx, path) as reader:
+            out = reader.read_all()
+        assert out == [{"a": 1}, {"b": 2.0}, {"a": 3}]
+
+    def test_empty_file_has_no_records(self, tmp_path):
+        path = str(tmp_path / "empty.pbio")
+        ctx = IOContext(X86)
+        PbioFileWriter.open(ctx, path).close()
+        rctx = IOContext(X86)
+        with PbioFileReader.open(rctx, path) as reader:
+            assert reader.read_all() == []
+
+    def test_file_to_buffer(self):
+        blob = file_to_buffer(IOContext(X86), SIMPLE, [{"i": 1, "d": 1.0, "name": b"z"}])
+        assert blob.startswith(FILE_MAGIC)
+
+
+class TestCorruption:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(MessageError, match="magic"):
+            PbioFileReader(IOContext(X86), io.BytesIO(b"NOTPBIO!" + b"\x00" * 4))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(MessageError, match="truncated"):
+            PbioFileReader(IOContext(X86), io.BytesIO(b"PB"))
+
+    def test_truncated_body_rejected(self):
+        blob = file_to_buffer(IOContext(X86), SIMPLE, [{"i": 1, "d": 1.0, "name": b"z"}])
+        rctx = IOContext(X86)
+        rctx.expect(SIMPLE)
+        reader = PbioFileReader(rctx, io.BytesIO(blob[:-5]))
+        with pytest.raises(MessageError, match="truncated"):
+            reader.read_all()
+
+    def test_truncated_length_prefix_rejected(self):
+        blob = file_to_buffer(IOContext(X86), SIMPLE, [{"i": 1, "d": 1.0, "name": b"z"}])
+        rctx = IOContext(X86)
+        rctx.expect(SIMPLE)
+        # cut inside the final record's length prefix
+        header_plus = blob[: len(blob) - 1]
+        # find a cut that leaves 1-3 bytes of a length prefix: cut to the
+        # last message boundary + 2
+        reader = PbioFileReader(rctx, io.BytesIO(header_plus))
+        with pytest.raises(MessageError):
+            reader.read_all()
+
+
+class TestReflectionOverFiles:
+    def test_iter_raw_with_generic_decode(self, tmp_path):
+        from repro.core import generic_decode
+
+        path = str(tmp_path / "gen.pbio")
+        write_records(IOContext(SPARC_V8), path, SIMPLE, [{"i": 7, "d": 1.5, "name": b"q"}])
+        # Reader never calls expect(): pure reflection.
+        rctx = IOContext(X86)
+        with PbioFileReader.open(rctx, path) as reader:
+            records = [generic_decode(rctx, m) for m in reader.iter_raw()]
+        assert records[0]["i"] == 7
+        assert records[0]["d"] == 1.5
+
+    def test_versioned_file_read_by_old_reader(self, tmp_path):
+        from repro.abi import CType, FieldDecl
+
+        path = str(tmp_path / "v2.pbio")
+        v2 = SIMPLE.extended("rec", [FieldDecl("extra", CType.INT)])
+        write_records(
+            IOContext(X86), path, v2, [{"i": 1, "d": 2.0, "name": b"a", "extra": 9}]
+        )
+        out = read_records(IOContext(X86), path, SIMPLE)  # old reader
+        assert out[0] == {"i": 1, "d": 2.0, "name": b"a\x00" * 1 + b"\x00" * 6}
+        assert "extra" not in out[0]

@@ -1,0 +1,102 @@
+"""Property tests: compiled filters agree with reference evaluation.
+
+A :func:`compile_predicate` filter reads raw wire bytes; the reference
+implementation decodes the record to a dict and evaluates the same
+expression with Python's own semantics.  For random expressions over
+random scalar records, on random sender machines, the two must agree —
+including across byte orders and ABI layout differences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.abi import MACHINES, RecordSchema, layout_record
+from repro.core import FilterError, IOContext, IOFormat, compile_predicate
+
+FIELDS = [
+    ("a", "int"),
+    ("b", "double"),
+    ("c", "short"),
+    ("d", "unsigned int"),
+    ("e", "float"),
+]
+SCHEMA = RecordSchema.from_pairs("probe", FIELDS)
+NAMES = [name for name, _ in FIELDS]
+
+#: IEEE machines only — filters refuse VAX float fields by design.
+IEEE = sorted(m for m in MACHINES if MACHINES[m].float_format == "ieee754")
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """Random expressions in the filter language's grammar."""
+    if depth >= 3 or draw(st.booleans()):
+        # comparison leaf
+        left = draw(st.sampled_from(NAMES))
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+        if draw(st.booleans()):
+            right = draw(st.sampled_from(NAMES))
+        else:
+            right = repr(draw(st.integers(min_value=-1000, max_value=1000)))
+        if draw(st.booleans()):
+            left = f"({left} + {draw(st.integers(0, 50))})"
+        return f"{left} {op} {right}"
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return f"not ({draw(expressions(depth=depth + 1))})"
+    return f"({draw(expressions(depth=depth + 1))}) {kind} ({draw(expressions(depth=depth + 1))})"
+
+
+def random_probe_record(rng):
+    return {
+        "a": int(rng.integers(-1000, 1000)),
+        "b": float(rng.integers(-1000, 1000)),  # integral doubles: exact compares
+        "c": int(rng.integers(-500, 500)),
+        "d": int(rng.integers(0, 1000)),
+        "e": float(rng.integers(-100, 100)),
+    }
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    expr=expressions(),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    machine=st.sampled_from(IEEE),
+)
+def test_compiled_filter_matches_reference_eval(expr, seed, machine):
+    rng = np.random.default_rng(seed)
+    record = random_probe_record(rng)
+    ctx = IOContext(MACHINES[machine])
+    handle = ctx.register_format(SCHEMA)
+    payload = ctx.encode(handle, record)[16:]
+    fmt = IOFormat.from_layout(layout_record(SCHEMA, MACHINES[machine]))
+    predicate = compile_predicate(fmt, expr)
+    reference = bool(eval(expr, {"__builtins__": {}}, dict(record)))  # noqa: S307
+    assert predicate(payload) == reference, (expr, record)
+
+
+@settings(max_examples=80, deadline=None)
+@given(expr=expressions(), machine=st.sampled_from(IEEE))
+def test_compiled_filters_never_touch_state(expr, machine):
+    """Compiling and running a filter must not mutate the payload."""
+    fmt = IOFormat.from_layout(layout_record(SCHEMA, MACHINES[machine]))
+    predicate = compile_predicate(fmt, expr)
+    ctx = IOContext(MACHINES[machine])
+    handle = ctx.register_format(SCHEMA)
+    payload = bytearray(ctx.encode(handle, random_probe_record(np.random.default_rng(1)))[16:])
+    before = bytes(payload)
+    predicate(payload)
+    assert bytes(payload) == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(junk=st.text(max_size=40))
+def test_junk_expressions_rejected_or_compile(junk):
+    """Arbitrary text either compiles under the whitelist or raises
+    FilterError — never an uncontrolled exception at compile time."""
+    fmt = IOFormat.from_layout(layout_record(SCHEMA, MACHINES["i86"]))
+    try:
+        compile_predicate(fmt, junk)
+    except FilterError:
+        pass

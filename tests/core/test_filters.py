@@ -1,0 +1,184 @@
+"""Tests for DCG-compiled record filters and projections."""
+
+import pytest
+
+from repro.abi import SPARC_V8, X86, CType, FieldDecl, RecordSchema, layout_record
+from repro.core import (
+    FilterError,
+    IOContext,
+    IOFormat,
+    RecordFilter,
+    RecordProjector,
+    compile_predicate,
+    compile_projection,
+)
+
+TELEMETRY = RecordSchema.from_pairs(
+    "telemetry",
+    [("unit", "int"), ("rpm", "double"), ("temperature", "double"), ("blob", "double[64]")],
+)
+
+
+def fmt(machine=SPARC_V8, schema=TELEMETRY):
+    return IOFormat.from_layout(layout_record(schema, machine))
+
+
+def payload(ctx, handle, record):
+    return ctx.encode(handle, record)[16:]  # strip the PBIO header
+
+
+class TestCompilePredicate:
+    def setup_method(self):
+        self.ctx = IOContext(SPARC_V8)
+        self.handle = self.ctx.register_format(TELEMETRY)
+
+    def rec(self, **kw):
+        base = {"unit": 1, "rpm": 3600.0, "temperature": 650.0, "blob": tuple(range(64))}
+        base.update(kw)
+        return payload(self.ctx, self.handle, base)
+
+    def test_simple_comparison(self):
+        pred = compile_predicate(fmt(), "temperature > 700.0")
+        assert not pred(self.rec(temperature=650.0))
+        assert pred(self.rec(temperature=710.0))
+
+    def test_boolean_combination(self):
+        pred = compile_predicate(fmt(), "temperature > 600.0 and unit != 1")
+        assert not pred(self.rec(unit=1, temperature=700.0))
+        assert pred(self.rec(unit=2, temperature=700.0))
+
+    def test_arithmetic(self):
+        pred = compile_predicate(fmt(), "rpm / 60.0 >= 60.0")
+        assert pred(self.rec(rpm=3600.0))
+        assert not pred(self.rec(rpm=3599.0))
+
+    def test_or_and_not(self):
+        pred = compile_predicate(fmt(), "not (unit == 1 or unit == 2)")
+        assert not pred(self.rec(unit=2))
+        assert pred(self.rec(unit=3))
+
+    def test_chained_comparison(self):
+        pred = compile_predicate(fmt(), "600.0 < temperature < 700.0")
+        assert pred(self.rec(temperature=650.0))
+        assert not pred(self.rec(temperature=710.0))
+
+    def test_unary_minus(self):
+        pred = compile_predicate(fmt(), "temperature > -10.0")
+        assert pred(self.rec(temperature=0.0))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FilterError, match="no field"):
+            compile_predicate(fmt(), "pressure > 1.0")
+
+    def test_array_field_rejected(self):
+        with pytest.raises(FilterError, match="scalar"):
+            compile_predicate(fmt(), "blob > 1.0")
+
+    def test_function_calls_rejected(self):
+        with pytest.raises(FilterError):
+            compile_predicate(fmt(), "__import__('os').system('true')")
+
+    def test_attribute_access_rejected(self):
+        with pytest.raises(FilterError):
+            compile_predicate(fmt(), "unit.__class__")
+
+    def test_string_constants_rejected(self):
+        with pytest.raises(FilterError):
+            compile_predicate(fmt(), "unit == 'abc'")
+
+    def test_syntax_error_rejected(self):
+        with pytest.raises(FilterError, match="invalid"):
+            compile_predicate(fmt(), "unit >")
+
+
+class TestCompileProjection:
+    def test_projects_only_named_fields(self):
+        ctx = IOContext(X86)
+        handle = ctx.register_format(TELEMETRY)
+        data = payload(ctx, handle, {"unit": 3, "rpm": 100.0, "temperature": 400.0, "blob": tuple(range(64))})
+        project = compile_projection(fmt(X86), ["unit", "temperature"])
+        assert project(data) == {"unit": 3, "temperature": 400.0}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FilterError):
+            compile_projection(fmt(), ["nope"])
+
+
+class TestRecordFilter:
+    def make_stream(self, machine, schema=TELEMETRY, temps=(650.0, 720.0, 800.0)):
+        sender = IOContext(machine)
+        receiver = IOContext(X86)
+        handle = sender.register_format(schema)
+        receiver.receive(sender.announce(handle))
+        messages = [
+            sender.encode(
+                handle,
+                {"unit": i, "rpm": 0.0, "temperature": t, "blob": tuple(range(64))},
+            )
+            for i, t in enumerate(temps)
+        ]
+        return receiver, messages
+
+    def test_filters_messages_without_decode(self):
+        receiver, messages = self.make_stream(SPARC_V8)
+        flt = RecordFilter(receiver, "telemetry", "temperature > 700.0")
+        assert [flt.matches(m) for m in messages] == [False, True, True]
+        assert receiver.stats.converted_decodes == 0  # never fully decoded
+
+    def test_predicate_compiled_once_per_wire_format(self):
+        receiver, messages = self.make_stream(SPARC_V8)
+        flt = RecordFilter(receiver, "telemetry", "temperature > 700.0")
+        for m in messages:
+            flt.matches(m)
+        assert flt.compilations == 1
+
+    def test_adapts_to_extended_format(self):
+        # An upgraded sender prepends a field; the filter recompiles for
+        # the new wire format and keeps working.
+        receiver, messages = self.make_stream(SPARC_V8)
+        flt = RecordFilter(receiver, "telemetry", "temperature > 700.0")
+        assert flt.matches(messages[1])
+
+        extended = TELEMETRY.extended(
+            "telemetry", [FieldDecl("version", CType.INT)], prepend=True
+        )
+        sender2 = IOContext(X86)
+        h2 = sender2.register_format(extended)
+        receiver.receive(sender2.announce(h2))
+        hot = sender2.encode(
+            h2, {"version": 2, "unit": 9, "rpm": 0.0, "temperature": 900.0, "blob": tuple(range(64))}
+        )
+        assert flt.matches(hot)
+        assert flt.compilations == 2
+
+    def test_other_format_names_dont_match(self):
+        receiver, messages = self.make_stream(SPARC_V8)
+        other = RecordFilter(receiver, "some_other_type", "temperature > 0.0")
+        assert not other.matches(messages[2])
+
+    def test_invalid_expression_rejected_eagerly(self):
+        receiver, _ = self.make_stream(SPARC_V8)
+        with pytest.raises(FilterError):
+            RecordFilter(receiver, "telemetry", "import os")
+
+
+class TestRecordProjector:
+    def test_projects_stream(self):
+        sender = IOContext(SPARC_V8)
+        receiver = IOContext(X86)
+        handle = sender.register_format(TELEMETRY)
+        receiver.receive(sender.announce(handle))
+        msg = sender.encode(
+            handle, {"unit": 5, "rpm": 1.0, "temperature": 300.0, "blob": tuple(range(64))}
+        )
+        projector = RecordProjector(receiver, "telemetry", ["unit", "rpm"])
+        assert projector.project(msg) == {"unit": 5, "rpm": 1.0}
+
+    def test_wrong_format_returns_none(self):
+        sender = IOContext(X86)
+        receiver = IOContext(X86)
+        other = RecordSchema.from_pairs("other", [("x", "int")])
+        handle = sender.register_format(other)
+        receiver.receive(sender.announce(handle))
+        projector = RecordProjector(receiver, "telemetry", ["unit"])
+        assert projector.project(sender.encode(handle, {"x": 1})) is None

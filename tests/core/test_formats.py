@@ -1,0 +1,156 @@
+"""Tests for wire fields, IOFormat meta-information, and the registry."""
+
+import pytest
+
+from repro.abi import SPARC_V8, X86, PrimKind, RecordSchema, layout_record
+from repro.core import FormatError, FormatRegistry, IOFormat, UnknownFormatError, WireField
+from repro.core.fields import validate_wire_fields, wire_fields_from_layout
+
+
+def fmt_for(machine, *pairs, name="t"):
+    schema = RecordSchema.from_pairs(name, list(pairs))
+    return IOFormat.from_layout(layout_record(schema, machine))
+
+
+class TestWireField:
+    def test_from_layout_carries_geometry(self):
+        fmt = fmt_for(SPARC_V8, ("c", "char"), ("d", "double"))
+        f = fmt["d"]
+        assert f.offset == 8 and f.size == 8 and f.count == 1
+        assert f.kind is PrimKind.FLOAT
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(FormatError):
+            WireField("x", PrimKind.INTEGER, 0, 0, 1)
+        with pytest.raises(FormatError):
+            WireField("x", PrimKind.INTEGER, 4, -1, 1)
+
+    def test_total_size_arrays(self):
+        f = WireField("v", PrimKind.FLOAT, 8, 0, 10)
+        assert f.total_size == 80 and f.end == 80
+
+    def test_validate_rejects_overlap(self):
+        fields = (
+            WireField("a", PrimKind.INTEGER, 4, 0, 1),
+            WireField("b", PrimKind.INTEGER, 4, 2, 1),
+        )
+        with pytest.raises(FormatError, match="overlap"):
+            validate_wire_fields(fields, 8)
+
+    def test_validate_rejects_out_of_bounds(self):
+        fields = (WireField("a", PrimKind.INTEGER, 4, 8, 1),)
+        with pytest.raises(FormatError, match="past record size"):
+            validate_wire_fields(fields, 8)
+
+    def test_validate_rejects_duplicates(self):
+        fields = (
+            WireField("a", PrimKind.INTEGER, 4, 0, 1),
+            WireField("a", PrimKind.INTEGER, 4, 4, 1),
+        )
+        with pytest.raises(FormatError, match="duplicate"):
+            validate_wire_fields(fields, 8)
+
+
+class TestIOFormatMeta:
+    def test_meta_round_trip(self):
+        fmt = fmt_for(SPARC_V8, ("i", "int"), ("d", "double[5]"), ("name", "char[16]"))
+        back = IOFormat.from_meta_bytes(fmt.to_meta_bytes())
+        assert back == fmt
+        assert back.byte_order == "big"
+        assert back.record_size == fmt.record_size
+        assert back.field_names() == fmt.field_names()
+        assert back["d"].count == 5
+
+    def test_meta_round_trip_little_endian(self):
+        fmt = fmt_for(X86, ("x", "float"))
+        back = IOFormat.from_meta_bytes(fmt.to_meta_bytes())
+        assert back.byte_order == "little"
+
+    def test_meta_with_string_field(self):
+        fmt = fmt_for(X86, ("tag", "string"), ("n", "int"))
+        back = IOFormat.from_meta_bytes(fmt.to_meta_bytes())
+        assert back["tag"].kind is PrimKind.STRING
+        assert back.has_strings
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(FormatError, match="magic"):
+            IOFormat.from_meta_bytes(b"XXXX" + b"\x00" * 20)
+
+    def test_truncated_meta_rejected(self):
+        fmt = fmt_for(X86, ("i", "int"))
+        data = fmt.to_meta_bytes()
+        with pytest.raises(FormatError):
+            IOFormat.from_meta_bytes(data[: len(data) - 3])
+
+    def test_fingerprint_distinguishes_layouts(self):
+        # Same schema, different machines -> different natural formats.
+        schema_pairs = (("i", "int"), ("d", "double"))
+        assert fmt_for(X86, *schema_pairs) != fmt_for(SPARC_V8, *schema_pairs)
+
+    def test_fingerprint_stable(self):
+        assert fmt_for(X86, ("i", "int")) == fmt_for(X86, ("i", "int"))
+
+    def test_describe_lists_fields(self):
+        text = fmt_for(X86, ("i", "int"), ("v", "double[3]")).describe()
+        assert "v" in text and "[3]" in text and "little-endian" in text
+
+    def test_bad_byte_order_rejected(self):
+        with pytest.raises(FormatError):
+            IOFormat("t", (WireField("a", PrimKind.INTEGER, 4, 0, 1),), "middle", 4)
+
+
+class TestFormatRegistry:
+    def test_local_registration_idempotent(self):
+        reg = FormatRegistry()
+        fmt = fmt_for(X86, ("i", "int"))
+        a = reg.register_local(fmt)
+        b = reg.register_local(fmt_for(X86, ("i", "int")))
+        assert a == b
+        assert reg.local_format(a) == fmt
+
+    def test_distinct_formats_distinct_ids(self):
+        reg = FormatRegistry()
+        a = reg.register_local(fmt_for(X86, ("i", "int")))
+        b = reg.register_local(fmt_for(X86, ("j", "int")))
+        assert a != b
+        assert reg.local_ids() == [a, b]
+
+    def test_remote_round_trip(self):
+        reg = FormatRegistry()
+        fmt = fmt_for(SPARC_V8, ("i", "int"))
+        reg.register_remote(0xABC, 7, fmt)
+        assert reg.knows_remote(0xABC, 7)
+        assert reg.remote_format(0xABC, 7) == fmt
+        assert reg.announcements_received == 1
+
+    def test_unknown_remote_raises(self):
+        reg = FormatRegistry()
+        with pytest.raises(UnknownFormatError):
+            reg.remote_format(1, 1)
+
+    def test_conflicting_reannouncement_rejected(self):
+        reg = FormatRegistry()
+        reg.register_remote(1, 1, fmt_for(X86, ("i", "int")))
+        with pytest.raises(FormatError, match="re-announced"):
+            reg.register_remote(1, 1, fmt_for(X86, ("j", "int")))
+
+    def test_same_reannouncement_allowed(self):
+        reg = FormatRegistry()
+        reg.register_remote(1, 1, fmt_for(X86, ("i", "int")))
+        reg.register_remote(1, 1, fmt_for(X86, ("i", "int")))
+        assert reg.announcements_received == 2
+
+    def test_context_ids_scope_format_ids(self):
+        reg = FormatRegistry()
+        fa = fmt_for(X86, ("i", "int"))
+        fb = fmt_for(SPARC_V8, ("i", "int"))
+        reg.register_remote(1, 1, fa)
+        reg.register_remote(2, 1, fb)
+        assert reg.remote_format(1, 1) == fa
+        assert reg.remote_format(2, 1) == fb
+        assert len(reg.remote_formats()) == 2
+
+    def test_unknown_local_id(self):
+        reg = FormatRegistry()
+        with pytest.raises(FormatError):
+            reg.local_format(99)

@@ -1,0 +1,133 @@
+"""Tests for name-based field matching and mismatch classification."""
+
+import pytest
+
+from repro.abi import ALPHA, SPARC_V8, SPARC_V9_64, X86, RecordSchema, layout_record
+from repro.core import ConversionError, IOFormat, match_formats
+
+
+def fmt(machine, *pairs, name="t"):
+    return IOFormat.from_layout(layout_record(RecordSchema.from_pairs(name, list(pairs)), machine))
+
+
+class TestIdenticalFormats:
+    def test_same_machine_same_schema_is_zero_copy(self):
+        a = fmt(X86, ("i", "int"), ("d", "double"))
+        b = fmt(X86, ("i", "int"), ("d", "double"))
+        m = match_formats(a, b)
+        assert m.zero_copy
+        assert m.mismatch_count == 0
+        assert not m.ignored_wire_fields and not m.missing_names
+
+    def test_same_order_machines_with_same_layout(self):
+        # sparc and mips_o32 share byte order and layout rules for this schema
+        from repro.abi import MIPS_O32
+
+        a = fmt(SPARC_V8, ("i", "int"), ("d", "double"))
+        b = fmt(MIPS_O32, ("i", "int"), ("d", "double"))
+        assert match_formats(a, b).zero_copy
+
+
+class TestByteOrderMismatch:
+    def test_opposite_orders_not_zero_copy(self):
+        a = fmt(X86, ("i", "int"))
+        b = fmt(SPARC_V8, ("i", "int"))
+        m = match_formats(a, b)
+        assert not m.zero_copy
+        assert m.mismatch_count == 1
+
+    def test_char_fields_do_not_count_as_swap_mismatch(self):
+        a = fmt(X86, ("c", "char[8]"))
+        b = fmt(SPARC_V8, ("c", "char[8]"))
+        m = match_formats(a, b)
+        # The char field itself is placement-identical...
+        assert m.matches[0].identical
+        # ...but cross-order exchange still disables whole-record zero-copy.
+        assert not m.zero_copy
+
+
+class TestSizeMismatch:
+    def test_long_4_to_8(self):
+        a = fmt(SPARC_V8, ("l", "long"))  # 4-byte long
+        b = fmt(SPARC_V9_64, ("l", "long"))  # 8-byte long
+        m = match_formats(a, b)
+        assert not m.zero_copy
+        assert m.matches[0].source.size == 4
+        assert m.matches[0].target.size == 8
+
+    def test_offset_mismatch_from_abi_padding(self):
+        a = fmt(X86, ("i", "int"), ("d", "double"))  # d @ 4
+        b = fmt(ALPHA, ("i", "int"), ("d", "double"))  # d @ 8, same (little) order
+        m = match_formats(a, b)
+        assert not m.zero_copy
+        assert not m.matches[1].identical
+
+
+class TestTypeExtension:
+    def test_unexpected_field_ignored(self):
+        wire = fmt(X86, ("extra", "int"), ("i", "int"), ("d", "double"))
+        native = fmt(X86, ("i", "int"), ("d", "double"))
+        m = match_formats(wire, native)
+        assert [f.name for f in m.ignored_wire_fields] == ["extra"]
+        assert not m.missing_names
+
+    def test_appended_field_keeps_zero_copy(self):
+        # Section 4.4: adding fields at the END preserves existing offsets,
+        # so un-upgraded receivers keep the zero-overhead path.
+        wire = fmt(X86, ("i", "int"), ("d", "double"), ("extra", "int"))
+        native = fmt(X86, ("i", "int"), ("d", "double"))
+        m = match_formats(wire, native)
+        assert m.zero_copy
+        assert [f.name for f in m.ignored_wire_fields] == ["extra"]
+
+    def test_prepended_field_breaks_zero_copy(self):
+        # The paper's worst case: unexpected field before all expected ones.
+        wire = fmt(X86, ("extra", "int"), ("i", "int"), ("d", "double"))
+        native = fmt(X86, ("i", "int"), ("d", "double"))
+        m = match_formats(wire, native)
+        assert not m.zero_copy
+        assert m.mismatch_count == 2  # every expected field relocated
+
+    def test_missing_field_defaulted(self):
+        wire = fmt(X86, ("i", "int"))
+        native = fmt(X86, ("i", "int"), ("d", "double"))
+        m = match_formats(wire, native)
+        assert m.missing_names == ("d",)
+        assert not m.zero_copy
+
+    def test_field_reordering_matches_by_name(self):
+        wire = fmt(X86, ("b", "int"), ("a", "int"))
+        native = fmt(X86, ("a", "int"), ("b", "int"))
+        m = match_formats(wire, native)
+        assert m.matches[0].source is not None
+        assert m.matches[0].source.offset == 4  # a is second on the wire
+        assert not m.zero_copy
+
+
+class TestKindCompatibility:
+    def test_int_to_float_allowed(self):
+        wire = fmt(X86, ("x", "int"))
+        native = fmt(X86, ("x", "double"))
+        m = match_formats(wire, native)
+        assert m.matches[0].source is not None
+
+    def test_char_to_int_rejected(self):
+        wire = fmt(X86, ("x", "char[4]"))
+        native = fmt(X86, ("x", "int"))
+        with pytest.raises(ConversionError):
+            match_formats(wire, native)
+
+    def test_describe_mentions_ignored(self):
+        wire = fmt(X86, ("i", "int"), ("new_field", "int"))
+        native = fmt(X86, ("i", "int"))
+        assert "new_field" in match_formats(wire, native).describe()
+
+
+class TestMismatchExtent:
+    def test_mismatch_count_proportional(self):
+        # Section 4.4: overhead varies with the extent of the mismatch.
+        native = fmt(X86, ("a", "int"), ("b", "int"), ("c", "int"), ("d", "int"))
+        wire_end = fmt(X86, ("a", "int"), ("b", "int"), ("c", "int"), ("d", "int"), ("z", "int"))
+        wire_front = fmt(X86, ("z", "int"), ("a", "int"), ("b", "int"), ("c", "int"), ("d", "int"))
+        assert match_formats(wire_end, native).mismatch_count == 0
+        assert match_formats(wire_front, native).mismatch_count == 4

@@ -1,0 +1,108 @@
+"""Stress tests: wide schemas, long streams, many formats."""
+
+import numpy as np
+import pytest
+
+from repro.abi import ALPHA, SPARC_V8, X86, RecordSchema, records_equal
+from repro.core import IOContext, PbioConnection
+from repro.net import InMemoryPipe
+
+
+class TestWideSchemas:
+    def test_500_field_record_converts_correctly(self):
+        # Wide records exercise generated-code size and plan coalescing.
+        pairs = []
+        rng = np.random.default_rng(0)
+        for i in range(500):
+            kind = ("int", "double", "float", "short", "unsigned int")[i % 5]
+            pairs.append((f"f{i}", kind))
+        schema = RecordSchema.from_pairs("wide", pairs)
+        record = {}
+        for i in range(500):
+            if i % 5 in (1, 2):
+                record[f"f{i}"] = float(np.float32(rng.uniform(-100, 100)))
+            elif i % 5 == 3:
+                record[f"f{i}"] = int(rng.integers(-30000, 30000))
+            elif i % 5 == 4:
+                record[f"f{i}"] = int(rng.integers(0, 2**31))
+            else:
+                record[f"f{i}"] = int(rng.integers(-(2**31), 2**31))
+        sender = IOContext(X86)
+        receiver = IOContext(SPARC_V8)
+        h = sender.register_format(schema)
+        receiver.expect(schema)
+        receiver.receive(sender.announce(h))
+        out = receiver.receive(sender.encode(h, record))
+        assert records_equal(record, out, rel_tol=1e-5)
+
+    def test_wide_record_meta_round_trips(self):
+        from repro.abi import layout_record
+        from repro.core import IOFormat
+
+        pairs = [(f"g{i}", "int") for i in range(800)]
+        schema = RecordSchema.from_pairs("huge_meta", pairs)
+        fmt = IOFormat.from_layout(layout_record(schema, X86))
+        assert IOFormat.from_meta_bytes(fmt.to_meta_bytes()) == fmt
+
+
+class TestLongStreams:
+    def test_ten_thousand_messages(self):
+        schema = RecordSchema.from_pairs("tick", [("seq", "int"), ("value", "double")])
+        pipe = InMemoryPipe()
+        tx = PbioConnection(IOContext(X86), pipe.a)
+        rx = PbioConnection(IOContext(SPARC_V8), pipe.b)
+        h = tx.ctx.register_format(schema)
+        rx.ctx.expect(schema)
+        n = 10_000
+        for i in range(n):
+            tx.send(h, {"seq": i, "value": i * 0.5})
+        for i in range(n):
+            rec = rx.recv()
+            assert rec["seq"] == i
+        assert rx.ctx.stats.converters_generated == 1
+        assert rx.ctx.stats.converter_cache_hits == n - 1
+
+
+class TestManyFormats:
+    def test_hundred_distinct_formats_on_one_connection(self):
+        pipe = InMemoryPipe()
+        tx = PbioConnection(IOContext(ALPHA), pipe.a)
+        rx = PbioConnection(IOContext(X86), pipe.b)
+        schemas = [
+            RecordSchema.from_pairs(f"type{i}", [("a", "int"), (f"v{i}", "double")])
+            for i in range(100)
+        ]
+        handles = [tx.ctx.register_format(s) for s in schemas]
+        for s in schemas:
+            rx.ctx.expect(s)
+        for i, h in enumerate(handles):
+            tx.send(h, {"a": i, f"v{i}": float(i)})
+        for i in range(100):
+            rec = rx.recv()
+            assert rec["a"] == i and rec[f"v{i}"] == float(i)
+        assert rx.ctx.registry.announcements_received == 100
+        assert rx.ctx.stats.converters_generated == 100
+
+    def test_format_ids_stay_distinct(self):
+        ctx = IOContext(X86)
+        ids = set()
+        for i in range(200):
+            schema = RecordSchema.from_pairs(f"t{i}", [("x", "int")])
+            ids.add(ctx.register_format(schema).format_id)
+        assert len(ids) == 200
+
+
+class TestLargePayloads:
+    def test_four_megabyte_record(self):
+        schema = RecordSchema.from_pairs(
+            "bulk", [("header", "int"), ("data", "double[524288]")]
+        )
+        data = np.arange(524288, dtype=float)
+        sender = IOContext(X86)
+        receiver = IOContext(SPARC_V8)
+        h = sender.register_format(schema)
+        receiver.expect(schema)
+        receiver.receive(sender.announce(h))
+        out = receiver.receive(sender.encode(h, {"header": 1, "data": data}))
+        assert out["header"] == 1
+        np.testing.assert_array_equal(np.asarray(out["data"], dtype=float), data)

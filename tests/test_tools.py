@@ -1,0 +1,129 @@
+"""Tests for the CLI tools (pbio-layout, pbio-dump)."""
+
+import pytest
+
+from repro.abi import SPARC_V8, X86, RecordSchema
+from repro.core import IOContext, write_records
+from repro.tools import dump_main, layout_main
+
+
+class TestLayoutTool:
+    def test_single_machine_layout(self, capsys):
+        rc = layout_main(["--machines", "i86", "n:int", "d:double"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "int n" in out and "double d" in out
+
+    def test_cross_machine_analysis(self, capsys):
+        rc = layout_main(["--machines", "i86,sparc", "n:int", "d:double"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "i86 -> sparc" in out
+        assert "conversion" in out
+
+    def test_zero_copy_verdict_same_machine_pair(self, capsys):
+        rc = layout_main(["--machines", "sparc,mips_o32", "n:int", "d:double"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "zero-copy" in out
+
+    def test_array_fields(self, capsys):
+        rc = layout_main(["--machines", "i86", "v:double[4]"])
+        assert rc == 0
+        assert "v[4]" in capsys.readouterr().out
+
+    def test_unknown_machine_errors(self, capsys):
+        rc = layout_main(["--machines", "cray", "n:int"])
+        assert rc == 2
+        assert "unknown machines" in capsys.readouterr().err
+
+    def test_bad_field_spec_errors(self):
+        with pytest.raises(SystemExit):
+            layout_main(["--machines", "i86", "notafield"])
+
+    def test_bad_type_errors(self, capsys):
+        rc = layout_main(["--machines", "i86", "x:quaternion"])
+        assert rc == 2
+        assert "bad schema" in capsys.readouterr().err
+
+    def test_future_work_machines_available(self, capsys):
+        rc = layout_main(["--machines", "i960,strongarm", "c:char", "d:double"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # i960 aligns doubles to 8, StrongARM (OABI) to 4: layouts differ.
+        assert "conversion" in out
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = str(tmp_path / "dump.pbio")
+    schema = RecordSchema.from_pairs(
+        "sensor", [("id", "int"), ("value", "double"), ("tag", "char[4]")]
+    )
+    write_records(
+        IOContext(SPARC_V8),
+        path,
+        schema,
+        [
+            {"id": 1, "value": 2.5, "tag": b"aa"},
+            {"id": 2, "value": -1.0, "tag": b"bb"},
+        ],
+    )
+    return path
+
+
+class TestDumpTool:
+    def test_dump_decodes_without_schema(self, sample_file, capsys):
+        rc = dump_main([sample_file])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "format 'sensor'" in out
+        assert "id = 1" in out and "value = -1.0" in out
+        assert "2 record(s), 1 format(s)" in out
+
+    def test_formats_only(self, sample_file, capsys):
+        rc = dump_main(["--formats", sample_file])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "format 'sensor'" in out
+        assert "record #" not in out
+
+    def test_hex_dump(self, sample_file, capsys):
+        rc = dump_main(["--hex", sample_file])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "|" in out and "000000" in out
+
+    def test_limit(self, sample_file, capsys):
+        rc = dump_main(["--limit", "1", sample_file])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "record #1" in out and "record #2" not in out
+
+    def test_missing_file(self, capsys):
+        rc = dump_main(["/nonexistent/never.pbio"])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_corrupt_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.pbio"
+        path.write_bytes(b"garbage data here")
+        rc = dump_main([str(path)])
+        assert rc == 1
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_multi_format_file(self, tmp_path, capsys):
+        path = str(tmp_path / "multi.pbio")
+        ctx = IOContext(X86)
+        from repro.core.files import PbioFileWriter
+
+        s1 = RecordSchema.from_pairs("alpha", [("a", "int")])
+        s2 = RecordSchema.from_pairs("beta", [("b", "double")])
+        with PbioFileWriter.open(ctx, path) as writer:
+            writer.write(ctx.register_format(s1), {"a": 1})
+            writer.write(ctx.register_format(s2), {"b": 2.0})
+        rc = dump_main([path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "format 'alpha'" in out and "format 'beta'" in out
+        assert "2 record(s), 2 format(s)" in out

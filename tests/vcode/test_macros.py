@@ -1,0 +1,125 @@
+"""Tests for the high-level conversion macros."""
+
+import struct
+
+import pytest
+
+from repro.vcode import VM, ConversionEmitter, UNROLL_LIMIT
+from repro.vcode.isa import Op
+
+
+def execute(ce, src, dst_len):
+    program = ce.finish()
+    dst = bytearray(dst_len)
+    VM().run(program, {"src": bytearray(src), "dst": dst})
+    return dst, program
+
+
+class TestCopy:
+    def test_copy_bytes_verbatim(self):
+        ce = ConversionEmitter("big", "big")
+        ce.copy_bytes(0, 4, 4)
+        dst, _ = execute(ce, b"\x00\x00\x00\x00\xde\xad\xbe\xef", 4)
+        assert dst == b"\xde\xad\xbe\xef"
+
+
+class TestIntConversion:
+    def test_swap_scalar(self):
+        ce = ConversionEmitter("big", "little")
+        ce.convert_int(0, 4, 0, 4, signed=True)
+        dst, _ = execute(ce, struct.pack(">i", -5), 4)
+        assert struct.unpack("<i", dst)[0] == -5
+
+    def test_widen_4_to_8(self):
+        ce = ConversionEmitter("big", "little")
+        ce.convert_int(0, 8, 0, 4, signed=True)
+        dst, _ = execute(ce, struct.pack(">i", -77), 8)
+        assert struct.unpack("<q", dst)[0] == -77
+
+    def test_narrow_8_to_4(self):
+        ce = ConversionEmitter("little", "big")
+        ce.convert_int(0, 4, 0, 8, signed=True)
+        dst, _ = execute(ce, struct.pack("<q", 123456), 4)
+        assert struct.unpack(">i", dst)[0] == 123456
+
+    def test_small_array_unrolled(self):
+        count = UNROLL_LIMIT
+        ce = ConversionEmitter("big", "little")
+        ce.convert_int(0, 4, 0, 4, signed=True, count=count)
+        src = struct.pack(f">{count}i", *range(count))
+        dst, program = execute(ce, src, 4 * count)
+        assert struct.unpack(f"<{count}i", dst) == tuple(range(count))
+        assert not any(i.op is Op.JMP for i in program.instrs)  # unrolled
+
+    def test_large_array_uses_loop(self):
+        count = 50
+        ce = ConversionEmitter("big", "little")
+        ce.convert_int(0, 4, 0, 4, signed=True, count=count)
+        src = struct.pack(f">{count}i", *range(count))
+        dst, program = execute(ce, src, 4 * count)
+        assert struct.unpack(f"<{count}i", dst) == tuple(range(count))
+        assert any(i.op is Op.JMP for i in program.instrs)  # looped
+        assert len(program) < 4 * count  # code size independent of count
+
+    def test_loop_with_widening_strides(self):
+        count = 20
+        ce = ConversionEmitter("big", "little")
+        ce.convert_int(0, 8, 0, 4, signed=True, count=count)
+        src = struct.pack(f">{count}i", *[-i for i in range(count)])
+        dst, _ = execute(ce, src, 8 * count)
+        assert struct.unpack(f"<{count}q", dst) == tuple(-i for i in range(count))
+
+
+class TestFloatConversion:
+    def test_swap_double(self):
+        ce = ConversionEmitter("big", "little")
+        ce.convert_float(0, 8, 0, 8)
+        dst, _ = execute(ce, struct.pack(">d", 2.25), 8)
+        assert struct.unpack("<d", dst)[0] == 2.25
+
+    def test_float_to_double(self):
+        ce = ConversionEmitter("big", "little")
+        ce.convert_float(0, 8, 0, 4)
+        dst, _ = execute(ce, struct.pack(">f", 0.5), 8)
+        assert struct.unpack("<d", dst)[0] == 0.5
+
+    def test_double_array_loop(self):
+        count = 30
+        ce = ConversionEmitter("big", "little")
+        ce.convert_float(0, 8, 0, 8, count=count)
+        values = [i * 0.25 for i in range(count)]
+        dst, _ = execute(ce, struct.pack(f">{count}d", *values), 8 * count)
+        assert struct.unpack(f"<{count}d", dst) == tuple(values)
+
+
+class TestCrossKind:
+    def test_int_to_float(self):
+        ce = ConversionEmitter("big", "little")
+        ce.convert_int_to_float(0, 8, 0, 4, signed=True)
+        dst, _ = execute(ce, struct.pack(">i", -3), 8)
+        assert struct.unpack("<d", dst)[0] == -3.0
+
+    def test_float_to_int(self):
+        ce = ConversionEmitter("little", "big")
+        ce.convert_float_to_int(0, 4, 0, 8)
+        dst, _ = execute(ce, struct.pack("<d", 9.75), 4)
+        assert struct.unpack(">i", dst)[0] == 9
+
+
+class TestZeroFill:
+    @pytest.mark.parametrize("length", [1, 4, 8, 12, 17])
+    def test_zero_fill_lengths(self, length):
+        ce = ConversionEmitter("big", "little")
+        ce.zero_fill(0, length)
+        dst = bytearray(b"\xff" * length)
+        VM().run(ce.finish(), {"src": bytearray(), "dst": dst})
+        assert dst == b"\x00" * length
+
+
+class TestRegisterHygiene:
+    def test_no_registers_leak_across_fields(self):
+        ce = ConversionEmitter("big", "little")
+        for i in range(40):  # far more fields than registers
+            ce.convert_int(i * 4, 4, i * 4, 4, signed=True)
+            ce.convert_float(i * 8, 8, i * 8, 8, count=20)
+        assert ce.pool.live_counts == (0, 0)

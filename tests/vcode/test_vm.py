@@ -1,0 +1,303 @@
+"""Unit tests for the vcode emitter and VM."""
+
+import struct
+
+import pytest
+
+from repro.vcode import VM, Emitter, Op, VMError
+
+
+def run(build, memory=None, **vm_kwargs):
+    em = Emitter()
+    build(em)
+    em.ret()
+    program = em.seal()
+    vm = VM(**vm_kwargs)
+    result = vm.run(program, memory or {})
+    return result, vm
+
+
+class TestAlu:
+    def test_movi_and_return_register(self):
+        result, _ = run(lambda em: em.movi(1, 42))
+        assert result == 42
+
+    def test_add_addi(self):
+        def build(em):
+            em.movi(2, 10)
+            em.movi(3, 32)
+            em.add(1, 2, 3)
+            em.addi(1, 1, 5)
+
+        assert run(build)[0] == 47
+
+    def test_sub_and_muli(self):
+        def build(em):
+            em.movi(2, 100)
+            em.movi(3, 58)
+            em.sub(1, 2, 3)
+            em.muli(1, 1, 3)
+
+        assert run(build)[0] == 126
+
+    def test_mov(self):
+        def build(em):
+            em.movi(5, 7)
+            em.mov(1, 5)
+
+        assert run(build)[0] == 7
+
+    def test_wraparound_64bit(self):
+        def build(em):
+            em.movi(2, (1 << 64) - 1)
+            em.addi(1, 2, 1)
+
+        assert run(build)[0] == 0
+
+
+class TestMemory:
+    def test_ld_st_round_trip(self):
+        src = bytearray(struct.pack(">i", -123456))
+        dst = bytearray(4)
+
+        def build(em):
+            em.ld(2, "src", 0, 4, signed=True, endian="big")
+            em.st(2, "dst", 0, 4, endian="little")
+
+        run(build, {"src": src, "dst": dst})
+        assert struct.unpack("<i", dst)[0] == -123456
+
+    def test_byteswap_via_endian_load_store(self):
+        src = bytearray(b"\x01\x02\x03\x04")
+        dst = bytearray(4)
+
+        def build(em):
+            em.ld(2, "src", 0, 4, signed=False, endian="big")
+            em.st(2, "dst", 0, 4, endian="little")
+
+        run(build, {"src": src, "dst": dst})
+        assert dst == b"\x04\x03\x02\x01"
+
+    def test_widening_int4_to_int8(self):
+        src = bytearray(struct.pack(">i", -7))
+        dst = bytearray(8)
+
+        def build(em):
+            em.ld(2, "src", 0, 4, signed=True, endian="big")
+            em.st(2, "dst", 0, 8, endian="little")
+
+        run(build, {"src": src, "dst": dst})
+        assert struct.unpack("<q", dst)[0] == -7
+
+    def test_unsigned_load(self):
+        src = bytearray(b"\xff\xff")
+        dst = bytearray(4)
+
+        def build(em):
+            em.ld(2, "src", 0, 2, signed=False, endian="big")
+            em.st(2, "dst", 0, 4, endian="little")
+
+        run(build, {"src": src, "dst": dst})
+        assert struct.unpack("<I", dst)[0] == 65535
+
+    def test_float_load_store_width_change(self):
+        src = bytearray(struct.pack(">f", 1.5))
+        dst = bytearray(8)
+
+        def build(em):
+            em.ldf(0, "src", 0, 4, endian="big")
+            em.stf(0, "dst", 0, 8, endian="little")
+
+        run(build, {"src": src, "dst": dst})
+        assert struct.unpack("<d", dst)[0] == 1.5
+
+    def test_register_indexed_addressing(self):
+        src = bytearray(struct.pack("<ii", 11, 22))
+        dst = bytearray(8)
+
+        def build(em):
+            em.movi(3, 4)  # index register
+            em.ld(2, "src", (3, 0), 4, signed=True, endian="little")
+            em.st(2, "dst", (3, 0), 4, endian="little")
+
+        run(build, {"src": src, "dst": dst})
+        assert struct.unpack("<ii", dst) == (0, 22)
+
+    def test_memcpy(self):
+        src = bytearray(b"abcdefgh")
+        dst = bytearray(8)
+
+        def build(em):
+            em.memcpy("dst", 2, "src", 0, 4)
+
+        run(build, {"src": src, "dst": dst})
+        assert dst == b"\x00\x00abcd\x00\x00"
+
+    def test_out_of_bounds_faults(self):
+        def build(em):
+            em.ld(2, "src", 100, 4, signed=True, endian="big")
+
+        with pytest.raises(VMError, match="fault"):
+            run(build, {"src": bytearray(4)})
+
+    def test_unknown_segment_faults(self):
+        def build(em):
+            em.ld(2, "nope", 0, 4, signed=True, endian="big")
+
+        with pytest.raises(VMError):
+            run(build, {"src": bytearray(4)})
+
+
+class TestControlFlow:
+    def test_loop_sums_array(self):
+        values = list(range(10))
+        src = bytearray(struct.pack("<10i", *values))
+
+        def build(em):
+            em.movi(1, 0)  # acc
+            em.movi(2, 0)  # idx (bytes)
+            em.movi(3, 40)  # end
+            em.label("top")
+            em.bge(2, 3, "done")
+            em.ld(4, "src", (2, 0), 4, signed=True, endian="little")
+            em.add(1, 1, 4)
+            em.addi(2, 2, 4)
+            em.jmp("top")
+            em.label("done")
+
+        result, vm = run(build, {"src": src})
+        assert result == sum(values)
+        assert vm.steps > 10
+
+    def test_beq_bne(self):
+        def build(em):
+            em.movi(2, 5)
+            em.movi(3, 5)
+            em.movi(1, 0)
+            em.beq(2, 3, "eq")
+            em.movi(1, 111)
+            em.label("eq")
+            em.addi(1, 1, 1)
+
+        assert run(build)[0] == 1
+
+    def test_blt_signed_comparison(self):
+        def build(em):
+            em.movi(2, (1 << 64) - 1)  # -1 as two's complement
+            em.movi(3, 1)
+            em.movi(1, 0)
+            em.blt(2, 3, "less")
+            em.jmp("end")
+            em.label("less")
+            em.movi(1, 1)
+            em.label("end")
+
+        assert run(build)[0] == 1
+
+    def test_step_limit_stops_runaway(self):
+        def build(em):
+            em.label("spin")
+            em.jmp("spin")
+
+        with pytest.raises(VMError, match="step limit"):
+            run(build, max_steps=1000)
+
+    def test_undefined_label_rejected_at_seal(self):
+        em = Emitter()
+        em.jmp("nowhere")
+        em.ret()
+        with pytest.raises(ValueError, match="undefined label"):
+            em.seal()
+
+    def test_duplicate_label_rejected(self):
+        em = Emitter()
+        em.label("a")
+        with pytest.raises(ValueError):
+            em.label("a")
+
+    def test_cannot_emit_after_seal(self):
+        em = Emitter()
+        em.ret()
+        em.seal()
+        with pytest.raises(RuntimeError):
+            em.movi(1, 0)
+
+
+class TestConversions:
+    def test_i2f(self):
+        dst = bytearray(8)
+
+        def build(em):
+            em.movi(2, -9)
+            em.cvt_i2f(0, 2)
+            em.stf(0, "dst", 0, 8, endian="little")
+
+        run(build, {"dst": dst})
+        assert struct.unpack("<d", dst)[0] == -9.0
+
+    def test_f2i_truncates(self):
+        src = bytearray(struct.pack("<d", 3.9))
+        dst = bytearray(4)
+
+        def build(em):
+            em.ldf(0, "src", 0, 8, endian="little")
+            em.cvt_f2i(2, 0)
+            em.st(2, "dst", 0, 4, endian="little")
+
+        run(build, {"src": src, "dst": dst})
+        assert struct.unpack("<i", dst)[0] == 3
+
+
+class TestValidation:
+    def test_bad_width_rejected_at_emit(self):
+        em = Emitter()
+        with pytest.raises(ValueError, match="width"):
+            em.ld(2, "src", 0, 3, signed=True, endian="big")
+
+    def test_bad_endian_rejected(self):
+        em = Emitter()
+        with pytest.raises(ValueError, match="endian"):
+            em.ld(2, "src", 0, 4, signed=True, endian="middle")
+
+    def test_disassemble_lists_instructions(self):
+        em = Emitter()
+        em.movi(1, 3)
+        em.ret()
+        text = em.seal().disassemble()
+        assert "movi" in text and "ret" in text
+
+
+class TestRegisterPool:
+    def test_get_put_round_trip(self):
+        from repro.vcode import RegisterPool
+
+        pool = RegisterPool()
+        r = pool.get_int()
+        pool.put_int(r)
+        assert pool.get_int() == r
+
+    def test_double_free_rejected(self):
+        from repro.vcode import RegisterPool
+
+        pool = RegisterPool()
+        r = pool.get_int()
+        pool.put_int(r)
+        with pytest.raises(ValueError):
+            pool.put_int(r)
+
+    def test_exhaustion(self):
+        from repro.vcode import RegisterExhausted, RegisterPool
+
+        pool = RegisterPool(num_int=4, reserved_int=2)
+        pool.get_int()
+        pool.get_int()
+        with pytest.raises(RegisterExhausted):
+            pool.get_int()
+
+    def test_scratch_context_manager(self):
+        from repro.vcode import RegisterPool
+
+        pool = RegisterPool()
+        with pool.scratch_int() as r:
+            assert pool.live_counts == (1, 0)
+        assert pool.live_counts == (0, 0)

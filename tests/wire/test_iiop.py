@@ -1,0 +1,148 @@
+"""Tests for the CORBA IIOP baseline: CDR streams, stub codec, GIOP."""
+
+import pytest
+
+from repro.abi import ALPHA, SPARC_V8, X86, RecordSchema, codec_for, layout_record, records_equal
+from repro.wire import IiopWire, WireFormatError
+from repro.wire.iiop import (
+    HEADER_SIZE,
+    CdrInputStream,
+    CdrOutputStream,
+    CdrStructCodec,
+    pack_header,
+    unpack_header,
+)
+
+
+def layout(machine, *pairs, name="t"):
+    return layout_record(RecordSchema.from_pairs(name, list(pairs)), machine)
+
+
+class TestCdrStreams:
+    def test_alignment_on_write(self):
+        out = CdrOutputStream("big")
+        out.put("B", 1, 7)
+        out.put("I", 4, 1)  # must pad to offset 4
+        data = out.getvalue()
+        assert len(data) == 8
+        assert data[4:] == b"\x00\x00\x00\x01"
+
+    def test_reader_applies_same_alignment(self):
+        out = CdrOutputStream("little")
+        out.put("B", 1, 9)
+        out.put("d", 8, 2.5)
+        stream = CdrInputStream(out.getvalue(), "little", "big")
+        assert stream.get("B", 1) == 9
+        assert stream.get("d", 8) == 2.5
+        assert stream.needs_swap
+
+    def test_no_swap_needed_same_order(self):
+        stream = CdrInputStream(b"", "big", "big")
+        assert not stream.needs_swap
+
+    def test_truncated_read(self):
+        stream = CdrInputStream(b"\x00\x00", "big", "big")
+        with pytest.raises(WireFormatError):
+            stream.get("I", 4)
+
+    def test_octets(self):
+        out = CdrOutputStream("big")
+        out.put_octets(b"abc")
+        stream = CdrInputStream(out.getvalue(), "big", "big")
+        assert stream.get_octets(3) == b"abc"
+
+
+class TestGiopHeader:
+    def test_round_trip_big(self):
+        header = pack_header("big", 0, 128)
+        order, msg_type, size = unpack_header(header + b"\x00" * 128)
+        assert order == "big" and msg_type == 0 and size == 128
+
+    def test_round_trip_little_flag(self):
+        header = pack_header("little", 1, 5)
+        order, msg_type, _ = unpack_header(header + b"\x00" * 5)
+        assert order == "little" and msg_type == 1
+
+    def test_bad_magic(self):
+        with pytest.raises(WireFormatError, match="magic"):
+            unpack_header(b"JUNK" + b"\x00" * 8)
+
+    def test_short_message(self):
+        with pytest.raises(WireFormatError, match="shorter"):
+            unpack_header(b"GIOP")
+
+    def test_header_size(self):
+        assert HEADER_SIZE == 12
+
+
+class TestCdrStructCodec:
+    def test_wire_size_alignment(self):
+        # char (1) + align pad (3) + int (4) = 8
+        codec = CdrStructCodec(layout(X86, ("c", "char"), ("i", "int")))
+        assert codec.wire_size == 8
+
+    def test_idl_long_is_4_bytes(self):
+        codec = CdrStructCodec(layout(ALPHA, ("l", "long")))
+        assert codec.wire_size == 4
+
+    def test_marshal_unmarshal_same_order(self):
+        lay = layout(X86, ("i", "int"), ("d", "double"), ("name", "char[5]"))
+        codec = CdrStructCodec(lay)
+        rec = {"i": 1, "d": 2.5, "name": b"abcd"}
+        wire = bytearray(codec.wire_size)
+        codec.marshal(codec_for(lay).encode(rec), wire, "little")
+        out = bytearray(lay.size)
+        codec.unmarshal(wire, "little", out)
+        assert records_equal(rec, codec_for(lay).decode(out))
+
+    def test_strings_rejected(self):
+        with pytest.raises(WireFormatError):
+            CdrStructCodec(layout(X86, ("s", "string")))
+
+
+class TestIiopWireSystem:
+    def test_heterogeneous_round_trip(self):
+        rec = {"i": -3, "d": 9.5, "v": tuple(range(8))}
+        pairs = [("i", "int"), ("d", "double"), ("v", "int[8]")]
+        src, dst = layout(SPARC_V8, *pairs), layout(X86, *pairs)
+        bound = IiopWire().bind(src, dst)
+        out = codec_for(dst).decode(bound.decode(bound.encode(codec_for(src).encode(rec))))
+        assert records_equal(rec, out)
+
+    def test_reader_makes_right_no_swap_homogeneous(self):
+        # Same byte order: wire bytes for an int match native bytes.
+        pairs = [("i", "int")]
+        src = layout(X86, *pairs)
+        bound = IiopWire().bind(src, src)
+        wire = bound.encode(codec_for(src).encode({"i": 1}))
+        assert wire[HEADER_SIZE:] == b"\x01\x00\x00\x00"  # still little-endian
+
+    def test_sender_order_flag_in_header(self):
+        pairs = [("i", "int")]
+        big = IiopWire().bind(layout(SPARC_V8, *pairs), layout(SPARC_V8, *pairs))
+        little = IiopWire().bind(layout(X86, *pairs), layout(X86, *pairs))
+        rec_big = codec_for(layout(SPARC_V8, *pairs)).encode({"i": 1})
+        rec_little = codec_for(layout(X86, *pairs)).encode({"i": 1})
+        assert unpack_header(big.encode(rec_big))[0] == "big"
+        assert unpack_header(little.encode(rec_little))[0] == "little"
+
+    def test_payload_length_mismatch(self):
+        pairs = [("i", "int")]
+        src = layout(X86, *pairs)
+        bound = IiopWire().bind(src, src)
+        wire = bound.encode(codec_for(src).encode({"i": 1}))
+        with pytest.raises(WireFormatError, match="length"):
+            bound.decode(wire + b"\x00")
+
+    def test_a_priori_agreement_enforced(self):
+        a = layout(X86, ("x", "int"))
+        b = layout(X86, ("y", "int"))
+        with pytest.raises(WireFormatError):
+            IiopWire().bind(a, b)
+
+    def test_wire_packed_smaller_than_padded_native(self):
+        pairs = [("c", "char"), ("d", "double")]
+        src = layout(SPARC_V8, *pairs)  # 16 bytes native
+        bound = IiopWire().bind(src, src)
+        wire = bound.encode(codec_for(src).encode({"c": b"x", "d": 1.0}))
+        assert len(wire) - HEADER_SIZE == 16  # CDR: 1 + 7 pad + 8

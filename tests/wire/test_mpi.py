@@ -1,0 +1,140 @@
+"""Tests for the MPICH-like baseline: datatypes, pack/unpack, endpoints."""
+
+import pytest
+
+from repro.abi import ALPHA, SPARC_V8, X86, RecordSchema, codec_for, layout_record, records_equal
+from repro.net import InMemoryPipe
+from repro.wire import MpiWire, WireFormatError
+from repro.wire.mpi import CommittedDatatype, MpiEndpoint, mpi_pack, mpi_unpack
+
+
+def layout(machine, *pairs, name="t"):
+    return layout_record(RecordSchema.from_pairs(name, list(pairs)), machine)
+
+
+class TestCommittedDatatype:
+    def test_typemap_flattens_arrays(self):
+        dtype = CommittedDatatype(layout(X86, ("i", "int"), ("v", "double[5]")))
+        # 1 int element + 5 double elements
+        assert len(dtype) == 6
+
+    def test_char_arrays_are_single_block(self):
+        dtype = CommittedDatatype(layout(X86, ("name", "char[16]")))
+        assert len(dtype) == 1
+        assert dtype.entries[0].is_block
+
+    def test_wire_size_is_packed_external32(self):
+        # native: char + pad(3) + int = 8; wire: 1 + 4 = 5
+        dtype = CommittedDatatype(layout(X86, ("c", "char"), ("i", "int")))
+        assert dtype.wire_size == 5
+
+    def test_long_uses_external32_size(self):
+        # external32 long is 4 bytes even on LP64 machines
+        dtype = CommittedDatatype(layout(ALPHA, ("l", "long")))
+        assert dtype.wire_size == 4
+
+    def test_signature_matching(self):
+        a = CommittedDatatype(layout(X86, ("i", "int"), ("d", "double")))
+        b = CommittedDatatype(layout(SPARC_V8, ("i", "int"), ("d", "double")))
+        assert a.signature() == b.signature()
+
+    def test_signature_mismatch_on_type_change(self):
+        a = CommittedDatatype(layout(X86, ("i", "int")))
+        b = CommittedDatatype(layout(X86, ("i", "double")))
+        assert a.signature() != b.signature()
+
+    def test_strings_rejected(self):
+        with pytest.raises(WireFormatError):
+            CommittedDatatype(layout(X86, ("s", "string")))
+
+
+class TestPackUnpack:
+    def test_pack_position_advances(self):
+        dtype = CommittedDatatype(layout(X86, ("i", "int")))
+        buf = bytearray(dtype.wire_size * 2)
+        native = codec_for(dtype.layout).encode({"i": 1})
+        pos = mpi_pack(dtype, native, buf, 0)
+        pos = mpi_pack(dtype, native, buf, pos)
+        assert pos == 8
+
+    def test_pack_then_unpack_heterogeneous(self):
+        rec = {"i": -5, "d": 1.25, "v": tuple(range(10))}
+        src = layout(SPARC_V8, ("i", "int"), ("d", "double"), ("v", "int[10]"))
+        dst = layout(X86, ("i", "int"), ("d", "double"), ("v", "int[10]"))
+        sd, dd = CommittedDatatype(src), CommittedDatatype(dst)
+        wire = bytearray(sd.wire_size)
+        mpi_pack(sd, codec_for(src).encode(rec), wire)
+        out = bytearray(dst.size)
+        mpi_unpack(dd, wire, 0, out)
+        assert records_equal(rec, codec_for(dst).decode(out))
+
+    def test_wire_is_big_endian(self):
+        dtype = CommittedDatatype(layout(X86, ("i", "int")))
+        buf = bytearray(4)
+        mpi_pack(dtype, codec_for(dtype.layout).encode({"i": 1}), buf)
+        assert bytes(buf) == b"\x00\x00\x00\x01"
+
+
+class TestMpiWireSystem:
+    def test_round_trip(self):
+        rec = {"a": 1, "b": -2.5}
+        src = layout(X86, ("a", "int"), ("b", "double"))
+        dst = layout(SPARC_V8, ("a", "int"), ("b", "double"))
+        bound = MpiWire().bind(src, dst)
+        out = codec_for(dst).decode(bound.decode(bound.encode(codec_for(src).encode(rec))))
+        assert records_equal(rec, out)
+
+    def test_message_length_variation_invalidates(self):
+        src = layout(X86, ("a", "int"))
+        bound = MpiWire().bind(src, src)
+        wire = bound.encode(codec_for(src).encode({"a": 1}))
+        with pytest.raises(WireFormatError, match="invalidates"):
+            bound.decode(wire + b"\x00\x00\x00\x00")
+
+    def test_field_rename_breaks_a_priori_agreement(self):
+        a = layout(X86, ("a", "int"))
+        b = layout(X86, ("b", "int"))
+        with pytest.raises(WireFormatError, match="a priori"):
+            MpiWire().bind(a, b)
+
+    def test_added_field_breaks_agreement(self):
+        # The contrast with PBIO's type extension (Section 4.4).
+        a = layout(X86, ("a", "int"))
+        b = layout(X86, ("a", "int"), ("b", "int"))
+        with pytest.raises(WireFormatError):
+            MpiWire().bind(a, b)
+
+
+class TestMpiEndpoint:
+    def test_send_recv_over_pipe(self):
+        pipe = InMemoryPipe()
+        schema = RecordSchema.from_pairs("t", [("i", "int"), ("d", "double")])
+        sender = MpiEndpoint(pipe.a)
+        receiver = MpiEndpoint(pipe.b)
+        st = sender.commit(layout_record(schema, X86))
+        rt = receiver.commit(layout_record(schema, SPARC_V8))
+        rec = {"i": 3, "d": -0.5}
+        sender.send(st, codec_for(st.layout).encode(rec), tag=7)
+        out = receiver.recv(rt, expected_tag=7)
+        assert records_equal(rec, codec_for(rt.layout).decode(out))
+
+    def test_tag_mismatch(self):
+        pipe = InMemoryPipe()
+        schema = RecordSchema.from_pairs("t", [("i", "int")])
+        sender, receiver = MpiEndpoint(pipe.a), MpiEndpoint(pipe.b)
+        st = sender.commit(layout_record(schema, X86))
+        rt = receiver.commit(layout_record(schema, X86))
+        sender.send(st, codec_for(st.layout).encode({"i": 1}), tag=1)
+        with pytest.raises(WireFormatError, match="tag"):
+            receiver.recv(rt, expected_tag=2)
+
+    def test_truncation_error(self):
+        pipe = InMemoryPipe()
+        s_schema = RecordSchema.from_pairs("t", [("i", "int")])
+        r_schema = RecordSchema.from_pairs("t", [("i", "int"), ("j", "int")])
+        sender, receiver = MpiEndpoint(pipe.a), MpiEndpoint(pipe.b)
+        st = sender.commit(layout_record(s_schema, X86))
+        rt = receiver.commit(layout_record(r_schema, X86))
+        sender.send(st, codec_for(st.layout).encode({"i": 1}))
+        with pytest.raises(WireFormatError, match="truncation"):
+            receiver.recv(rt)

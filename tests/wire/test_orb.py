@@ -1,0 +1,152 @@
+"""Tests for the minimal ORB (GIOP Request/Reply RPC)."""
+
+import pytest
+
+from repro.abi import SPARC_V8, X86, RecordSchema
+from repro.net import InMemoryPipe, loopback_pair
+from repro.wire import WireFormatError
+from repro.wire.iiop import (
+    CorbaSystemException,
+    Interface,
+    ObjectAdapter,
+    Operation,
+    OrbClient,
+)
+
+ADD_REQ = RecordSchema.from_pairs("add_req", [("a", "double"), ("b", "double")])
+ADD_REP = RecordSchema.from_pairs("add_rep", [("sum", "double")])
+STAT_REQ = RecordSchema.from_pairs("stat_req", [("n", "int"), ("values", "double[8]")])
+STAT_REP = RecordSchema.from_pairs("stat_rep", [("mean", "double"), ("peak", "double")])
+
+CALC = Interface(
+    "Calculator",
+    [
+        Operation("add", ADD_REQ, ADD_REP),
+        Operation("stats", STAT_REQ, STAT_REP),
+    ],
+)
+
+
+def make_servant(adapter):
+    def add(req):
+        return {"sum": req["a"] + req["b"]}
+
+    def stats(req):
+        values = list(req["values"])[: req["n"]]
+        return {"mean": sum(values) / len(values), "peak": max(values)}
+
+    adapter.register(b"calc-1", {"add": add, "stats": stats})
+
+
+def rpc_pair(client_machine=X86, server_machine=SPARC_V8):
+    pipe = InMemoryPipe()
+    client = OrbClient(client_machine, CALC)
+    adapter = ObjectAdapter(server_machine, CALC)
+    make_servant(adapter)
+
+    class Loop:
+        """Connect the pipe ends through the adapter synchronously."""
+
+        def send(self, data):
+            pipe.a.send(data)
+            pipe.b.send(adapter.handle(pipe.b.recv()))
+
+        def recv(self):
+            return pipe.a.recv()
+
+        def close(self):
+            pass
+
+    return client, Loop()
+
+
+class TestRpc:
+    def test_simple_invocation(self):
+        client, transport = rpc_pair()
+        result = client.invoke(transport, b"calc-1", "add", {"a": 2.0, "b": 3.5})
+        assert result == {"sum": 5.5}
+
+    def test_heterogeneous_byte_orders(self):
+        # little-endian client, big-endian server: reader-makes-right both ways
+        client, transport = rpc_pair(X86, SPARC_V8)
+        result = client.invoke(
+            transport,
+            b"calc-1",
+            "stats",
+            {"n": 3, "values": (4.0, 8.0, 6.0, 0, 0, 0, 0, 0)},
+        )
+        assert result == {"mean": 6.0, "peak": 8.0}
+
+    def test_reverse_direction(self):
+        client, transport = rpc_pair(SPARC_V8, X86)
+        result = client.invoke(transport, b"calc-1", "add", {"a": 1.0, "b": -1.0})
+        assert result == {"sum": 0.0}
+
+    def test_request_ids_increment(self):
+        client, transport = rpc_pair()
+        client.invoke(transport, b"calc-1", "add", {"a": 1.0, "b": 1.0})
+        client.invoke(transport, b"calc-1", "add", {"a": 1.0, "b": 1.0})
+        assert client._next_request_id == 3
+
+    def test_unknown_object_raises(self):
+        client, transport = rpc_pair()
+        with pytest.raises(CorbaSystemException, match="OBJECT_NOT_EXIST"):
+            client.invoke(transport, b"nope", "add", {"a": 1.0, "b": 1.0})
+
+    def test_unknown_operation_raises(self):
+        client, transport = rpc_pair()
+        with pytest.raises(WireFormatError, match="no operation"):
+            client.invoke(transport, b"calc-1", "mul", {"a": 1.0, "b": 1.0})
+
+    def test_server_rejects_operation_missing_from_servant(self):
+        # Operation exists in the interface but the servant lacks it.
+        pipe = InMemoryPipe()
+        client = OrbClient(X86, CALC)
+        adapter = ObjectAdapter(X86, CALC)
+        adapter.register(b"calc-1", {})
+
+        class Loop:
+            def send(self, data):
+                pipe.a.send(data)
+                pipe.b.send(adapter.handle(pipe.b.recv()))
+
+            def recv(self):
+                return pipe.a.recv()
+
+        with pytest.raises(CorbaSystemException, match="BAD_OPERATION"):
+            client.invoke(Loop(), b"calc-1", "add", {"a": 1.0, "b": 2.0})
+
+    def test_over_real_sockets(self):
+        import threading
+
+        client_t, server_t = loopback_pair()
+        client = OrbClient(X86, CALC)
+        adapter = ObjectAdapter(SPARC_V8, CALC)
+        make_servant(adapter)
+
+        def serve():
+            server_t.send(adapter.handle(server_t.recv()))
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            result = client.invoke(client_t, b"calc-1", "add", {"a": 10.0, "b": 0.5})
+            assert result == {"sum": 10.5}
+        finally:
+            thread.join(timeout=5)
+            client_t.close()
+            server_t.close()
+
+
+class TestInterface:
+    def test_duplicate_operations_rejected(self):
+        with pytest.raises(WireFormatError, match="duplicate"):
+            Interface("X", [Operation("f", ADD_REQ, ADD_REP), Operation("f", ADD_REQ, ADD_REP)])
+
+    def test_register_unknown_operation_rejected(self):
+        adapter = ObjectAdapter(X86, CALC)
+        with pytest.raises(WireFormatError, match="not in interface"):
+            adapter.register(b"k", {"frobnicate": lambda r: r})
+
+    def test_contains(self):
+        assert "add" in CALC and "mul" not in CALC

@@ -1,0 +1,160 @@
+"""Tests for the MPI derived-datatype algebra."""
+
+import struct
+
+import pytest
+
+from repro.abi import SPARC_V8, X86, CType
+from repro.wire import WireFormatError
+from repro.wire.mpi import Datatype
+
+
+def INT(machine=X86):
+    return Datatype.basic(CType.INT, machine)
+
+
+def DOUBLE(machine=X86):
+    return Datatype.basic(CType.DOUBLE, machine)
+
+
+class TestConstructors:
+    def test_basic_type(self):
+        t = INT()
+        assert t.extent == 4
+        assert t.num_elements == 1
+        assert t.typemap[0].displacement == 0
+
+    def test_contiguous(self):
+        t = INT().contiguous(5)
+        assert t.extent == 20
+        assert [i.displacement for i in t.typemap] == [0, 4, 8, 12, 16]
+
+    def test_contiguous_of_contiguous(self):
+        t = INT().contiguous(2).contiguous(3)
+        assert t.num_elements == 6
+        assert t.extent == 24
+
+    def test_vector_strided(self):
+        # 3 blocks of 2 ints, stride 4 ints: a column of a 3x4 int matrix.
+        t = INT().vector(3, 2, 4)
+        assert [i.displacement for i in t.typemap] == [0, 4, 16, 20, 32, 36]
+        assert t.extent == (2 * 4 + 2) * 4
+
+    def test_vector_unit_stride_equals_contiguous(self):
+        assert [i.displacement for i in INT().vector(1, 6, 1).typemap] == [
+            i.displacement for i in INT().contiguous(6).typemap
+        ]
+
+    def test_indexed(self):
+        t = INT().indexed([2, 1], [0, 5])
+        assert [i.displacement for i in t.typemap] == [0, 4, 20]
+
+    def test_indexed_length_mismatch(self):
+        with pytest.raises(WireFormatError):
+            INT().indexed([1, 2], [0])
+
+    def test_create_struct_mixed(self):
+        # struct { char c; double d; } with explicit displacements 0, 8
+        c = Datatype.basic(CType.CHAR, SPARC_V8)
+        t = Datatype.create_struct([1, 1], [0, 8], [c, DOUBLE(SPARC_V8)])
+        assert t.num_elements == 2
+        assert t.extent == 16  # padded to double alignment
+        assert t.alignment == 8
+
+    def test_struct_extent_padding_follows_abi(self):
+        # struct { double d; char c; }: extent pads to the ABI's double
+        # alignment — 16 on SPARC (align 8) but 12 on i386 (align 4).
+        for machine, expected in ((SPARC_V8, 16), (X86, 12)):
+            c = Datatype.basic(CType.CHAR, machine)
+            t = Datatype.create_struct([1, 1], [0, 8], [DOUBLE(machine), c])
+            assert t.extent == expected, machine.name
+
+    def test_bad_counts(self):
+        with pytest.raises(WireFormatError):
+            INT().contiguous(0)
+        with pytest.raises(WireFormatError):
+            INT().vector(0, 1, 1)
+
+
+class TestSignatures:
+    def test_signature_ignores_displacements(self):
+        assert INT().vector(2, 1, 5).signature() == INT().contiguous(2).signature()
+
+    def test_signature_across_machines(self):
+        # int on x86 and int on sparc: same signature, so they match.
+        assert INT(X86).signature() == INT(SPARC_V8).signature()
+
+    def test_signature_differs_by_basic_type(self):
+        assert INT().signature() != DOUBLE().signature()
+
+
+class TestPackUnpack:
+    def test_contiguous_round_trip(self):
+        t = INT().contiguous(4).commit()
+        native = struct.pack("<4i", 1, -2, 3, -4)
+        wire = bytearray(t.wire_size)
+        t.pack(native, wire)
+        assert bytes(wire) == struct.pack(">4i", 1, -2, 3, -4)  # external32
+        out = bytearray(16)
+        t.unpack(wire, 0, out)
+        assert out == native
+
+    def test_vector_gathers_strided_data(self):
+        # pack a column out of a row-major 3x4 int matrix
+        matrix = struct.pack("<12i", *range(12))
+        col = INT().vector(3, 1, 4).commit()
+        wire = bytearray(col.wire_size)
+        col.pack(matrix, wire)
+        assert struct.unpack(">3i", wire) == (0, 4, 8)
+
+    def test_unpack_scatters_back(self):
+        col = INT().vector(3, 1, 4).commit()
+        wire = struct.pack(">3i", 7, 8, 9)
+        out = bytearray(48)
+        col.unpack(wire, 0, out)
+        values = struct.unpack("<12i", out)
+        assert values[0] == 7 and values[4] == 8 and values[8] == 9
+        assert values[1] == 0
+
+    def test_heterogeneous_exchange_via_signature_match(self):
+        # Sender commits on sparc, receiver on x86; signatures match, and
+        # external32 bridges representations.
+        send = Datatype.create_struct(
+            [1, 3],
+            [0, 8],
+            [Datatype.basic(CType.INT, SPARC_V8), Datatype.basic(CType.DOUBLE, SPARC_V8)],
+        ).commit()
+        recv = Datatype.create_struct(
+            [1, 3],
+            [0, 8],
+            [Datatype.basic(CType.INT, X86), Datatype.basic(CType.DOUBLE, X86)],
+        ).commit()
+        assert send.signature() == recv.signature()
+        native = struct.pack(">i4x3d", -5, 1.5, 2.5, 3.5)
+        wire = bytearray(send.wire_size)
+        send.pack(native, wire)
+        out = bytearray(32)
+        recv.unpack(wire, 0, out)
+        assert struct.unpack("<i4x3d", out) == (-5, 1.5, 2.5, 3.5)
+
+    def test_char_elements(self):
+        t = Datatype.basic(CType.CHAR, X86).contiguous(3).commit()
+        wire = bytearray(t.wire_size)
+        t.pack(b"abc", wire)
+        assert bytes(wire) == b"abc"
+
+    def test_pack_positions_chain(self):
+        t = INT().commit()
+        buf = bytearray(8)
+        pos = t.pack(struct.pack("<i", 1), buf, 0)
+        pos = t.pack(struct.pack("<i", 2), buf, pos)
+        assert pos == 8
+        assert struct.unpack(">2i", buf) == (1, 2)
+
+    def test_commit_cached(self):
+        t = INT().contiguous(2)
+        assert t.commit() is t.commit()
+
+    def test_empty_rejected(self):
+        with pytest.raises(WireFormatError):
+            Datatype([], 0, 1)

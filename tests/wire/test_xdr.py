@@ -1,0 +1,101 @@
+"""Tests for XDR streams and the XDR record baseline."""
+
+import pytest
+
+from repro.abi import SPARC_V8, SPARC_V9_64, X86, RecordSchema, codec_for, layout_record, records_equal
+from repro.wire import WireFormatError, XdrWire
+from repro.wire.xdr import XdrDecoder, XdrEncoder
+
+
+class TestXdrStreams:
+    def test_int_round_trip(self):
+        enc = XdrEncoder()
+        enc.put_int(-5)
+        enc.put_uint(4000000000)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.get_int() == -5
+        assert dec.get_uint() == 4000000000
+
+    def test_everything_is_4_byte_aligned(self):
+        enc = XdrEncoder()
+        enc.put_bool(True)
+        enc.put_int(1)
+        assert len(enc.getvalue()) == 8
+
+    def test_hyper_round_trip(self):
+        enc = XdrEncoder()
+        enc.put_hyper(-(1 << 60))
+        enc.put_uhyper(1 << 63)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.get_hyper() == -(1 << 60)
+        assert dec.get_uhyper() == 1 << 63
+
+    def test_floats(self):
+        enc = XdrEncoder()
+        enc.put_float(1.5)
+        enc.put_double(-2.25)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.get_float() == 1.5
+        assert dec.get_double() == -2.25
+
+    def test_opaque_fixed_padding(self):
+        enc = XdrEncoder()
+        enc.put_opaque_fixed(b"abcde")  # 5 bytes -> 8 on wire
+        data = enc.getvalue()
+        assert len(data) == 8
+        assert XdrDecoder(data).get_opaque_fixed(5) == b"abcde"
+
+    def test_opaque_var_and_string(self):
+        enc = XdrEncoder()
+        enc.put_opaque_var(b"xyz")
+        enc.put_string("héllo")
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.get_opaque_var() == b"xyz"
+        assert dec.get_string() == "héllo"
+
+    def test_big_endian_on_wire(self):
+        enc = XdrEncoder()
+        enc.put_int(1)
+        assert enc.getvalue() == b"\x00\x00\x00\x01"
+
+    def test_truncated_stream_raises(self):
+        dec = XdrDecoder(b"\x00\x00")
+        with pytest.raises(WireFormatError, match="truncated"):
+            dec.get_int()
+
+    def test_remaining(self):
+        dec = XdrDecoder(b"\x00" * 8)
+        dec.get_int()
+        assert dec.remaining == 4
+
+
+class TestXdrRecordBaseline:
+    def test_heterogeneous_record(self):
+        schema = RecordSchema.from_pairs(
+            "t", [("i", "int"), ("d", "double"), ("name", "char[6]"), ("v", "float[3]")]
+        )
+        rec = {"i": -1, "d": 3.5, "name": b"hello", "v": (1.0, 2.0, 3.0)}
+        src, dst = layout_record(schema, X86), layout_record(schema, SPARC_V8)
+        bound = XdrWire().bind(src, dst)
+        out = codec_for(dst).decode(bound.decode(bound.encode(codec_for(src).encode(rec))))
+        assert records_equal(rec, out)
+
+    def test_long_size_bridged_via_sender_size(self):
+        schema = RecordSchema.from_pairs("t", [("l", "long")])
+        src, dst = layout_record(schema, SPARC_V9_64), layout_record(schema, SPARC_V8)
+        bound = XdrWire().bind(src, dst)
+        native = codec_for(src).encode({"l": -77})
+        assert codec_for(dst).decode(bound.decode(bound.encode(native)))["l"] == -77
+
+    def test_wire_is_packed_no_native_padding(self):
+        schema = RecordSchema.from_pairs("t", [("c", "char"), ("d", "double")])
+        src = layout_record(schema, SPARC_V8)  # native 16 bytes with 7 pad
+        bound = XdrWire().bind(src, src)
+        wire = bound.encode(codec_for(src).encode({"c": b"x", "d": 1.0}))
+        assert len(wire) == 12  # char->4 + double->8, no gaps
+
+    def test_schema_disagreement_rejected(self):
+        a = layout_record(RecordSchema.from_pairs("t", [("i", "int")]), X86)
+        b = layout_record(RecordSchema.from_pairs("t", [("j", "int")]), X86)
+        with pytest.raises(WireFormatError, match="a priori"):
+            XdrWire().bind(a, b)

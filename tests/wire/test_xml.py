@@ -1,0 +1,174 @@
+"""Tests for the XML baseline: SAX parser, encoder, decoder."""
+
+import pytest
+
+from repro.abi import SPARC_V8, X86, RecordSchema, codec_for, layout_record, records_equal
+from repro.wire import WireFormatError, XmlWire
+from repro.wire.xml import SaxParser, XmlEncoder, XmlParseError, escape_text, unescape
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def start_element(self, name, attrs):
+        self.events.append(("start", name, attrs))
+
+    def characters(self, text):
+        self.events.append(("chars", text))
+
+    def end_element(self, name):
+        self.events.append(("end", name))
+
+
+def parse(doc):
+    rec = Recorder()
+    SaxParser(rec).parse(doc)
+    return rec.events
+
+
+class TestSaxParser:
+    def test_simple_element(self):
+        assert parse("<a>hi</a>") == [("start", "a", {}), ("chars", "hi"), ("end", "a")]
+
+    def test_nested_elements(self):
+        events = parse("<r><x>1</x><y>2</y></r>")
+        names = [e[1] for e in events if e[0] == "start"]
+        assert names == ["r", "x", "y"]
+
+    def test_attributes(self):
+        events = parse('<a x="1" y="two"/>')
+        assert events[0] == ("start", "a", {"x": "1", "y": "two"})
+        assert events[1] == ("end", "a")
+
+    def test_single_quoted_attributes(self):
+        events = parse("<a x='v'/>")
+        assert events[0][2] == {"x": "v"}
+
+    def test_entities_in_text(self):
+        events = parse("<a>&lt;b&gt;&amp;&quot;&apos;</a>")
+        assert events[1] == ("chars", "<b>&\"'")
+
+    def test_numeric_character_references(self):
+        events = parse("<a>&#65;&#x42;</a>")
+        assert events[1] == ("chars", "AB")
+
+    def test_comments_skipped(self):
+        events = parse("<a><!-- nothing --><b>1</b></a>")
+        assert ("start", "b", {}) in events
+
+    def test_processing_instruction_skipped(self):
+        events = parse('<?xml version="1.0"?><a>1</a>')
+        assert events[0] == ("start", "a", {})
+
+    def test_cdata_passes_raw_text(self):
+        events = parse("<a><![CDATA[<raw>&amp;]]></a>")
+        assert events[1] == ("chars", "<raw>&amp;")
+
+    def test_doctype_skipped(self):
+        events = parse("<!DOCTYPE rec><a>1</a>")
+        assert events[0] == ("start", "a", {})
+
+    def test_bytes_input_decoded_as_utf8(self):
+        events = parse("<a>héllo</a>".encode("utf-8"))
+        assert events[1] == ("chars", "héllo")
+
+    def test_whitespace_between_elements(self):
+        events = parse("<r>\n  <x>1</x>\n</r>")
+        assert ("start", "x", {}) in events
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a><b></a></b>",  # mismatched nesting
+            "<a>unclosed",
+            "text outside <a>x</a>",
+            "<a>x</a><b>y</b>",  # multiple roots
+            "<a x=1></a>",  # unquoted attribute
+            '<a x="1" x="2"></a>',  # duplicate attribute
+            "<a>&bogus;</a>",  # unknown entity
+            "<a><!-- unterminated </a>",
+            "",  # no root
+            "<1bad>x</1bad>",  # bad name start
+        ],
+    )
+    def test_malformed_documents_rejected(self, bad):
+        with pytest.raises(XmlParseError):
+            parse(bad)
+
+    def test_escape_unescape_inverse(self):
+        text = 'a<b>&c"d\'e'
+        assert unescape(escape_text(text)) == text
+
+
+class TestXmlRecordFormat:
+    def make(self, src_machine=X86, dst_machine=SPARC_V8, pairs=None, dst_pairs=None):
+        pairs = pairs or [("i", "int"), ("d", "double"), ("name", "char[8]")]
+        src = layout_record(RecordSchema.from_pairs("rec", pairs), src_machine)
+        dst = layout_record(RecordSchema.from_pairs("rec", dst_pairs or pairs), dst_machine)
+        return src, dst, XmlWire().bind(src, dst)
+
+    def test_round_trip(self):
+        src, dst, bound = self.make()
+        rec = {"i": -42, "d": 3.141592653589793, "name": b"node1"}
+        out = codec_for(dst).decode(bound.decode(bound.encode(codec_for(src).encode(rec))))
+        assert records_equal(rec, out)
+
+    def test_double_round_trip_precision_exact(self):
+        # %.17g must reproduce doubles bit-exactly.
+        src, dst, bound = self.make(pairs=[("d", "double")])
+        rec = {"d": 0.1 + 0.2}
+        out = codec_for(dst).decode(bound.decode(bound.encode(codec_for(src).encode(rec))))
+        assert out["d"] == rec["d"]
+
+    def test_wire_is_readable_text(self):
+        src, dst, bound = self.make(pairs=[("i", "int")])
+        wire = bound.encode(codec_for(src).encode({"i": 7}))
+        assert b"<rec>" in wire and b"<i>7</i>" in wire
+
+    def test_expansion_factor_on_binary_data(self):
+        # Section 2: "an expansion factor of 6-8 is not unusual".
+        import numpy as np
+
+        pairs = [("v", "double[64]")]
+        src, dst, bound = self.make(pairs=pairs)
+        rng = np.random.default_rng(1)
+        native = codec_for(src).encode({"v": rng.uniform(-1e3, 1e3, 64)})
+        factor = len(bound.encode(native)) / len(native)
+        assert 2.0 < factor < 10.0
+
+    def test_field_name_matching_tolerates_reorder(self):
+        src = layout_record(RecordSchema.from_pairs("rec", [("b", "int"), ("a", "int")]), X86)
+        dst = layout_record(RecordSchema.from_pairs("rec", [("a", "int"), ("b", "int")]), X86)
+        bound = XmlWire().bind(src, dst)
+        out = codec_for(dst).decode(bound.decode(bound.encode(codec_for(src).encode({"a": 1, "b": 2}))))
+        assert out == {"a": 1, "b": 2}
+
+    def test_unexpected_field_ignored(self):
+        src, dst, bound = self.make(
+            pairs=[("extra", "int"), ("i", "int")], dst_pairs=[("i", "int")]
+        )
+        out = codec_for(dst).decode(bound.decode(bound.encode(codec_for(src).encode({"extra": 9, "i": 5}))))
+        assert out == {"i": 5}
+
+    def test_missing_field_zeroed(self):
+        src, dst, bound = self.make(pairs=[("i", "int")], dst_pairs=[("i", "int"), ("j", "int")])
+        out = codec_for(dst).decode(bound.decode(bound.encode(codec_for(src).encode({"i": 5}))))
+        assert out == {"i": 5, "j": 0}
+
+    def test_bool_field(self):
+        src, dst, bound = self.make(pairs=[("ok", "bool")])
+        wire = bound.encode(codec_for(src).encode({"ok": True}))
+        assert b"true" in wire
+        out = codec_for(dst).decode(bound.decode(wire))
+        assert out["ok"] == 1
+
+    def test_bad_numeric_content_raises(self):
+        _, dst, bound = self.make(pairs=[("i", "int")])
+        with pytest.raises(WireFormatError):
+            bound.decode(b"<rec><i>not-a-number</i></rec>")
+
+    def test_strings_unsupported_in_baseline(self):
+        src = layout_record(RecordSchema.from_pairs("rec", [("s", "string")]), X86)
+        with pytest.raises(WireFormatError):
+            XmlEncoder(src)

@@ -1,0 +1,126 @@
+"""Property-based tests for the XML parser and record codec."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.abi import MACHINES, codec_for, layout_record, records_equal
+from repro.wire.xml import SaxParser, XmlParseError, XmlWire, escape_text, unescape
+from repro.workloads.generators import random_record, random_schema
+
+# -- parser round-trip over generated documents ------------------------------
+
+name_strategy = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.\-]{0,10}", fullmatch=True)
+text_strategy = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc"), blacklist_characters="<>&"),
+    max_size=40,
+)
+
+
+@st.composite
+def xml_tree(draw, depth=0):
+    name = draw(name_strategy)
+    if depth >= 3 or draw(st.booleans()):
+        children = []
+    else:
+        children = draw(st.lists(xml_tree(depth=depth + 1), max_size=3))
+    text = draw(text_strategy)
+    return (name, text, children)
+
+
+def render(tree) -> str:
+    name, text, children = tree
+    inner = escape_text(text) + "".join(render(c) for c in children)
+    return f"<{name}>{inner}</{name}>"
+
+
+def collect_names(tree, out):
+    name, _, children = tree
+    out.append(name)
+    for c in children:
+        collect_names(c, out)
+
+
+class _Collector:
+    def __init__(self):
+        self.starts = []
+        self.ends = []
+        self.text = []
+
+    def start_element(self, name, attrs):
+        self.starts.append(name)
+
+    def characters(self, text):
+        self.text.append(text)
+
+    def end_element(self, name):
+        self.ends.append(name)
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree=xml_tree())
+def test_parser_round_trips_generated_documents(tree):
+    document = render(tree)
+    collector = _Collector()
+    SaxParser(collector).parse(document)
+    expected = []
+    collect_names(tree, expected)
+    assert collector.starts == expected
+    # every start has a matching end, properly nested
+    assert sorted(collector.ends) == sorted(expected)
+
+
+@settings(max_examples=80, deadline=None)
+@given(text=text_strategy)
+def test_escape_unescape_inverse(text):
+    assert unescape(escape_text(text)) == text
+
+
+@settings(max_examples=60, deadline=None)
+@given(junk=st.text(max_size=30))
+def test_parser_never_hangs_or_crashes_on_junk(junk):
+    collector = _Collector()
+    try:
+        SaxParser(collector).parse(junk)
+    except XmlParseError:
+        pass  # rejection is fine; uncontrolled exceptions are not
+    except (ValueError,) as exc:
+        # entity code points can overflow chr(); must surface as parse error
+        raise AssertionError(f"non-XmlParseError escaped: {exc!r}")
+
+
+@settings(max_examples=40, deadline=None)
+@given(prefix=st.text(max_size=10), cut=st.integers(min_value=0, max_value=60))
+def test_truncated_documents_rejected_cleanly(prefix, cut):
+    document = f"<root a='1'><x>{escape_text(prefix)}</x><y>2</y></root>"
+    truncated = document[:cut]
+    if truncated == document:
+        return
+    collector = _Collector()
+    try:
+        SaxParser(collector).parse(truncated)
+    except XmlParseError:
+        pass
+
+
+# -- full record codec over random schemas ------------------------------------
+
+
+_IEEE = sorted(m for m in MACHINES if MACHINES[m].float_format == "ieee754")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    src=st.sampled_from(_IEEE),
+    dst=st.sampled_from(_IEEE),
+)
+def test_xml_record_round_trip_random_schemas(seed, src, dst):
+    rng = np.random.default_rng(seed)
+    schema = random_schema(rng, allow_strings=False, allow_nested=True)
+    record = random_record(schema, rng)
+    src_layout = layout_record(schema, MACHINES[src])
+    dst_layout = layout_record(schema, MACHINES[dst])
+    bound = XmlWire().bind(src_layout, dst_layout)
+    native = codec_for(src_layout).encode(record)
+    out = codec_for(dst_layout).decode(bound.decode(bound.encode(native)))
+    assert records_equal(record, out, rel_tol=1e-5)

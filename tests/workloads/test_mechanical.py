@@ -1,0 +1,61 @@
+"""Tests for the paper-workload record definitions."""
+
+import pytest
+
+from repro.abi import ALPHA, SPARC_V8, X86, layout_record
+from repro.workloads import mechanical as m
+
+
+class TestSchemas:
+    @pytest.mark.parametrize("size", m.SIZES)
+    def test_native_size_near_nominal(self, size):
+        for machine in (X86, SPARC_V8, ALPHA):
+            native = layout_record(m.schema_for_size(size), machine).size
+            assert abs(native - m.nominal_bytes(size)) / m.nominal_bytes(size) < 0.05
+
+    def test_all_sizes_share_scalar_header(self):
+        names_small = set(m.schema_for_size("100b").field_names())
+        for size in m.SIZES[1:]:
+            assert names_small <= set(m.schema_for_size(size).field_names())
+
+    def test_mixed_field_types(self):
+        # The records must be mixed-type so conversion is nontrivial.
+        schema = m.schema_for_size("1kb")
+        kinds = {f.ctype.kind for f in schema}
+        assert len(kinds) >= 3
+
+    def test_layouts_differ_across_abis(self):
+        # x86 vs sparc must disagree on at least one offset (the paper's
+        # third heterogeneity source).
+        schema = m.schema_for_size("100b")
+        lx = layout_record(schema, X86)
+        ls = layout_record(schema, SPARC_V8)
+        assert any(lx[f].offset != ls[f].offset for f in schema.field_names())
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            m.schema_for_size("1mb")
+
+    def test_all_schemas_returns_four(self):
+        assert list(m.all_schemas()) == list(m.SIZES)
+
+
+class TestSampleRecords:
+    @pytest.mark.parametrize("size", m.SIZES)
+    def test_sample_covers_every_field(self, size):
+        schema = m.schema_for_size(size)
+        rec = m.sample_record(size)
+        assert set(rec) == set(schema.field_names())
+
+    def test_deterministic_given_seed(self):
+        a = m.sample_record("100b", seed=3)
+        b = m.sample_record("100b", seed=3)
+        assert a["node_id"] == b["node_id"] and a["mass"] == b["mass"]
+
+    def test_seeds_differ(self):
+        assert m.sample_record("100b", seed=1)["node_id"] != m.sample_record("100b", seed=2)["node_id"]
+
+    @pytest.mark.parametrize("size", m.SIZES)
+    def test_native_bytes_encodes(self, size):
+        data = m.native_bytes(size, X86)
+        assert len(data) == layout_record(m.schema_for_size(size), X86).size

@@ -1,0 +1,79 @@
+"""Tests for the mixed-type trace workload."""
+
+import pytest
+
+from repro.abi import RecordSchema
+from repro.workloads import TraceEntry, TraceSpec, generate_trace, trace_summary
+
+
+def small_spec():
+    return TraceSpec(
+        [
+            TraceEntry(RecordSchema.from_pairs("a", [("x", "int")]), 3.0),
+            TraceEntry(RecordSchema.from_pairs("b", [("y", "double")]), 1.0),
+        ]
+    )
+
+
+class TestTraceSpec:
+    def test_paper_mixture_has_four_types(self):
+        spec = TraceSpec.paper_mixture()
+        assert len(spec.schemas()) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSpec([])
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSpec([TraceEntry(RecordSchema.from_pairs("a", [("x", "int")]), 0.0)])
+
+    def test_duplicate_names_rejected(self):
+        entry = TraceEntry(RecordSchema.from_pairs("a", [("x", "int")]), 1.0)
+        with pytest.raises(ValueError, match="distinct"):
+            TraceSpec([entry, entry])
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = list(generate_trace(small_spec(), count=50, seed=9))
+        b = list(generate_trace(small_spec(), count=50, seed=9))
+        assert [e.schema.name for e in a] == [e.schema.name for e in b]
+        assert a[0].record == b[0].record
+
+    def test_count_and_indices(self):
+        events = list(generate_trace(small_spec(), count=25, seed=1))
+        assert len(events) == 25
+        assert [e.index for e in events] == list(range(25))
+
+    def test_weights_respected_roughly(self):
+        events = list(generate_trace(small_spec(), count=2000, seed=2))
+        summary = trace_summary(events)
+        # a is 3x more likely than b
+        assert 2.0 < summary["a"] / summary["b"] < 4.5
+
+    def test_records_match_schema(self):
+        for event in generate_trace(small_spec(), count=10, seed=3):
+            assert set(event.record) == set(event.schema.field_names())
+
+    def test_trace_replays_through_pbio(self):
+        from repro.abi import SPARC_V8, X86, records_equal
+        from repro.core import IOContext, PbioConnection
+        from repro.net import InMemoryPipe
+
+        spec = small_spec()
+        events = list(generate_trace(spec, count=30, seed=4))
+        pipe = InMemoryPipe()
+        tx = PbioConnection(IOContext(X86), pipe.a)
+        rx = PbioConnection(IOContext(SPARC_V8), pipe.b)
+        handles = {s.name: tx.ctx.register_format(s) for s in spec.schemas()}
+        for s in spec.schemas():
+            rx.ctx.expect(s)
+        for event in events:
+            tx.send(handles[event.schema.name], event.record)
+        for event in events:
+            assert records_equal(event.record, rx.recv(), rel_tol=1e-5)
+        # One converter per record type, not per message.
+        assert rx.ctx.stats.converters_generated == len(
+            {e.schema.name for e in events}
+        )
