@@ -16,12 +16,13 @@ Every benchmark follows the paper's experimental setup (Section 4):
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.abi import SPARC_V8, X86, MachineDescription, StructLayout, layout_record
 from repro.core import PbioWire
 from repro.net import NetworkModel, best_of
-from repro.wire import IiopWire, MpiWire, XdrWire, XmlWire
+from repro.wire import IiopWire, MpiWire, XmlWire
 from repro.wire.common import BoundFormat
 from repro.workloads import mechanical
 
@@ -79,24 +80,37 @@ def build_exchange(
     return Exchange(system_name, size, bound, native, wire, src_layout, dst_layout)
 
 
-def measure_encode_ms(ex: Exchange, *, repeats: int = 7, inner: int | None = None) -> float:
+def measure_encode_ms(ex: Exchange, *, repeats: int | None = None, inner: int | None = None) -> float:
     """Best-case encode time, in ms.  PBIO uses its scatter-gather path
     (header + application buffer), the others produce their wire bytes."""
     if hasattr(ex.bound, "encode_segments"):
         fn = lambda: ex.bound.encode_segments(ex.native)  # noqa: E731
     else:
         fn = lambda: ex.bound.encode(ex.native)  # noqa: E731
-    return best_of(fn, repeats=repeats, inner=inner or _inner_for(ex.size)) * 1e3
+    return best_of(fn, repeats=repeats or default_repeats(), inner=inner or _inner_for(ex.size)) * 1e3
 
 
-def measure_decode_ms(ex: Exchange, *, repeats: int = 7, inner: int | None = None) -> float:
+def measure_decode_ms(ex: Exchange, *, repeats: int | None = None, inner: int | None = None) -> float:
     """Best-case decode time (wire message -> receiver-native record), ms."""
     fn = lambda: ex.bound.decode(ex.wire)  # noqa: E731
-    return best_of(fn, repeats=repeats, inner=inner or _inner_for(ex.size)) * 1e3
+    return best_of(fn, repeats=repeats or default_repeats(), inner=inner or _inner_for(ex.size)) * 1e3
 
 
 def _inner_for(size: str) -> int:
+    # PBIO_BENCH_INNER overrides the per-size loop counts — CI smoke runs
+    # set it to 1 so the harness exercises every code path in seconds.
+    override = os.environ.get("PBIO_BENCH_INNER")
+    if override:
+        return max(1, int(override))
     return {"100b": 50, "1kb": 20, "10kb": 5, "100kb": 2}[size]
+
+
+def default_repeats() -> int:
+    """Timing repeats per measurement (PBIO_BENCH_REPEATS overrides)."""
+    override = os.environ.get("PBIO_BENCH_REPEATS")
+    if override:
+        return max(1, int(override))
+    return 7
 
 
 #: The paper-calibrated network model used by round-trip compositions.

@@ -21,7 +21,9 @@ from .layout import StructLayout
 class RecordView:
     """Lazy, read-only view of one record inside a byte buffer."""
 
-    __slots__ = ("_codec", "_data", "_offset")
+    # __weakref__ lets the conversion runtime's buffer pool tie a pooled
+    # destination buffer's release to this view's lifetime.
+    __slots__ = ("_codec", "_data", "_offset", "__weakref__")
 
     def __init__(self, layout_or_codec: StructLayout | NativeCodec, data, offset: int = 0):
         if isinstance(layout_or_codec, NativeCodec):

@@ -33,7 +33,16 @@ from .conversion import (
     build_plan,
     generate_converter,
 )
-from .context import ContextStats, FormatHandle, IOContext
+from .runtime import (
+    BufferPool,
+    ContextStats,
+    ConverterCache,
+    DecodePipeline,
+    Metrics,
+    reset_shared_cache,
+    shared_cache,
+)
+from .context import FormatHandle, IOContext
 from .connection import PbioConnection
 from .pbio_wire import BoundPbio, PbioWire
 from .reflection import MessageInfo, generic_decode, incoming_format, peek_message
@@ -70,6 +79,12 @@ __all__ = [
     "IOContext",
     "FormatHandle",
     "ContextStats",
+    "Metrics",
+    "ConverterCache",
+    "DecodePipeline",
+    "BufferPool",
+    "shared_cache",
+    "reset_shared_cache",
     "PbioConnection",
     "PbioWire",
     "BoundPbio",

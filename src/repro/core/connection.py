@@ -14,6 +14,7 @@ from typing import Any
 
 from repro.net.transport import Transport
 
+from . import encoder as enc
 from .context import FormatHandle, IOContext
 
 
@@ -44,10 +45,7 @@ class PbioConnection:
         """Receive the next *data* message, absorbing announcements."""
         while True:
             message = self.transport.recv()
-            info_type = message[2] if len(message) > 2 else -1
-            from . import encoder as enc
-
-            if info_type == enc.MSG_FORMAT:
+            if enc.try_message_type(message) == enc.MSG_FORMAT:
                 self.ctx.receive(message)
                 continue
             return message

@@ -8,6 +8,13 @@ wire format against the expected native format by field name and converts
 only where representations actually differ, using a converter generated
 at run time (DCG) or the table-driven interpreter.
 
+All receive-side work is carried out by the context's
+:class:`~repro.core.runtime.DecodePipeline`; converters live in a
+:class:`~repro.core.runtime.ConverterCache` that is private per context
+by default but can be shared by any number of same-process contexts
+(``cache=`` parameter or :meth:`IOContext.use_cache`), so N subscribers
+on identical machines pay converter generation once, not N times.
+
 Typical use::
 
     sender = IOContext(machine=abi.X86)
@@ -25,7 +32,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any
 
 from repro.abi import (
     MachineDescription,
@@ -38,11 +45,9 @@ from repro.abi import (
 )
 
 from . import encoder as enc
-from .conversion import InterpretedConverter, build_plan, generate_converter
-from .errors import FormatError, MessageError
 from .formats import IOFormat
-from .matching import MatchResult, match_formats
 from .registry import FormatRegistry
+from .runtime import ContextStats, ConverterCache, DecodePipeline, Metrics
 
 
 @dataclass(frozen=True)
@@ -59,17 +64,6 @@ class FormatHandle:
         return self.iofmt.name
 
 
-@dataclass
-class ContextStats:
-    """Instrumentation counters (used by ablation benchmarks)."""
-
-    converters_generated: int = 0
-    converter_cache_hits: int = 0
-    zero_copy_decodes: int = 0
-    converted_decodes: int = 0
-    generation_time_s: float = 0.0
-
-
 class IOContext:
     """One PBIO party bound to a simulated machine.
 
@@ -79,6 +73,11 @@ class IOContext:
     * ``"interpreted"``   — the table-driven interpreter;
     * ``"vcode"``         — DCG lowered onto the virtual RISC VM
       (mechanism-fidelity mode; slow under Python, see DESIGN.md).
+
+    ``cache`` may name a :class:`ConverterCache` shared with other
+    contexts; the default is a private cache (seed-compatible).  The
+    cache key includes the machine ABI and conversion mode, so sharing
+    between heterogeneous contexts is always safe.
     """
 
     def __init__(
@@ -87,22 +86,42 @@ class IOContext:
         *,
         conversion: str = "dcg",
         context_id: int | None = None,
+        cache: ConverterCache | None = None,
+        metrics: Metrics | None = None,
     ):
         if conversion not in ("dcg", "interpreted", "vcode"):
             raise ValueError(f"unknown conversion mode {conversion!r}")
         self.machine = machine
         self.conversion = conversion
         self.registry = FormatRegistry(context_id)
-        self.stats = ContextStats()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.stats = ContextStats(self.metrics)
         self._handles: dict[int, FormatHandle] = {}
         self._expected: dict[str, IOFormat] = {}  # format name -> native format
-        self._converters: dict[tuple[bytes, bytes], Callable[[bytes], bytes]] = {}
-        self._zero_copy: dict[tuple[bytes, bytes], bool] = {}
-        self._converter_sources: dict[tuple[bytes, bytes], str] = {}
+        self.pipeline = DecodePipeline(
+            registry=self.registry,
+            expected=self._expected,
+            machine=machine,
+            conversion=conversion,
+            cache=cache,
+            metrics=self.metrics,
+        )
 
     @property
     def context_id(self) -> int:
         return self.registry.context_id
+
+    @property
+    def cache(self) -> ConverterCache:
+        """The converter cache this context resolves against."""
+        return self.pipeline.cache
+
+    def use_cache(self, cache: ConverterCache) -> "IOContext":
+        """Re-point this context at ``cache`` (e.g. a channel-wide shared
+        cache).  Entries built in the previous cache are not migrated —
+        they are rebuilt on demand in the new one."""
+        self.pipeline.set_cache(cache)
+        return self
 
     # -- writer side --------------------------------------------------------
 
@@ -151,103 +170,13 @@ class IOContext:
         Format announcements are absorbed (returns ``None``); data
         messages return the decoded record dict.
         """
-        msg_type, context_id, format_id, _ = enc.unpack_header(message)
-        if msg_type == enc.MSG_FORMAT:
-            self._absorb_announcement(message, context_id, format_id)
-            return None
-        return self.decode(message)
-
-    def _absorb_announcement(self, message, context_id: int, format_id: int) -> None:
-        meta = memoryview(message)[enc.HEADER_SIZE :]
-        fmt = IOFormat.from_meta_bytes(meta)
-        self.registry.register_remote(context_id, format_id, fmt)
+        return self.pipeline.ingest(message)
 
     # decoding ---------------------------------------------------------------
 
-    def _wire_format_of(self, message) -> tuple[IOFormat, memoryview]:
-        msg_type, context_id, format_id, payload_len = enc.unpack_header(message)
-        if msg_type != enc.MSG_DATA:
-            raise MessageError("expected a data message")
-        payload = memoryview(message)[enc.HEADER_SIZE :]
-        if len(payload) != payload_len:
-            raise MessageError(
-                f"payload length mismatch: header says {payload_len}, got {len(payload)}"
-            )
-        wire_fmt = self.registry.remote_format(context_id, format_id)
-        return wire_fmt, payload
-
-    def _native_format_for(self, wire_fmt: IOFormat) -> IOFormat:
-        native = self._expected.get(wire_fmt.name)
-        if native is None:
-            raise FormatError(
-                f"no expected format declared for {wire_fmt.name!r}; "
-                f"call expect() or use reflection to inspect the format"
-            )
-        return native
-
-    def _converter_for(self, wire_fmt: IOFormat, native: IOFormat):
-        """Return (zero_copy, converter-or-None), building and caching."""
-        key = (wire_fmt.fingerprint, native.fingerprint)
-        zero_copy = self._zero_copy.get(key)
-        if zero_copy is None:
-            match = match_formats(wire_fmt, native)
-            zero_copy = match.zero_copy
-            self._zero_copy[key] = zero_copy
-            if not zero_copy:
-                self._converters[key] = self._build_converter(wire_fmt, native, match)
-        elif not zero_copy and key not in self._converters:  # pragma: no cover
-            self._converters[key] = self._build_converter(wire_fmt, native, None)
-        else:
-            self.stats.converter_cache_hits += 1
-        return zero_copy, self._converters.get(key)
-
-    def _build_converter(self, wire_fmt: IOFormat, native: IOFormat, match: MatchResult | None):
-        plan = build_plan(wire_fmt, native, match)
-        if self.conversion == "interpreted":
-            converter = InterpretedConverter(plan)
-            self.stats.converters_generated += 1
-            self._converter_sources[(wire_fmt.fingerprint, native.fingerprint)] = plan.describe()
-            return converter
-        generated = generate_converter(
-            plan, backend="python" if self.conversion == "dcg" else "vcode"
-        )
-        self.stats.converters_generated += 1
-        self.stats.generation_time_s += generated.generation_time_s
-        self._converter_sources[(wire_fmt.fingerprint, native.fingerprint)] = generated.source
-        return generated.convert
-
-    def converter_sources(self, format_name: str | None = None) -> dict[str, str]:
-        """Inspect the conversion code this context has generated.
-
-        Returns ``{"<wire> -> <native>": source}`` for every converter
-        built so far (generated Python for DCG, vcode disassembly for the
-        vcode backend, the plan description for the interpreter) —
-        a debugging window into what DCG actually emitted.
-        """
-        out = {}
-        for (wire_fp, native_fp), source in self._converter_sources.items():
-            wire_name = native_name = "?"
-            for _, _, fmt in self.registry.remote_formats():
-                if fmt.fingerprint == wire_fp:
-                    wire_name = fmt.name
-            for fmt in self._expected.values():
-                if fmt.fingerprint == native_fp:
-                    native_name = fmt.name
-            if format_name is not None and format_name not in (wire_name, native_name):
-                continue
-            out[f"{wire_name} -> {native_name}"] = source
-        return out
-
     def decode_native(self, message) -> bytes:
         """Decode to record bytes in this context's native layout."""
-        wire_fmt, payload = self._wire_format_of(message)
-        native = self._native_format_for(wire_fmt)
-        zero_copy, converter = self._converter_for(wire_fmt, native)
-        if zero_copy:
-            self.stats.zero_copy_decodes += 1
-            return bytes(payload)
-        self.stats.converted_decodes += 1
-        return converter(payload)
+        return self.pipeline.decode_native(message)
 
     def decode_view(self, message) -> RecordView:
         """Decode to a :class:`RecordView`.
@@ -255,21 +184,22 @@ class IOContext:
         In the homogeneous (matching-layout) case the view references the
         *message buffer itself* — received data used directly, no copy.
         """
-        wire_fmt, payload = self._wire_format_of(message)
-        native = self._native_format_for(wire_fmt)
-        layout = self._expected_layout(native)
-        zero_copy, converter = self._converter_for(wire_fmt, native)
-        if zero_copy:
-            self.stats.zero_copy_decodes += 1
-            return RecordView(layout, payload)
-        self.stats.converted_decodes += 1
-        return RecordView(layout, converter(payload))
+        return self.pipeline.decode_view(message)
 
     def decode(self, message) -> dict[str, Any]:
         """Decode to a value dict (fully materialized)."""
-        return self.decode_view(message).to_dict()
+        return self.pipeline.decode(message)
 
-    def _expected_layout(self, native: IOFormat) -> StructLayout:
-        if native.layout is None:  # pragma: no cover - expect() always sets it
-            raise FormatError(f"expected format {native.name!r} has no local layout")
-        return native.layout
+    def converter_sources(self, format_name: str | None = None) -> dict[str, str]:
+        """Inspect the conversion code available to this context.
+
+        Returns ``{"<wire> -> <native>": source}`` for every converter in
+        this context's cache matching its machine and conversion mode
+        (generated Python for DCG, vcode disassembly for the vcode
+        backend, the plan description for the interpreter) — a debugging
+        window into what DCG actually emitted.  With a shared cache this
+        includes converters built by sibling contexts on the same machine.
+        """
+        return self.cache.sources(
+            format_name, conversion=self.conversion, machine=self.machine
+        )

@@ -73,14 +73,22 @@ class InterpretedConverter:
             return (kind, op, struct.Struct(f"{se}{n}{_f(op.src_size)}"), struct.Struct(f"{de}{n}{struct_code(PrimKind.UNSIGNED, op.dst_size)}"))
         raise ConversionError(f"unhandled op kind {kind}")  # pragma: no cover
 
-    def __call__(self, src) -> bytes:
-        return self.convert(src)
+    def __call__(self, src, dst=None) -> bytes:
+        return self.convert(src, dst)
 
-    def convert(self, src) -> bytes:
-        """Convert one wire record to native form (fresh output buffer)."""
+    def convert(self, src, dst=None) -> bytes:
+        """Convert one wire record to native form.
+
+        ``dst``, when supplied (buffer pooling), must be a zeroed
+        bytearray of the native record size; it is filled in place and
+        returned.  Plans with out-of-line strings produce variable-size
+        output and always build a fresh buffer.
+        """
         if self.plan.has_strings and not isinstance(src, (bytes, bytearray)):
             src = bytes(src)  # strings need bytes.index; else reuse the buffer
-        dst = bytearray(self._dst_size)
+        owned = dst is None or self.plan.has_strings
+        if owned:
+            dst = bytearray(self._dst_size)
         tail: list[bytes] = []
         tail_len = self._dst_size
         for kind, op, a, b in self._table:
@@ -133,7 +141,7 @@ class InterpretedConverter:
                 pass
         if tail:
             return bytes(dst) + b"".join(tail)
-        return bytes(dst)
+        return bytes(dst) if owned else dst
 
 
 def _f(size: int) -> str:

@@ -49,6 +49,37 @@ def unpack_header(message) -> tuple[int, int, int, int]:
     return msg_type, context_id, format_id, payload_len
 
 
+def message_kind(message) -> int:
+    """The validated message type (``MSG_FORMAT`` or ``MSG_DATA``).
+
+    The single place endpoints peek at a message's type — the header
+    layout is defined here and nowhere else.
+    """
+    return unpack_header(message)[0]
+
+
+def try_message_type(message) -> int | None:
+    """Message type if ``message`` starts with a well-formed PBIO header.
+
+    Returns ``None`` for anything else — for streams that interleave
+    PBIO messages with foreign frames (RPC call headers, transports that
+    deliver partial garbage), where raising would be wrong.
+    """
+    if len(message) < HEADER_SIZE:
+        return None
+    if message[0] != MAGIC or message[1] != VERSION:
+        return None
+    msg_type = message[2]
+    if msg_type not in (MSG_FORMAT, MSG_DATA):
+        return None
+    return msg_type
+
+
+def is_pbio_message(message) -> bool:
+    """True when ``message`` carries a PBIO header (vs a foreign frame)."""
+    return try_message_type(message) is not None
+
+
 def encode_format_message(context_id: int, format_id: int, fmt: IOFormat) -> bytes:
     """The one-time meta-information announcement for a format."""
     meta = fmt.to_meta_bytes()

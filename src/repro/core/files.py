@@ -119,8 +119,7 @@ class PbioFileReader:
             message = self._stream.read(n)
             if len(message) != n:
                 raise MessageError("truncated PBIO file (message body)")
-            msg_type = message[2]
-            if msg_type == enc.MSG_FORMAT:
+            if enc.message_kind(message) == enc.MSG_FORMAT:
                 self.ctx.receive(message)
                 continue
             yield message

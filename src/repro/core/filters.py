@@ -33,9 +33,8 @@ from typing import Any, Callable
 from repro.abi import PrimKind
 from repro.abi.types import struct_code
 
-from . import encoder as enc
 from .context import IOContext
-from .errors import ConversionError, MessageError
+from .errors import ConversionError
 from .formats import IOFormat
 
 _ALLOWED_NODES = (
@@ -161,10 +160,11 @@ class RecordFilter:
 
     def matches(self, message) -> bool:
         """Evaluate the filter against one data message."""
-        msg_type, context_id, format_id, _ = enc.unpack_header(message)
-        if msg_type != enc.MSG_DATA:
-            raise MessageError("filters apply to data messages")
-        fmt = self.ctx.registry.remote_format(context_id, format_id)
+        # The context's decode pipeline owns header parsing and the
+        # remote-format lookup; the payload is a memoryview — the whole
+        # point is reading 2 fields out of a possibly 100 KB record
+        # without touching the rest.
+        fmt, payload = self.ctx.pipeline.open_data(message)
         if fmt.name != self.format_name:
             return False
         predicate = self._compiled.get(fmt.fingerprint)
@@ -172,9 +172,7 @@ class RecordFilter:
             predicate = compile_predicate(fmt, self.expression)
             self._compiled[fmt.fingerprint] = predicate
             self.compilations += 1
-        # memoryview: the whole point is reading 2 fields out of a possibly
-        # 100 KB record without touching the rest
-        return predicate(memoryview(message)[enc.HEADER_SIZE :])
+        return predicate(payload)
 
 
 class RecordProjector:
@@ -188,14 +186,11 @@ class RecordProjector:
 
     def project(self, message) -> dict | None:
         """Extract the fields from one data message (None if another type)."""
-        msg_type, context_id, format_id, _ = enc.unpack_header(message)
-        if msg_type != enc.MSG_DATA:
-            raise MessageError("projections apply to data messages")
-        fmt = self.ctx.registry.remote_format(context_id, format_id)
+        fmt, payload = self.ctx.pipeline.open_data(message)
         if fmt.name != self.format_name:
             return None
         projector = self._compiled.get(fmt.fingerprint)
         if projector is None:
             projector = compile_projection(fmt, self.field_names)
             self._compiled[fmt.fingerprint] = projector
-        return projector(memoryview(message)[enc.HEADER_SIZE :])
+        return projector(payload)

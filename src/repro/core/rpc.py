@@ -30,8 +30,10 @@ from typing import Callable
 from repro.abi import MachineDescription, RecordSchema
 from repro.net.transport import Transport
 
+from . import encoder as enc
 from .context import FormatHandle, IOContext
 from .errors import PbioError
+from .runtime import ConverterCache
 
 _CALL = struct.Struct(">IB")  # request id, flags (bit0: is-reply, bit1: fault)
 _FAULT_FLAG = 0x02
@@ -93,8 +95,14 @@ def _parse_call_header(data: bytes) -> tuple[int, bool, bool, str, bytes]:
 class RpcClient:
     """Client stubs: one PBIO context, per-operation format handles."""
 
-    def __init__(self, machine: MachineDescription, interface: RpcInterface):
-        self.ctx = IOContext(machine)
+    def __init__(
+        self,
+        machine: MachineDescription,
+        interface: RpcInterface,
+        *,
+        cache: ConverterCache | None = None,
+    ):
+        self.ctx = IOContext(machine, cache=cache)
         self.interface = interface
         self._handles: dict[str, FormatHandle] = {}
         self._announced: set[tuple[int, int]] = set()
@@ -141,8 +149,14 @@ class RpcClient:
 class RpcServer:
     """Server side: servant registry + request dispatch over a transport."""
 
-    def __init__(self, machine: MachineDescription, interface: RpcInterface):
-        self.ctx = IOContext(machine)
+    def __init__(
+        self,
+        machine: MachineDescription,
+        interface: RpcInterface,
+        *,
+        cache: ConverterCache | None = None,
+    ):
+        self.ctx = IOContext(machine, cache=cache)
         self.interface = interface
         self._servants: dict[bytes, dict[str, Callable[[dict], dict]]] = {}
         self._handles: dict[str, FormatHandle] = {}
@@ -159,9 +173,8 @@ class RpcServer:
         """Handle exactly one call (absorbing any format announcements)."""
         while True:
             message = transport.recv()
-            # Format announcements are PBIO messages (magic 0xB1); call
-            # headers are not.
-            if message[:1] == b"\xb1":
+            # Format announcements are PBIO messages; call headers are not.
+            if enc.is_pbio_message(message):
                 self.ctx.receive(message)
                 continue
             break
@@ -170,7 +183,7 @@ class RpcServer:
             raise PbioError("protocol error: server received a reply header")
         body = transport.recv()
         while True:
-            if body[:1] == b"\xb1":
+            if enc.is_pbio_message(body):
                 decoded = self.ctx.receive(body)
                 if decoded is None:  # it was an announcement
                     body = transport.recv()

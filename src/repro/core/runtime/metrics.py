@@ -1,0 +1,200 @@
+"""Unified metrics for the conversion runtime.
+
+One :class:`Metrics` registry holds every counter the decode path
+maintains — converter generation, cache hits, zero-copy vs converted
+decodes, delivery/filter outcomes — plus optional per-stage wall-clock
+timings.  The former ad-hoc ``ContextStats`` / ``SubscriberStats``
+dataclasses survive as read-only *views* over a registry, so existing
+code (``receiver.stats.converters_generated``) keeps working while the
+benchmark harness and new subsystems observe one coherent namespace.
+
+Counter names used by the runtime:
+
+========================  =====================================================
+``converters_generated``  converters built (DCG, vcode or interpreter tables)
+``converter_cache_hits``  decode found its (wire, native) entry already cached
+``zero_copy_decodes``     records delivered without conversion
+``converted_decodes``     records that ran a converter
+``generation_time_s``     cumulative converter-generation wall time (float)
+``delivered`` / ``filtered_out`` / ``wrong_type``   subscription outcomes
+``forwarded`` / ``announcements``                   relay downstream outcomes
+========================  =====================================================
+
+Stage timings (``decode.parse``, ``decode.resolve``, ``decode.convert``)
+are recorded only while ``timing_enabled`` is set: the hot path must not
+pay two ``perf_counter`` calls per stage when nobody is looking.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+
+
+class StageTiming:
+    """Accumulated wall time for one named pipeline stage."""
+
+    __slots__ = ("count", "total_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StageTiming(count={self.count}, total_s={self.total_s:.6f})"
+
+
+class Metrics:
+    """A registry of named counters and per-stage timings.
+
+    Counters are created on first increment and read as 0 when absent;
+    a registry can therefore be shared between components that count
+    different things (a context, its cache, a buffer pool) without any
+    schema declaration.
+    """
+
+    __slots__ = ("_counters", "_timings", "timing_enabled")
+
+    def __init__(self, *, timing_enabled: bool = False) -> None:
+        self._counters: dict[str, int | float] = {}
+        self._timings: dict[str, StageTiming] = {}
+        #: when False (the default) ``observe``/``time`` are no-ops so the
+        #: decode hot path never pays for clock reads nobody consumes
+        self.timing_enabled = timing_enabled
+
+    # -- counters -----------------------------------------------------------
+
+    def inc(self, name: str, amount: int | float = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    add = inc  # reads better for float accumulators (generation_time_s)
+
+    def value(self, name: str) -> int | float:
+        return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int | float]:
+        return dict(self._counters)
+
+    # -- stage timings ------------------------------------------------------
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one timed execution of ``stage`` (respects the flag)."""
+        if not self.timing_enabled:
+            return
+        timing = self._timings.get(stage)
+        if timing is None:
+            timing = self._timings[stage] = StageTiming()
+        timing.count += 1
+        timing.total_s += seconds
+
+    @contextmanager
+    def time(self, stage: str):
+        """Context manager form of :meth:`observe` for coarse stages."""
+        if not self.timing_enabled:
+            yield
+            return
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(stage, perf_counter() - t0)
+
+    def timing(self, stage: str) -> StageTiming:
+        timing = self._timings.get(stage)
+        if timing is None:
+            timing = self._timings[stage] = StageTiming()
+        return timing
+
+    def timings(self) -> dict[str, StageTiming]:
+        return dict(self._timings)
+
+    # -- aggregation --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable dump (the benchmark harness exports this)."""
+        return {
+            "counters": dict(self._counters),
+            "timings": {
+                name: {"count": t.count, "total_s": t.total_s, "mean_s": t.mean_s}
+                for name, t in self._timings.items()
+            },
+        }
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry's counts into this one (harness rollups)."""
+        for name, amount in other._counters.items():
+            self.inc(name, amount)
+        for stage, timing in other._timings.items():
+            mine = self._timings.get(stage)
+            if mine is None:
+                mine = self._timings[stage] = StageTiming()
+            mine.count += timing.count
+            mine.total_s += timing.total_s
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._timings.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Metrics({self._counters!r})"
+
+
+class _MetricsView:
+    """Read-only attribute view over a :class:`Metrics` registry.
+
+    Subclasses list the counter names they expose; attribute access
+    returns the live counter value, so the view never goes stale.
+    """
+
+    __slots__ = ("_metrics",)
+    _fields: tuple[str, ...] = ()
+
+    def __init__(self, metrics: Metrics) -> None:
+        self._metrics = metrics
+
+    @property
+    def metrics(self) -> Metrics:
+        return self._metrics
+
+    def __getattr__(self, name: str):
+        if name in type(self)._fields:
+            return self._metrics.value(name)
+        raise AttributeError(name)
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {name: self._metrics.value(name) for name in type(self)._fields}
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"{type(self).__name__}({body})"
+
+
+class ContextStats(_MetricsView):
+    """Per-context decode counters (kept for backward compatibility)."""
+
+    __slots__ = ()
+    _fields = (
+        "converters_generated",
+        "converter_cache_hits",
+        "zero_copy_decodes",
+        "converted_decodes",
+        "generation_time_s",
+    )
+
+
+class SubscriberStats(_MetricsView):
+    """Per-subscription delivery counters."""
+
+    __slots__ = ()
+    _fields = ("delivered", "filtered_out", "wrong_type")
+
+
+class DownstreamStats(_MetricsView):
+    """Per-relay-downstream forwarding counters."""
+
+    __slots__ = ()
+    _fields = ("forwarded", "filtered_out", "announcements")

@@ -12,27 +12,25 @@ DataExchange/ECho played in the original system's ecosystem):
 * subscribers attach with their own machine, their own expected formats,
   and optionally a DCG-compiled filter; they may join at any time —
   the channel replays the format announcements they missed;
-* each subscriber decodes with its own converter cache: a zero-copy view
-  for homogeneous publishers, generated conversion otherwise; filtered
-  messages are rejected from the 16-byte header + referenced fields
-  alone, without decoding the record.
+* a channel constructed with a shared
+  :class:`~repro.core.runtime.ConverterCache` hands it to every
+  subscriber, so same-machine subscribers generate each converter once
+  between them (the cache key includes the machine ABI, so heterogeneous
+  subscriber sets share safely);
+* each subscriber decodes through its context's decode pipeline: a
+  zero-copy view for homogeneous publishers, generated conversion
+  otherwise; filtered messages are rejected from the 16-byte header +
+  referenced fields alone, without decoding the record.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.context import FormatHandle, IOContext
 from repro.core.filters import RecordFilter
+from repro.core.runtime import ConverterCache, Metrics, SubscriberStats
 from repro.core import encoder as enc
-
-
-@dataclass
-class SubscriberStats:
-    delivered: int = 0
-    filtered_out: int = 0
-    wrong_type: int = 0
 
 
 class Subscription:
@@ -51,36 +49,48 @@ class Subscription:
         self.ctx = ctx
         self.handler = handler
         self.format_name = format_name
-        self.stats = SubscriberStats()
+        self.metrics = Metrics()
+        self.stats = SubscriberStats(self.metrics)
         self._filter = (
             RecordFilter(ctx, format_name, filter_expr) if filter_expr else None
         )
 
     def _offer(self, message: bytes) -> None:
-        msg_type = message[2]
+        msg_type, context_id, format_id, _ = enc.unpack_header(message)
         if msg_type == enc.MSG_FORMAT:
             self.ctx.receive(message)
             return
         if self.format_name is not None:
-            info = enc.unpack_header(message)
-            fmt = self.ctx.registry.remote_format(info[1], info[2])
+            fmt = self.ctx.registry.remote_format(context_id, format_id)
             if fmt.name != self.format_name:
-                self.stats.wrong_type += 1
+                self.metrics.inc("wrong_type")
                 return
         if self._filter is not None and not self._filter.matches(message):
-            self.stats.filtered_out += 1
+            self.metrics.inc("filtered_out")
             return
-        self.stats.delivered += 1
+        self.metrics.inc("delivered")
         self.handler(self.ctx.decode(message))
 
 
 class EventChannel:
-    """An in-process record distribution hub with late-join support."""
+    """An in-process record distribution hub with late-join support.
 
-    def __init__(self) -> None:
+    ``cache`` (optional) is handed to every subscriber context at
+    subscribe time, pooling converter generation across same-machine
+    subscribers; pass :func:`repro.core.runtime.shared_cache()` for the
+    process-global cache or a fresh :class:`ConverterCache` scoped to
+    this channel.
+    """
+
+    def __init__(self, *, cache: ConverterCache | None = None) -> None:
         self._subscribers: list[Subscription] = []
         self._announcements: list[bytes] = []  # replayed to late joiners
+        self._cache = cache
         self.messages_published = 0
+
+    @property
+    def cache(self) -> ConverterCache | None:
+        return self._cache
 
     # -- subscribing ---------------------------------------------------------
 
@@ -94,6 +104,8 @@ class EventChannel:
     ) -> Subscription:
         """Attach a subscriber; formats announced before it joined are
         replayed so it can decode the ongoing stream immediately."""
+        if self._cache is not None:
+            ctx.use_cache(self._cache)
         sub = Subscription(ctx, handler, format_name=format_name, filter_expr=filter_expr)
         for announcement in self._announcements:
             sub._offer(announcement)
@@ -109,7 +121,7 @@ class EventChannel:
         return ChannelPublisher(self, ctx)
 
     def _publish_message(self, message: bytes) -> None:
-        if message[2] == enc.MSG_FORMAT:
+        if enc.message_kind(message) == enc.MSG_FORMAT:
             self._announcements.append(message)
         else:
             self.messages_published += 1

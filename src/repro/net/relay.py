@@ -17,27 +17,20 @@ differently-filtered substreams — the derived-event-channel pattern.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.abi import X86_64
 from repro.core import encoder as enc
 from repro.core.context import IOContext
 from repro.core.filters import RecordFilter
+from repro.core.runtime import ConverterCache, DownstreamStats, Metrics
 from repro.net.transport import Transport
-
-
-@dataclass
-class DownstreamStats:
-    forwarded: int = 0
-    filtered_out: int = 0
-    announcements: int = 0
 
 
 class _Downstream:
     def __init__(self, transport: Transport, flt: RecordFilter | None):
         self.transport = transport
         self.filter = flt
-        self.stats = DownstreamStats()
+        self.metrics = Metrics()
+        self.stats = DownstreamStats(self.metrics)
 
 
 class Relay:
@@ -54,10 +47,12 @@ class Relay:
             relay.forward(message)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, cache: ConverterCache | None = None) -> None:
         # The relay's context exists only to hold the format registry for
         # filter compilation; records are never decoded to its layouts.
-        self.ctx = IOContext(X86_64)
+        # A shared cache is accepted anyway so filter-free relays embedded
+        # in larger topologies can participate in channel-wide sharing.
+        self.ctx = IOContext(X86_64, cache=cache)
         self._downstreams: list[_Downstream] = []
         self._announcements: list[bytes] = []
         self.messages_seen = 0
@@ -78,27 +73,26 @@ class Relay:
         downstream = _Downstream(transport, flt)
         for announcement in self._announcements:
             transport.send(announcement)
-            downstream.stats.announcements += 1
+            downstream.metrics.inc("announcements")
         self._downstreams.append(downstream)
         return downstream
 
     def forward(self, message: bytes) -> None:
         """Process one upstream message."""
-        msg_type = message[2] if len(message) > 2 else -1
-        if msg_type == enc.MSG_FORMAT:
+        if enc.try_message_type(message) == enc.MSG_FORMAT:
             self.ctx.receive(message)  # absorb for filter compilation
             self._announcements.append(bytes(message))
             for downstream in self._downstreams:
                 downstream.transport.send(message)
-                downstream.stats.announcements += 1
+                downstream.metrics.inc("announcements")
             return
         self.messages_seen += 1
         for downstream in self._downstreams:
             if downstream.filter is not None and not downstream.filter.matches(message):
-                downstream.stats.filtered_out += 1
+                downstream.metrics.inc("filtered_out")
                 continue
             downstream.transport.send(message)  # verbatim: zero re-encoding
-            downstream.stats.forwarded += 1
+            downstream.metrics.inc("forwarded")
 
     def pump(self, upstream: Transport, count: int) -> None:
         """Forward ``count`` messages from an upstream transport."""
