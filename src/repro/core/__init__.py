@@ -48,7 +48,15 @@ from .pbio_wire import BoundPbio, PbioWire
 from .reflection import MessageInfo, generic_decode, incoming_format, peek_message
 from .versioning import CompatibilityReport, check_evolution
 from .files import PbioFileReader, PbioFileWriter, read_records, write_records
-from .rpc import RpcClient, RpcFault, RpcInterface, RpcOperation, RpcServer
+from .rpc import (
+    RpcClient,
+    RpcError,
+    RpcFault,
+    RpcInterface,
+    RpcOperation,
+    RpcServer,
+    RpcTimeout,
+)
 from .filters import (
     FilterError,
     RecordFilter,
@@ -103,6 +111,8 @@ __all__ = [
     "RpcClient",
     "RpcServer",
     "RpcFault",
+    "RpcError",
+    "RpcTimeout",
     "RecordFilter",
     "RecordProjector",
     "FilterError",

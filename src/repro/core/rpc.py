@@ -19,29 +19,55 @@ meta — so:
 Call envelope (request and reply both): a PBIO data message whose record
 is the operation's argument/result record, preceded by a tiny call
 header message routing (request id, object key, operation).
+
+Failure taxonomy (docs/robustness.md §5) — three disjoint families so
+retry logic can be mechanical:
+
+* :class:`~repro.net.transport.TransportError` — the *link* failed.
+  Retryable: with a :class:`~repro.net.faults.RetryPolicy` the client
+  retransmits under the **same request id**, and the server's dedup
+  window guarantees the servant still executes at most once.
+* :class:`RpcFault` (under :class:`RpcError`) — the *application*
+  faulted (no such object/operation, servant raised).  Never retried.
+* :class:`~repro.core.errors.PbioError` — the *protocol* broke
+  (malformed header, undecodable body).  Fatal, never retried.
 """
 
 from __future__ import annotations
 
 import struct
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.abi import MachineDescription, RecordSchema
-from repro.net.transport import Transport
+from repro.net.transport import Transport, TransportError, transport_token
 
 from . import encoder as enc
 from .context import FormatHandle, IOContext
 from .errors import PbioError
-from .runtime import ConverterCache
+from .runtime import ConverterCache, Metrics
+
+if TYPE_CHECKING:  # import would cycle through repro.net at runtime
+    from repro.net.faults import RetryPolicy
 
 _CALL = struct.Struct(">IB")  # request id, flags (bit0: is-reply, bit1: fault)
 _FAULT_FLAG = 0x02
 _REPLY_FLAG = 0x01
 
 
-class RpcFault(PbioError):
+class RpcError(RuntimeError):
+    """Base of RPC-layer failures (deliberately *not* a PbioError:
+    application faults and deadline misses are not protocol damage)."""
+
+
+class RpcFault(RpcError):
     """Raised client-side when the server reports an application fault."""
+
+
+class RpcTimeout(RpcError):
+    """A call's deadline budget expired before a reply arrived."""
 
 
 @dataclass(frozen=True)
@@ -80,15 +106,21 @@ def _call_header(request_id: int, *, reply: bool, fault: bool, operation: str, k
 
 
 def _parse_call_header(data: bytes) -> tuple[int, bool, bool, str, bytes]:
-    request_id, flags = _CALL.unpack_from(data, 0)
-    pos = _CALL.size
-    (op_len,) = struct.unpack_from(">H", data, pos)
-    pos += 2
-    operation = data[pos : pos + op_len].decode("utf-8")
-    pos += op_len
-    (key_len,) = struct.unpack_from(">H", data, pos)
-    pos += 2
-    key = data[pos : pos + key_len]
+    try:
+        request_id, flags = _CALL.unpack_from(data, 0)
+        pos = _CALL.size
+        (op_len,) = struct.unpack_from(">H", data, pos)
+        pos += 2
+        operation = data[pos : pos + op_len].decode("utf-8")
+        pos += op_len
+        (key_len,) = struct.unpack_from(">H", data, pos)
+        pos += 2
+        key = data[pos : pos + key_len]
+    except (struct.error, UnicodeDecodeError) as exc:
+        # A frame that is not a call header at all (e.g. a record body
+        # surfacing where a header belongs after mid-reply frame loss):
+        # protocol damage, reported as such rather than a struct leak.
+        raise PbioError(f"malformed call header: {exc}") from exc
     return request_id, bool(flags & _REPLY_FLAG), bool(flags & _FAULT_FLAG), operation, key
 
 
@@ -104,6 +136,7 @@ class RpcClient:
     ):
         self.ctx = IOContext(machine, cache=cache)
         self.interface = interface
+        self.metrics = Metrics()
         self._handles: dict[str, FormatHandle] = {}
         self._announced: set[tuple[int, int]] = set()
         self._next_id = 1
@@ -116,25 +149,101 @@ class RpcClient:
             # Expect replies of the operation's reply type.
         return handle
 
-    def invoke(self, transport: Transport, object_key: bytes, operation: str, request: dict) -> dict:
+    def invoke(
+        self,
+        transport: Transport,
+        object_key: bytes,
+        operation: str,
+        request: dict,
+        *,
+        retry: "RetryPolicy | None" = None,
+        deadline_s: float | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> dict:
+        """Perform one call, optionally with a deadline and retransmission.
+
+        ``deadline_s`` bounds the whole call (all attempts and backoff);
+        on expiry :class:`RpcTimeout` is raised.  ``retry`` (a
+        :class:`~repro.net.faults.RetryPolicy`) retransmits after a
+        :class:`TransportError` under the *same* request id — safe for
+        any servant because the server's dedup window replays the cached
+        reply instead of re-executing.  Application faults and protocol
+        errors are never retried.
+        """
         op = self.interface[operation]
         handle = self._handle_for(op.request_schema)
         self.ctx.expect(op.reply_schema)
         request_id = self._next_id
         self._next_id += 1
-        announce_key = (id(transport), handle.format_id)
+        self.metrics.inc("calls")
+        start = clock()
+
+        def attempt() -> dict:
+            if deadline_s is not None:
+                elapsed = clock() - start
+                if elapsed >= deadline_s:
+                    raise RpcTimeout(
+                        f"call {operation!r} (request {request_id}) exceeded "
+                        f"deadline of {deadline_s}s"
+                    )
+                transport.set_timeout(deadline_s - elapsed)
+            self._transmit(transport, handle, request_id, operation, object_key, request)
+            return self._await_reply(transport, request_id)
+
+        if retry is None:
+            try:
+                return attempt()
+            except TransportError:
+                self.metrics.inc("transport_errors")
+                raise
+
+        def note_retry(attempt_no: int, exc: BaseException, backoff: float) -> None:
+            self.metrics.inc("transport_errors")
+            self.metrics.inc("retries")
+
+        return retry.run(
+            attempt,
+            retry_on=(TransportError,),
+            on_retry=note_retry,
+            sleep=sleep,
+            clock=clock,
+            deadline_s=deadline_s if deadline_s is not None else retry.deadline_s,
+        )
+
+    # -- wire helpers --------------------------------------------------------
+
+    def _transmit(
+        self,
+        transport: Transport,
+        handle: FormatHandle,
+        request_id: int,
+        operation: str,
+        object_key: bytes,
+        request: dict,
+    ) -> None:
+        announce_key = (transport_token(transport), handle.format_id)
         if announce_key not in self._announced:
             transport.send(self.ctx.announce(handle))
             self._announced.add(announce_key)
-        transport.send(_call_header(request_id, reply=False, fault=False, operation=operation, key=object_key))
+        transport.send(
+            _call_header(request_id, reply=False, fault=False, operation=operation, key=object_key)
+        )
         transport.send(self.ctx.encode(handle, request))
-        # -- reply ----------------------------------------------------------
+
+    def _await_reply(self, transport: Transport, request_id: int) -> dict:
         while True:
             header = transport.recv()
             reply_id, is_reply, is_fault, _op, _key = _parse_call_header(header)
             if not is_reply:
                 raise PbioError("protocol error: expected a reply header")
             if reply_id != request_id:
+                if reply_id < request_id:
+                    # A duplicated/retransmitted reply to an *earlier*,
+                    # already-completed call: drain its body and move on.
+                    self.metrics.inc("stale_replies")
+                    self._absorb_reply_body(transport, fault=is_fault)
+                    continue
                 raise PbioError(f"reply id {reply_id} for unknown request")
             body = transport.recv()
             if is_fault:
@@ -145,9 +254,23 @@ class RpcClient:
                 result = self.ctx.receive(body)
             return result
 
+    def _absorb_reply_body(self, transport: Transport, *, fault: bool) -> None:
+        body = transport.recv()
+        if fault:
+            return  # fault bodies are raw text, one frame
+        if enc.is_pbio_message(body) and self.ctx.receive(body) is None:
+            self.ctx.receive(transport.recv())  # announcement, then the data
+
 
 class RpcServer:
-    """Server side: servant registry + request dispatch over a transport."""
+    """Server side: servant registry + request dispatch over a transport.
+
+    ``dedup_window`` caches the reply frames of the last N request ids
+    *per transport*, so a retransmitted request (client-side retry after
+    a lost reply) is answered from the cache — the servant observes each
+    request id exactly once ("at-most-once execution, at-least-once
+    delivery").
+    """
 
     def __init__(
         self,
@@ -155,12 +278,18 @@ class RpcServer:
         interface: RpcInterface,
         *,
         cache: ConverterCache | None = None,
+        dedup_window: int = 64,
     ):
+        if dedup_window < 0:
+            raise ValueError("dedup_window must be >= 0")
         self.ctx = IOContext(machine, cache=cache)
         self.interface = interface
+        self.metrics = Metrics()
         self._servants: dict[bytes, dict[str, Callable[[dict], dict]]] = {}
         self._handles: dict[str, FormatHandle] = {}
         self._announced: set[tuple[int, int]] = set()
+        self._dedup_window = dedup_window
+        self._replies: dict[int, OrderedDict[int, list[bytes]]] = {}
         for op in interface.operations.values():
             self.ctx.expect(op.request_schema)
 
@@ -191,6 +320,22 @@ class RpcServer:
                 request = decoded
                 break
             raise PbioError("protocol error: expected a PBIO data message")
+        token = transport_token(transport)
+        window = self._replies.setdefault(token, OrderedDict())
+        cached = window.get(request_id)
+        if cached is not None:
+            # Retransmission of a request already executed: replay the
+            # recorded reply frames verbatim, don't run the servant again.
+            self.metrics.inc("dedup_hits")
+            for frame_bytes in cached:
+                transport.send(frame_bytes)
+            return
+        frames: list[bytes] = []
+
+        def send(data: bytes) -> None:
+            frames.append(bytes(data))
+            transport.send(data)
+
         try:
             servant = self._servants.get(bytes(key))
             if servant is None:
@@ -198,18 +343,31 @@ class RpcServer:
             method = servant.get(operation)
             if method is None:
                 raise RpcFault(f"no operation {operation!r} on {key!r}")
-            result = method(request)
+            try:
+                result = method(request)
+            except RpcFault:
+                raise
+            except Exception as exc:  # a broken servant must not kill serving
+                self.metrics.inc("servant_errors")
+                raise RpcFault(f"internal error in {operation!r}: {exc!r}") from exc
             op = self.interface[operation]
             handle = self._handles.get(op.reply_schema.name)
             if handle is None:
                 handle = self.ctx.register_format(op.reply_schema)
                 self._handles[op.reply_schema.name] = handle
-            transport.send(_call_header(request_id, reply=True, fault=False, operation=operation, key=b""))
-            announce_key = (id(transport), handle.format_id)
+            send(_call_header(request_id, reply=True, fault=False, operation=operation, key=b""))
+            announce_key = (token, handle.format_id)
             if announce_key not in self._announced:
-                transport.send(self.ctx.announce(handle))
+                send(self.ctx.announce(handle))
                 self._announced.add(announce_key)
-            transport.send(self.ctx.encode(handle, result))
+            send(self.ctx.encode(handle, result))
+            self.metrics.inc("requests_served")
         except RpcFault as exc:
-            transport.send(_call_header(request_id, reply=True, fault=True, operation=operation, key=b""))
-            transport.send(str(exc).encode("utf-8"))
+            frames.clear()  # a half-sent success reply is not replayable
+            send(_call_header(request_id, reply=True, fault=True, operation=operation, key=b""))
+            send(str(exc).encode("utf-8"))
+            self.metrics.inc("faults")
+        if self._dedup_window:
+            window[request_id] = frames
+            while len(window) > self._dedup_window:
+                window.popitem(last=False)

@@ -17,7 +17,13 @@ Counter names used by the runtime:
 ``converted_decodes``     records that ran a converter
 ``generation_time_s``     cumulative converter-generation wall time (float)
 ``delivered`` / ``filtered_out`` / ``wrong_type``   subscription outcomes
+``decode_errors`` / ``handler_errors`` / ``detached``   subscription failures
 ``forwarded`` / ``announcements``                   relay downstream outcomes
+``send_errors`` / ``detached``                      relay downstream failures
+``faults.*``              injected faults (:mod:`repro.net.faults`)
+``reconnects`` / ``announcements_replayed`` / ``dial_failures``  reconnect layer
+``requests_served`` / ``dedup_hits`` / ``servant_errors``        RPC server
+``calls`` / ``retries`` / ``transport_errors`` / ``stale_replies``  RPC client
 ========================  =====================================================
 
 Stage timings (``decode.parse``, ``decode.resolve``, ``decode.convert``)
@@ -190,11 +196,24 @@ class SubscriberStats(_MetricsView):
     """Per-subscription delivery counters."""
 
     __slots__ = ()
-    _fields = ("delivered", "filtered_out", "wrong_type")
+    _fields = (
+        "delivered",
+        "filtered_out",
+        "wrong_type",
+        "decode_errors",
+        "handler_errors",
+        "detached",
+    )
 
 
 class DownstreamStats(_MetricsView):
     """Per-relay-downstream forwarding counters."""
 
     __slots__ = ()
-    _fields = ("forwarded", "filtered_out", "announcements")
+    _fields = (
+        "forwarded",
+        "filtered_out",
+        "announcements",
+        "send_errors",
+        "detached",
+    )

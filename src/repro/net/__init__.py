@@ -1,7 +1,22 @@
 """Network substrate: transports, the paper-calibrated network model, real
 loopback sockets, and round-trip cost accounting."""
 
-from .transport import InMemoryPipe, Transport, TransportError, frame, read_frame
+from .transport import (
+    InMemoryPipe,
+    PeerClosedError,
+    Transport,
+    TransportError,
+    TransportTimeout,
+    frame,
+    read_frame,
+    transport_token,
+)
+from .faults import (
+    FaultInjectingTransport,
+    FaultPlan,
+    ReconnectingTransport,
+    RetryPolicy,
+)
 from .simulated import (
     NetworkModel,
     SimulatedEndpoint,
@@ -16,9 +31,16 @@ from .relay import Relay
 __all__ = [
     "Transport",
     "TransportError",
+    "TransportTimeout",
+    "PeerClosedError",
     "InMemoryPipe",
     "frame",
     "read_frame",
+    "transport_token",
+    "FaultPlan",
+    "FaultInjectingTransport",
+    "RetryPolicy",
+    "ReconnectingTransport",
     "NetworkModel",
     "SimulatedLink",
     "SimulatedEndpoint",

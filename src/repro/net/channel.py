@@ -20,7 +20,12 @@ DataExchange/ECho played in the original system's ecosystem):
 * each subscriber decodes through its context's decode pipeline: a
   zero-copy view for homogeneous publishers, generated conversion
   otherwise; filtered messages are rejected from the 16-byte header +
-  referenced fields alone, without decoding the record.
+  referenced fields alone, without decoding the record;
+* delivery is failure-isolated per subscriber: each subscription has an
+  error policy (``"raise"``, ``"suppress"`` or ``"detach"``) governing
+  what a throwing handler or an undecodable stream does — under
+  ``suppress``/``detach`` one bad subscriber never breaks delivery to
+  the healthy ones.
 """
 
 from __future__ import annotations
@@ -28,9 +33,14 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.core.context import FormatHandle, IOContext
+from repro.core.errors import PbioError
 from repro.core.filters import RecordFilter
 from repro.core.runtime import ConverterCache, Metrics, SubscriberStats
 from repro.core import encoder as enc
+
+#: Per-subscriber error policies: propagate (pre-existing behaviour),
+#: count-and-continue, or count-and-unsubscribe.
+ERROR_POLICIES = ("raise", "suppress", "detach")
 
 
 class Subscription:
@@ -43,12 +53,16 @@ class Subscription:
         *,
         format_name: str | None = None,
         filter_expr: str | None = None,
+        on_error: str = "raise",
     ):
         if filter_expr is not None and format_name is None:
             raise ValueError("a filter requires format_name")
+        if on_error not in ERROR_POLICIES:
+            raise ValueError(f"on_error must be one of {ERROR_POLICIES}, not {on_error!r}")
         self.ctx = ctx
         self.handler = handler
         self.format_name = format_name
+        self.error_policy = on_error
         self.metrics = Metrics()
         self.stats = SubscriberStats(self.metrics)
         self._filter = (
@@ -61,7 +75,11 @@ class Subscription:
             self.ctx.receive(message)
             return
         if self.format_name is not None:
-            fmt = self.ctx.registry.remote_format(context_id, format_id)
+            try:
+                fmt = self.ctx.registry.remote_format(context_id, format_id)
+            except PbioError:  # announced format never arrived (lossy link)
+                self.metrics.inc("decode_errors")
+                raise
             if fmt.name != self.format_name:
                 self.metrics.inc("wrong_type")
                 return
@@ -69,7 +87,16 @@ class Subscription:
             self.metrics.inc("filtered_out")
             return
         self.metrics.inc("delivered")
-        self.handler(self.ctx.decode(message))
+        try:
+            decoded = self.ctx.decode(message)
+        except PbioError:
+            self.metrics.inc("decode_errors")
+            raise
+        try:
+            self.handler(decoded)
+        except Exception:
+            self.metrics.inc("handler_errors")
+            raise
 
 
 class EventChannel:
@@ -101,15 +128,29 @@ class EventChannel:
         *,
         format_name: str | None = None,
         filter_expr: str | None = None,
+        on_error: str = "raise",
     ) -> Subscription:
         """Attach a subscriber; formats announced before it joined are
-        replayed so it can decode the ongoing stream immediately."""
+        replayed so it can decode the ongoing stream immediately.
+
+        ``on_error`` selects the failure policy for this subscriber:
+        ``"raise"`` propagates handler/decode errors to the publisher
+        (the historical behaviour), ``"suppress"`` counts them and keeps
+        the subscription, ``"detach"`` counts them and unsubscribes the
+        offender — either way the other subscribers still get the event.
+        """
         if self._cache is not None:
             ctx.use_cache(self._cache)
-        sub = Subscription(ctx, handler, format_name=format_name, filter_expr=filter_expr)
-        for announcement in self._announcements:
-            sub._offer(announcement)
+        sub = Subscription(
+            ctx, handler, format_name=format_name, filter_expr=filter_expr, on_error=on_error
+        )
         self._subscribers.append(sub)
+        try:
+            for announcement in self._announcements:
+                self._deliver(sub, announcement)
+        except Exception:  # "raise" policy during replay: don't half-join
+            self._subscribers.remove(sub)
+            raise
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
@@ -126,7 +167,19 @@ class EventChannel:
         else:
             self.messages_published += 1
         for sub in list(self._subscribers):
+            self._deliver(sub, message)
+
+    def _deliver(self, sub: Subscription, message: bytes) -> None:
+        """Offer a message to one subscriber under its error policy."""
+        try:
             sub._offer(message)
+        except Exception:
+            if sub.error_policy == "raise":
+                raise
+            if sub.error_policy == "detach":
+                sub.metrics.inc("detached")
+                if sub in self._subscribers:
+                    self._subscribers.remove(sub)
 
     @property
     def subscriber_count(self) -> int:

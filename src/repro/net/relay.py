@@ -13,16 +13,25 @@ sense: it observes format announcements (to keep its registry and to
 replay them to late-attached downstreams) and forwards data messages
 verbatim.  Filters are per-downstream, so one stream fans out into
 differently-filtered substreams — the derived-event-channel pattern.
+
+Fan-out is failure-isolated: a downstream whose transport raises
+:class:`~repro.net.transport.TransportError` never stalls the stream for
+its siblings.  Errors are counted per downstream (``send_errors``) and
+after ``quarantine_after`` *consecutive* failures the downstream is
+quarantined — skipped until :meth:`Relay.reactivate` brings it back with
+a fresh announcement replay (``detached`` marks the transition).
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.abi import X86_64
 from repro.core import encoder as enc
 from repro.core.context import IOContext
 from repro.core.filters import RecordFilter
 from repro.core.runtime import ConverterCache, DownstreamStats, Metrics
-from repro.net.transport import Transport
+from repro.net.transport import Transport, TransportError
 
 
 class _Downstream:
@@ -31,6 +40,8 @@ class _Downstream:
         self.filter = flt
         self.metrics = Metrics()
         self.stats = DownstreamStats(self.metrics)
+        self.consecutive_errors = 0
+        self.quarantined = False
 
 
 class Relay:
@@ -45,14 +56,29 @@ class Relay:
                      filter_expr="temperature > 700.0") # hot records only
         for message in upstream:
             relay.forward(message)
+
+    ``quarantine_after`` is the number of *consecutive* send failures
+    that detaches a downstream (any success resets the count);
+    ``on_error`` is called as ``on_error(downstream, exc)`` after each
+    failed send, before any quarantine decision.
     """
 
-    def __init__(self, *, cache: ConverterCache | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        cache: ConverterCache | None = None,
+        quarantine_after: int = 3,
+        on_error: Callable[[_Downstream, TransportError], None] | None = None,
+    ) -> None:
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
         # The relay's context exists only to hold the format registry for
         # filter compilation; records are never decoded to its layouts.
         # A shared cache is accepted anyway so filter-free relays embedded
         # in larger topologies can participate in channel-wide sharing.
         self.ctx = IOContext(X86_64, cache=cache)
+        self.quarantine_after = quarantine_after
+        self.on_error = on_error
         self._downstreams: list[_Downstream] = []
         self._announcements: list[bytes] = []
         self.messages_seen = 0
@@ -71,11 +97,49 @@ class Relay:
                 raise ValueError("a filter requires format_name")
             flt = RecordFilter(self.ctx, format_name, filter_expr)
         downstream = _Downstream(transport, flt)
-        for announcement in self._announcements:
-            transport.send(announcement)
-            downstream.metrics.inc("announcements")
         self._downstreams.append(downstream)
+        for announcement in self._announcements:
+            self._send(downstream, announcement, "announcements")
         return downstream
+
+    def detach(self, downstream: _Downstream) -> None:
+        """Remove a downstream entirely (it will not be forwarded again)."""
+        self._downstreams.remove(downstream)
+
+    def reactivate(self, downstream: _Downstream) -> None:
+        """Clear a quarantine (e.g. after the link reconnected) and replay
+        the announcements the downstream missed while detached."""
+        downstream.quarantined = False
+        downstream.consecutive_errors = 0
+        for announcement in self._announcements:
+            self._send(downstream, announcement, "announcements")
+
+    @property
+    def active_downstreams(self) -> list[_Downstream]:
+        return [d for d in self._downstreams if not d.quarantined]
+
+    def _send(self, downstream: _Downstream, message: bytes, counter: str) -> None:
+        """Send to one downstream, absorbing transport failures.
+
+        One dead peer must never abort the fan-out loop: the error is
+        counted, reported to ``on_error``, and — after ``quarantine_after``
+        consecutive failures — the downstream is quarantined.
+        """
+        if downstream.quarantined:
+            return
+        try:
+            downstream.transport.send(message)
+        except TransportError as exc:
+            downstream.metrics.inc("send_errors")
+            downstream.consecutive_errors += 1
+            if self.on_error is not None:
+                self.on_error(downstream, exc)
+            if downstream.consecutive_errors >= self.quarantine_after:
+                downstream.quarantined = True
+                downstream.metrics.inc("detached")
+        else:
+            downstream.consecutive_errors = 0
+            downstream.metrics.inc(counter)
 
     def forward(self, message: bytes) -> None:
         """Process one upstream message."""
@@ -83,16 +147,16 @@ class Relay:
             self.ctx.receive(message)  # absorb for filter compilation
             self._announcements.append(bytes(message))
             for downstream in self._downstreams:
-                downstream.transport.send(message)
-                downstream.metrics.inc("announcements")
+                self._send(downstream, message, "announcements")
             return
         self.messages_seen += 1
         for downstream in self._downstreams:
+            if downstream.quarantined:
+                continue
             if downstream.filter is not None and not downstream.filter.matches(message):
                 downstream.metrics.inc("filtered_out")
                 continue
-            downstream.transport.send(message)  # verbatim: zero re-encoding
-            downstream.metrics.inc("forwarded")
+            self._send(downstream, message, "forwarded")  # verbatim: zero re-encoding
 
     def pump(self, upstream: Transport, count: int) -> None:
         """Forward ``count`` messages from an upstream transport."""

@@ -11,7 +11,7 @@ import socket
 import threading
 from typing import Callable
 
-from .transport import Transport, TransportError, frame, read_frame
+from .transport import Transport, TransportError, TransportTimeout, frame, read_frame
 
 
 class SocketTransport(Transport):
@@ -21,9 +21,15 @@ class SocketTransport(Transport):
         self._sock = sock
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
+    def set_timeout(self, timeout_s: float | None) -> None:
+        """Bound blocking send/recv; exceeded → :class:`TransportTimeout`."""
+        self._sock.settimeout(timeout_s)
+
     def send(self, payload) -> None:
         try:
             self._sock.sendall(frame(payload))
+        except TimeoutError as exc:
+            raise TransportTimeout(f"send timed out: {exc}") from exc
         except OSError as exc:
             raise TransportError(f"send failed: {exc}") from exc
 
@@ -36,6 +42,8 @@ class SocketTransport(Transport):
         while remaining:
             try:
                 chunk = self._sock.recv(remaining)
+            except TimeoutError as exc:
+                raise TransportTimeout(f"recv timed out: {exc}") from exc
             except OSError as exc:
                 raise TransportError(f"recv failed: {exc}") from exc
             if not chunk:
@@ -72,6 +80,12 @@ class EchoServer:
 
     Models the peer side of the paper's round-trip experiments: receive,
     decode, re-encode, send back.  The default handler echoes bytes.
+
+    A handler exception does not silently kill the serving thread (which
+    would leave the client blocked until its socket timeout): the server
+    records the exception, closes its socket deliberately — the client's
+    pending ``recv`` fails fast with a :class:`TransportError` — and
+    re-raises the original exception from :meth:`close`.
     """
 
     def __init__(self, handler: Callable[[bytes], bytes] | None = None):
@@ -80,6 +94,7 @@ class EchoServer:
         self._remote = remote
         self._thread = threading.Thread(target=self._serve, daemon=True)
         self._stopping = False
+        self.handler_error: BaseException | None = None
         self._thread.start()
 
     @property
@@ -91,7 +106,13 @@ class EchoServer:
         try:
             while not self._stopping:
                 data = self._remote.recv()
-                self._remote.send(self._handler(data))
+                try:
+                    reply = self._handler(data)
+                except Exception as exc:
+                    self.handler_error = exc
+                    self._remote.close()  # deliberate: unblock the client now
+                    return
+                self._remote.send(reply)
         except TransportError:
             pass  # peer closed
 
@@ -100,6 +121,10 @@ class EchoServer:
         self._local.close()
         self._remote.close()
         self._thread.join(timeout=5)
+        if self.handler_error is not None:
+            raise TransportError(
+                f"echo handler failed: {self.handler_error!r}"
+            ) from self.handler_error
 
     def __enter__(self):
         return self

@@ -3,12 +3,24 @@
 Every wire-format system under test (PBIO, MPI-like, XML, IIOP) produces
 byte messages; transports move them.  Frames are length-prefixed so stream
 transports (TCP) preserve message boundaries.
+
+Error taxonomy (the fault-tolerance layer in :mod:`repro.net.faults`
+keys retry decisions off it):
+
+* :class:`TransportError` — the link failed; the *message stream* is
+  suspect but the peer may come back.  Retryable.
+* :class:`PeerClosedError` — the peer deliberately closed its end; no
+  more messages will ever arrive.  Retryable only by re-dialling.
+* :class:`TransportTimeout` — a blocking operation exceeded the
+  transport's configured timeout.  Retryable.
 """
 
 from __future__ import annotations
 
+import itertools
 import struct
 from abc import ABC, abstractmethod
+from collections import deque
 
 #: 4-byte big-endian length prefix, like most RPC framings.
 _LEN = struct.Struct(">I")
@@ -18,6 +30,36 @@ MAX_FRAME = 1 << 30
 
 class TransportError(RuntimeError):
     pass
+
+
+class PeerClosedError(TransportError):
+    """The peer closed its end: distinguishable from a merely idle link."""
+
+
+class TransportTimeout(TransportError):
+    """A blocking send/recv exceeded the configured timeout."""
+
+
+#: Monotonic ids for :func:`transport_token` (never recycled, unlike ``id()``).
+_token_counter = itertools.count(1)
+
+
+def transport_token(transport) -> int:
+    """A process-unique, monotonic identity token for a transport.
+
+    ``id()`` values recycle after garbage collection, so keying
+    per-transport protocol state (e.g. "announcements already sent") by
+    ``id(transport)`` lets a new transport silently inherit a dead one's
+    state.  This token is assigned once per object and never reused.
+    """
+    token = getattr(transport, "_transport_token", None)
+    if token is None:
+        token = next(_token_counter)
+        try:
+            transport._transport_token = token
+        except AttributeError:  # __slots__ without the attribute: fall back
+            return id(transport)
+    return token
 
 
 class Transport(ABC):
@@ -33,6 +75,13 @@ class Transport(ABC):
 
     @abstractmethod
     def close(self) -> None: ...
+
+    def set_timeout(self, timeout_s: float | None) -> None:
+        """Bound blocking operations; exceeded → :class:`TransportTimeout`.
+
+        Transports whose operations never block (the in-memory pipe)
+        ignore this.
+        """
 
     def __enter__(self):
         return self
@@ -71,19 +120,22 @@ class InMemoryPipe:
     """
 
     def __init__(self) -> None:
-        a_to_b: list[bytes] = []
-        b_to_a: list[bytes] = []
+        a_to_b: deque[bytes] = deque()
+        b_to_a: deque[bytes] = deque()
         self.a = _PipeEnd(a_to_b, b_to_a)
         self.b = _PipeEnd(b_to_a, a_to_b)
+        self.a._peer = self.b
+        self.b._peer = self.a
 
     def endpoints(self) -> tuple["_PipeEnd", "_PipeEnd"]:
         return self.a, self.b
 
 
 class _PipeEnd(Transport):
-    def __init__(self, outbox: list[bytes], inbox: list[bytes]):
+    def __init__(self, outbox: deque[bytes], inbox: deque[bytes]):
         self._outbox = outbox
         self._inbox = inbox
+        self._peer: _PipeEnd | None = None
         self._closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -92,15 +144,21 @@ class _PipeEnd(Transport):
     def send(self, payload) -> None:
         if self._closed:
             raise TransportError("send on closed transport")
+        if self._peer is not None and self._peer._closed:
+            raise PeerClosedError("send failed: peer transport is closed")
         data = bytes(payload)
         self._outbox.append(data)
         self.bytes_sent += len(data)
         self.messages_sent += 1
 
     def recv(self) -> bytes:
+        if self._closed:
+            raise TransportError("recv on closed transport")
         if not self._inbox:
+            if self._peer is not None and self._peer._closed:
+                raise PeerClosedError("recv failed: peer closed, stream drained")
             raise TransportError("recv on empty pipe (peer sent nothing)")
-        data = self._inbox.pop(0)
+        data = self._inbox.popleft()
         self.bytes_received += len(data)
         return data
 

@@ -180,3 +180,46 @@ class TestTiming:
         table = TimingTable("t", ["a"])
         with pytest.raises(ValueError):
             table.add("x", [1.0, 2.0])
+
+
+class TestPipeCloseSemantics:
+    """Closing one end must be distinguishable from a merely idle pipe."""
+
+    def test_recv_after_peer_close_raises_peer_closed(self):
+        from repro.net import PeerClosedError
+
+        a, b = InMemoryPipe().endpoints()
+        a.close()
+        with pytest.raises(PeerClosedError):
+            b.recv()
+
+    def test_queued_messages_drain_before_peer_closed(self):
+        from repro.net import PeerClosedError
+
+        a, b = InMemoryPipe().endpoints()
+        a.send(b"last words")
+        a.close()
+        assert b.recv() == b"last words"
+        with pytest.raises(PeerClosedError):
+            b.recv()
+
+    def test_send_to_closed_peer_raises_peer_closed(self):
+        from repro.net import PeerClosedError
+
+        a, b = InMemoryPipe().endpoints()
+        b.close()
+        with pytest.raises(PeerClosedError):
+            a.send(b"into the void")
+
+    def test_peer_closed_is_a_transport_error(self):
+        from repro.net import PeerClosedError
+
+        assert issubclass(PeerClosedError, TransportError)
+
+    def test_empty_pipe_still_plain_transport_error(self):
+        from repro.net import PeerClosedError
+
+        a, _ = InMemoryPipe().endpoints()
+        with pytest.raises(TransportError) as excinfo:
+            a.recv()
+        assert not isinstance(excinfo.value, PeerClosedError)
