@@ -55,29 +55,22 @@ def main() -> None:
     print(f"era 1: VAX instrument wrote 3 records ({size_era1} bytes, VAX D floats inside)")
 
     # --- era 2: the upgraded x86 collector appends ---------------------------
+    # PbioFileWriter.append continues the existing stream in whatever
+    # framing version the file declares — new era, same archive.
     x86 = IOContext(abi.X86)
-    with open(path, "ab") as raw:
-        # appending = writing more framed messages after the existing stream
-        import struct
-
+    with PbioFileWriter.append(x86, path) as writer:
         h2 = x86.register_format(OBSERVATION_V2)
         for i in range(2):
-            for message in (
-                [x86.announce(h2)] if i == 0 else []
-            ) + [
-                x86.encode(
-                    h2,
-                    {
-                        "station": 7,
-                        "timestamp": 2000 + i,
-                        "reading": 21.0 + i,
-                        "confidence": 0.95,
-                        "calibrated": True,
-                    },
-                )
-            ]:
-                raw.write(struct.pack(">I", len(message)))
-                raw.write(message)
+            writer.write(
+                h2,
+                {
+                    "station": 7,
+                    "timestamp": 2000 + i,
+                    "reading": 21.0 + i,
+                    "confidence": 0.95,
+                    "calibrated": True,
+                },
+            )
     print(f"era 2: x86 collector appended 2 v2 records (+{os.path.getsize(path) - size_era1} bytes)")
 
     # --- era 3: a modern analysis job reads everything -----------------------

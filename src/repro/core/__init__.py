@@ -17,10 +17,12 @@ Public API:
 from .errors import (
     ConversionError,
     FormatError,
+    LimitError,
     MessageError,
     PbioError,
     UnknownFormatError,
 )
+from .safety import DEFAULT_LIMITS, DecodeLimits
 from .fields import WireField, wire_fields_from_layout
 from .formats import IOFormat
 from .registry import FormatRegistry
@@ -70,7 +72,10 @@ __all__ = [
     "FormatError",
     "UnknownFormatError",
     "MessageError",
+    "LimitError",
     "ConversionError",
+    "DecodeLimits",
+    "DEFAULT_LIMITS",
     "WireField",
     "wire_fields_from_layout",
     "IOFormat",

@@ -48,6 +48,7 @@ from . import encoder as enc
 from .formats import IOFormat
 from .registry import FormatRegistry
 from .runtime import ContextStats, ConverterCache, DecodePipeline, Metrics
+from .safety import DEFAULT_LIMITS, DecodeLimits
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,12 @@ class IOContext:
     contexts; the default is a private cache (seed-compatible).  The
     cache key includes the machine ABI and conversion mode, so sharing
     between heterogeneous contexts is always safe.
+
+    ``limits`` (a :class:`~repro.core.safety.DecodeLimits`) bounds what
+    this context will accept from peers — message size, meta size,
+    field counts, per-peer format quota.  The default is
+    :data:`~repro.core.safety.DEFAULT_LIMITS`; pass ``None`` to disable
+    resource checks entirely (trusted in-process wiring only).
     """
 
     def __init__(
@@ -88,6 +95,7 @@ class IOContext:
         context_id: int | None = None,
         cache: ConverterCache | None = None,
         metrics: Metrics | None = None,
+        limits: DecodeLimits | None = DEFAULT_LIMITS,
     ):
         if conversion not in ("dcg", "interpreted", "vcode"):
             raise ValueError(f"unknown conversion mode {conversion!r}")
@@ -96,6 +104,7 @@ class IOContext:
         self.registry = FormatRegistry(context_id)
         self.metrics = metrics if metrics is not None else Metrics()
         self.stats = ContextStats(self.metrics)
+        self.limits = limits
         self._handles: dict[int, FormatHandle] = {}
         self._expected: dict[str, IOFormat] = {}  # format name -> native format
         self.pipeline = DecodePipeline(
@@ -105,6 +114,7 @@ class IOContext:
             conversion=conversion,
             cache=cache,
             metrics=self.metrics,
+            limits=limits,
         )
 
     @property

@@ -27,5 +27,14 @@ class MessageError(PbioError):
     """Malformed wire message (bad magic, truncation, bad type)."""
 
 
+class LimitError(MessageError):
+    """Incoming data exceeded a :class:`~repro.core.safety.DecodeLimits`
+    resource bound (message size, field count, per-peer format quota...).
+
+    A subclass of :class:`MessageError`: to the receiver, a frame that
+    demands more resources than the configured ceiling is protocol
+    damage, not a reason to allocate unboundedly."""
+
+
 class ConversionError(PbioError):
     """A field cannot be converted between wire and native form."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.abi import LaidOutField, PrimKind, StructLayout
 
 from .errors import FormatError
+from .safety import check_field_shape
 
 
 @dataclass(frozen=True)
@@ -56,13 +57,19 @@ def validate_wire_fields(fields: tuple[WireField, ...], record_size: int) -> Non
     """Check a received field list for internal consistency.
 
     Meta-information arrives from the network; a malformed description
-    must be rejected before any converter is generated from it.
+    must be rejected before any converter is generated from it.  The
+    invariants: unique names, every field inside the record, no two
+    fields overlapping, element sizes the conversion layer has a
+    primitive for, and strings as scalar pointers.
     """
+    if record_size < 0:
+        raise FormatError(f"negative record size {record_size}")
     seen: set[str] = set()
     for f in fields:
         if f.name in seen:
             raise FormatError(f"duplicate field {f.name!r} in wire format")
         seen.add(f.name)
+        check_field_shape(f.kind, f.size, f.name)
         if f.end > record_size:
             raise FormatError(
                 f"field {f.name!r} extends to {f.end}, past record size {record_size}"

@@ -14,39 +14,116 @@ machine can decode it later.  This module provides that capability:
 The file is literally a stream of PBIO messages (format messages and
 data messages) prefixed by a small file header — so the wire and file
 representations are one format, as in the original system.
+
+File versions
+-------------
+
+**v1** frames each message as ``u32 length | payload`` — the seed
+format, still read (and writable via ``version=1``) for compatibility.
+
+**v2** (the default) appends a crash-safety trailer to every frame::
+
+    u32 length | payload | u32 crc32(payload) | u32 length-echo
+
+The CRC detects in-place corruption (bit rot, torn writes that landed
+mid-record); the trailing length echo gives a second, independent copy
+of the framing so a scanner (:mod:`repro.tools.fsck_tool`) can resync
+after damage by walking backwards from a candidate boundary.  A process
+killed mid-append leaves at most one incomplete frame at the tail, which
+readers detect as *torn* rather than misparsing it as data.
+
+Readers take a ``recover`` policy:
+
+* ``"raise"`` (default) — any damage raises :class:`MessageError`;
+* ``"skip"``  — corrupt records are skipped (framing permitting) and a
+  torn tail ends iteration cleanly: everything intact is recovered;
+* ``"stop"``  — iteration ends cleanly at the first damaged frame.
+
+Damage is counted on the reader context's unified metrics:
+``file.corrupt_records`` (CRC mismatches), ``file.torn_tails``
+(incomplete trailing frames) and ``file.recovered_records`` (records
+successfully delivered *after* damage was first observed — i.e. records
+a v1 reader would have lost).
 """
 
 from __future__ import annotations
 
 import io
 import struct
+import zlib
 from typing import Any, BinaryIO, Iterator
 
 from repro.abi import RecordSchema
 
 from . import encoder as enc
 from .context import FormatHandle, IOContext
-from .errors import MessageError
+from .errors import MessageError, PbioError
 
 FILE_MAGIC = b"PBIOFILE"
-FILE_VERSION = 1
+FILE_VERSION = 2
 _FILE_HEADER = struct.Struct(">8sHxx")  # magic, version, pad
 _MSG_LEN = struct.Struct(">I")
+_V2_TRAILER = struct.Struct(">II")  # crc32(payload), length echo
+
+#: Reader damage policies (see module docstring).
+RECOVER_POLICIES = ("raise", "skip", "stop")
 
 
 class PbioFileWriter:
-    """Writes a self-describing record file on behalf of one IOContext."""
+    """Writes a self-describing record file on behalf of one IOContext.
 
-    def __init__(self, ctx: IOContext, stream: BinaryIO):
+    ``version`` selects the frame format: 2 (default) adds the per-record
+    CRC trailer, 1 reproduces the legacy framing byte for byte.  The
+    writer is append-only by construction — it never seeks backwards, so
+    a crash can damage at most the frame being written.
+    """
+
+    def __init__(
+        self,
+        ctx: IOContext,
+        stream: BinaryIO,
+        *,
+        version: int = FILE_VERSION,
+        _header_written: bool = False,
+    ):
+        if version not in (1, 2):
+            raise ValueError(f"unsupported PBIO file version {version}")
         self.ctx = ctx
+        self.version = version
         self._stream = stream
         self._announced: set[int] = set()
         self._records_written = 0
-        stream.write(_FILE_HEADER.pack(FILE_MAGIC, FILE_VERSION))
+        if not _header_written:
+            stream.write(_FILE_HEADER.pack(FILE_MAGIC, version))
 
     @classmethod
-    def open(cls, ctx: IOContext, path: str) -> "PbioFileWriter":
-        return cls(ctx, open(path, "wb"))
+    def open(cls, ctx: IOContext, path: str, *, version: int = FILE_VERSION) -> "PbioFileWriter":
+        return cls(ctx, open(path, "wb"), version=version)
+
+    @classmethod
+    def append(cls, ctx: IOContext, path: str) -> "PbioFileWriter":
+        """Reopen an existing file for appending (at its recorded version).
+
+        Formats are re-announced before their first appended record —
+        harmless to readers, which absorb repeated announcements.  The
+        file is assumed to end at a frame boundary; run
+        ``pbio-fsck --truncate`` first if a crash may have left a torn
+        tail."""
+        stream = open(path, "r+b")
+        try:
+            header = stream.read(_FILE_HEADER.size)
+            if len(header) != _FILE_HEADER.size:
+                raise MessageError("not a PBIO file: truncated header")
+            magic, version = _FILE_HEADER.unpack(header)
+            if magic != FILE_MAGIC:
+                raise MessageError(f"not a PBIO file: bad magic {magic!r}")
+            if version not in (1, 2):
+                raise MessageError(f"unsupported PBIO file version {version}")
+            stream.seek(0, io.SEEK_END)
+            return cls(ctx, stream, version=version, _header_written=True)
+        except Exception:
+            stream.close()
+            raise
 
     def write_native(self, handle: FormatHandle, native) -> None:
         """Append one record already in native binary form."""
@@ -61,12 +138,20 @@ class PbioFileWriter:
         self.write_native(handle, handle.codec.encode(record))
 
     def _emit(self, message: bytes) -> None:
-        self._stream.write(_MSG_LEN.pack(len(message)))
-        self._stream.write(message)
+        payload = bytes(message)
+        frame = _MSG_LEN.pack(len(payload)) + payload
+        if self.version >= 2:
+            frame += _V2_TRAILER.pack(zlib.crc32(payload), len(payload))
+        # One write per frame: an interrupted append tears at most the
+        # frame in flight, never an already-complete predecessor.
+        self._stream.write(frame)
 
     @property
     def records_written(self) -> int:
         return self._records_written
+
+    def flush(self) -> None:
+        self._stream.flush()
 
     def close(self) -> None:
         self._stream.close()
@@ -84,50 +169,137 @@ class PbioFileReader:
     The reader context must ``expect()`` the record formats it wants
     decoded; unknown record types can still be enumerated via
     :meth:`iter_raw` and inspected with the reflection API.
+
+    ``recover`` selects the damage policy (v2 files): ``"raise"``
+    (default), ``"skip"`` or ``"stop"`` — see the module docstring.
+    Frame lengths are bounded by the context's
+    :class:`~repro.core.safety.DecodeLimits` before any allocation, so a
+    corrupted (or hostile) length prefix cannot demand gigabytes.
     """
 
-    def __init__(self, ctx: IOContext, stream: BinaryIO):
+    def __init__(self, ctx: IOContext, stream: BinaryIO, *, recover: str = "raise"):
+        if recover not in RECOVER_POLICIES:
+            raise ValueError(f"recover must be one of {RECOVER_POLICIES}, not {recover!r}")
         self.ctx = ctx
         self._stream = stream
+        self._recover = recover
+        self._damaged = False
         header = stream.read(_FILE_HEADER.size)
         if len(header) != _FILE_HEADER.size:
             raise MessageError("not a PBIO file: truncated header")
         magic, version = _FILE_HEADER.unpack(header)
         if magic != FILE_MAGIC:
             raise MessageError(f"not a PBIO file: bad magic {magic!r}")
-        if version != FILE_VERSION:
+        if version not in (1, 2):
             raise MessageError(f"unsupported PBIO file version {version}")
+        self.version = version
 
     @classmethod
-    def open(cls, ctx: IOContext, path: str) -> "PbioFileReader":
+    def open(cls, ctx: IOContext, path: str, *, recover: str = "raise") -> "PbioFileReader":
         stream = open(path, "rb")
         try:
-            return cls(ctx, stream)
+            return cls(ctx, stream, recover=recover)
         except Exception:
             stream.close()
             raise
 
-    def iter_raw(self) -> Iterator[bytes]:
-        """Yield every *data* message, absorbing format messages."""
+    # -- framing -------------------------------------------------------------
+
+    def _torn(self, what: str) -> None:
+        if self._recover == "raise":
+            raise MessageError(f"truncated PBIO file ({what})")
+        self._damaged = True
+        self.ctx.metrics.inc("file.torn_tails")
+
+    def _next_frame(self) -> bytes | None:
+        """The next complete, CRC-valid frame payload; ``None`` at end.
+
+        Under ``skip``, CRC-mismatched frames are consumed and skipped
+        (the length prefix keeps the scan aligned unless its echo
+        disagrees, in which case alignment is untrustworthy and the scan
+        stops).  Torn tails end the scan under ``skip``/``stop``.
+        """
+        limits = self.ctx.limits
         while True:
             raw_len = self._stream.read(_MSG_LEN.size)
             if not raw_len:
-                return
+                return None  # clean EOF at a frame boundary
             if len(raw_len) != _MSG_LEN.size:
-                raise MessageError("truncated PBIO file (length prefix)")
+                self._torn("length prefix")
+                return None
             (n,) = _MSG_LEN.unpack(raw_len)
+            if limits is not None and n > limits.max_message_size:
+                # A frame this size is either hostile or a corrupted
+                # prefix; either way the scan cannot safely continue.
+                if self._recover == "raise":
+                    limits.check_message_size(n)  # raises LimitError
+                self._damaged = True
+                self.ctx.metrics.inc("file.corrupt_records")
+                return None
             message = self._stream.read(n)
             if len(message) != n:
-                raise MessageError("truncated PBIO file (message body)")
-            if enc.message_kind(message) == enc.MSG_FORMAT:
-                self.ctx.receive(message)
+                self._torn("message body")
+                return None
+            if self.version < 2:
+                return message
+            trailer = self._stream.read(_V2_TRAILER.size)
+            if len(trailer) != _V2_TRAILER.size:
+                self._torn("record trailer")
+                return None
+            crc, echo = _V2_TRAILER.unpack(trailer)
+            if zlib.crc32(message) == crc:
+                # An echo mismatch with a matching CRC means only the
+                # redundant echo bytes were damaged: the record is fine.
+                return message
+            if self._recover == "raise":
+                raise MessageError(
+                    f"corrupt PBIO file: record CRC mismatch "
+                    f"(stored {crc:#010x}, computed {zlib.crc32(message):#010x})"
+                )
+            self._damaged = True
+            self.ctx.metrics.inc("file.corrupt_records")
+            if self._recover == "stop" or echo != n:
+                # echo != n: the length prefix itself is suspect, so the
+                # next "boundary" would be a guess — stop, don't misparse.
+                return None
+            # skip: framing is still aligned; scan on to the next frame.
+
+    def iter_raw(self) -> Iterator[bytes]:
+        """Yield every *data* message, absorbing format messages."""
+        while True:
+            message = self._next_frame()
+            if message is None:
+                return
+            try:
+                if enc.message_kind(message) == enc.MSG_FORMAT:
+                    self.ctx.receive(message)
+                    continue
+            except PbioError:
+                # A CRC-valid frame that is not a well-formed PBIO
+                # message (v1 corruption, or a writer bug): damage.
+                if self._recover == "raise":
+                    raise
+                self._damaged = True
+                self.ctx.metrics.inc("file.corrupt_records")
+                if self._recover == "stop":
+                    return
                 continue
+            if self._damaged:
+                self.ctx.metrics.inc("file.recovered_records")
             yield message
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         """Yield every record decoded to a value dict."""
         for message in self.iter_raw():
-            yield self.ctx.decode(message)
+            try:
+                yield self.ctx.decode(message)
+            except PbioError:
+                if self._recover == "raise":
+                    raise
+                self._damaged = True
+                self.ctx.metrics.inc("file.corrupt_records")
+                if self._recover == "stop":
+                    return
 
     def read_all(self) -> list[dict[str, Any]]:
         return list(self)
@@ -143,26 +315,39 @@ class PbioFileReader:
 
 
 def write_records(
-    ctx: IOContext, path: str, schema: RecordSchema, records: list[dict[str, Any]]
+    ctx: IOContext,
+    path: str,
+    schema: RecordSchema,
+    records: list[dict[str, Any]],
+    *,
+    version: int = FILE_VERSION,
 ) -> None:
     """Convenience: write one schema's records to ``path``."""
-    with PbioFileWriter.open(ctx, path) as writer:
+    with PbioFileWriter.open(ctx, path, version=version) as writer:
         handle = ctx.register_format(schema)
         for record in records:
             writer.write(handle, record)
 
 
-def read_records(ctx: IOContext, path: str, schema: RecordSchema) -> list[dict[str, Any]]:
+def read_records(
+    ctx: IOContext, path: str, schema: RecordSchema, *, recover: str = "raise"
+) -> list[dict[str, Any]]:
     """Convenience: read all records of ``schema`` from ``path``."""
     ctx.expect(schema)
-    with PbioFileReader.open(ctx, path) as reader:
+    with PbioFileReader.open(ctx, path, recover=recover) as reader:
         return reader.read_all()
 
 
-def file_to_buffer(ctx: IOContext, schema: RecordSchema, records: list[dict[str, Any]]) -> bytes:
+def file_to_buffer(
+    ctx: IOContext,
+    schema: RecordSchema,
+    records: list[dict[str, Any]],
+    *,
+    version: int = FILE_VERSION,
+) -> bytes:
     """Build an in-memory PBIO file (testing / transmission as a blob)."""
     buf = io.BytesIO()
-    writer = PbioFileWriter(ctx, buf)
+    writer = PbioFileWriter(ctx, buf, version=version)
     handle = ctx.register_format(schema)
     for record in records:
         writer.write(handle, record)

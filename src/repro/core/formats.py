@@ -14,10 +14,12 @@ import struct
 
 from repro.abi import PrimKind, StructLayout
 
-from .errors import FormatError
+from .errors import FormatError, LimitError
 from .fields import WireField, validate_wire_fields, wire_fields_from_layout
+from .safety import DEFAULT_LIMITS, DecodeLimits
 
 _META_MAGIC = b"PBFM"
+_FINGERPRINT_SIZE = 20  # sha1 digest appended as an integrity trailer
 _U8 = struct.Struct(">B")
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
@@ -64,6 +66,9 @@ class IOFormat:
         self.layout = layout
         self._by_name = {f.name: f for f in fields}
         self.fingerprint = self._fingerprint()
+        # Attribute, not property: the decode hot path consults it per
+        # message to validate payload length against the record size.
+        self.has_strings = any(f.kind is PrimKind.STRING for f in fields)
 
     @classmethod
     def from_layout(cls, layout: StructLayout) -> "IOFormat":
@@ -106,14 +111,16 @@ class IOFormat:
     def field_names(self) -> list[str]:
         return [f.name for f in self.fields]
 
-    @property
-    def has_strings(self) -> bool:
-        return any(f.kind is PrimKind.STRING for f in self.fields)
-
     # -- meta-information wire form -----------------------------------------
 
     def to_meta_bytes(self) -> bytes:
-        """Serialize the format description for transmission."""
+        """Serialize the format description for transmission.
+
+        The block ends with the format's 20-byte fingerprint, so a
+        receiver can verify the description survived the wire intact
+        before generating any converter from it.  (Readers still accept
+        trailer-less blocks for PBIO v1 file compatibility.)
+        """
         name_b = self.name.encode("utf-8")
         parts = [
             _META_MAGIC,
@@ -132,16 +139,43 @@ class IOFormat:
             parts.append(_U8.pack(f.size))
             parts.append(_U32.pack(f.offset))
             parts.append(_U32.pack(f.count))
+        parts.append(self.fingerprint)
         return b"".join(parts)
 
     @classmethod
-    def from_meta_bytes(cls, data: bytes | memoryview) -> "IOFormat":
-        """Reconstruct a wire format from received meta-information."""
+    def from_meta_bytes(
+        cls,
+        data: bytes | memoryview,
+        *,
+        limits: DecodeLimits | None = DEFAULT_LIMITS,
+    ) -> "IOFormat":
+        """Reconstruct a wire format from received meta-information.
+
+        This is an untrusted-input parser: every length is bounds-checked
+        against ``limits`` (pass ``None`` to skip resource checks) and
+        against the data actually present, every failure — including the
+        stdlib's ``struct.error``/``UnicodeDecodeError`` — surfaces as a
+        :class:`FormatError` carrying the byte offset, and a block ending
+        in a fingerprint trailer is verified against the description it
+        carries.  Only then is the structural validator
+        (:func:`~repro.core.fields.validate_wire_fields`) run.
+        """
         data = bytes(data)
+        if limits is not None:
+            limits.check_meta_size(len(data))
         if data[:4] != _META_MAGIC:
             raise FormatError("bad format meta magic")
         pos = 4
+
+        def need(n: int, what: str) -> None:
+            if pos + n > len(data):
+                raise FormatError(
+                    f"truncated format meta-information: {what} needs {n} "
+                    f"byte(s) at offset {pos}, have {len(data) - pos}"
+                )
+
         try:
+            need(8, "fixed header")
             little = _U8.unpack_from(data, pos)[0]
             pos += 1
             vax_floats = _U8.unpack_from(data, pos)[0]
@@ -150,16 +184,32 @@ class IOFormat:
             pos += 4
             name_len = _U16.unpack_from(data, pos)[0]
             pos += 2
+            if limits is not None and (
+                record_size > limits.max_record_size or name_len > limits.max_name_length
+            ):
+                raise LimitError(
+                    f"format meta declares record_size={record_size}, "
+                    f"name_len={name_len}; exceeds limits"
+                )
+            need(name_len, "format name")
             name = data[pos : pos + name_len].decode("utf-8")
             pos += name_len
+            need(2, "field count")
             nfields = _U16.unpack_from(data, pos)[0]
             pos += 2
+            if limits is not None and nfields > limits.max_fields:
+                raise LimitError(f"format meta declares {nfields} fields; exceeds limits")
             fields = []
-            for _ in range(nfields):
+            for i in range(nfields):
+                need(2, f"field {i} name length")
                 fn_len = _U16.unpack_from(data, pos)[0]
                 pos += 2
+                if limits is not None and fn_len > limits.max_name_length:
+                    raise LimitError(f"field {i} name of {fn_len} bytes exceeds limits")
+                need(fn_len, f"field {i} name")
                 fname = data[pos : pos + fn_len].decode("utf-8")
                 pos += fn_len
+                need(10, f"field {i} descriptor")
                 kind_code = _U8.unpack_from(data, pos)[0]
                 pos += 1
                 size = _U8.unpack_from(data, pos)[0]
@@ -170,16 +220,32 @@ class IOFormat:
                 pos += 4
                 if kind_code not in _CODE_KINDS:
                     raise FormatError(f"unknown field kind code {kind_code}")
+                if limits is not None and count > limits.max_count:
+                    raise LimitError(f"field {fname!r} count {count} exceeds limits")
                 fields.append(WireField(fname, _CODE_KINDS[kind_code], size, offset, count))
-        except struct.error as exc:
-            raise FormatError(f"truncated format meta-information: {exc}") from exc
-        return cls(
+        except (struct.error, UnicodeDecodeError, IndexError, OverflowError) as exc:
+            raise FormatError(
+                f"malformed format meta-information at offset {pos}: {exc}"
+            ) from exc
+        fmt = cls(
             name,
             tuple(fields),
             "little" if little else "big",
             record_size,
             float_format="vax" if vax_floats else "ieee754",
         )
+        trailing = len(data) - pos
+        if trailing == _FINGERPRINT_SIZE:
+            if data[pos:] != fmt.fingerprint:
+                raise FormatError(
+                    "format meta-information fingerprint mismatch "
+                    "(description corrupted in transit)"
+                )
+        elif trailing != 0:  # v1 blocks end exactly at the last field
+            raise FormatError(
+                f"{trailing} byte(s) of trailing garbage after format meta-information"
+            )
+        return fmt
 
     def describe(self) -> str:
         """Human-readable rendering (the reflection API's pretty form)."""

@@ -79,5 +79,10 @@ class FormatRegistry:
     def knows_remote(self, context_id: int, fmt_id: int) -> bool:
         return (context_id, fmt_id) in self._remote
 
+    def remote_count(self, context_id: int) -> int:
+        """Formats currently registered for one peer context (the
+        quantity :class:`~repro.core.safety.DecodeLimits` caps per peer)."""
+        return sum(1 for (cid, _) in self._remote if cid == context_id)
+
     def remote_formats(self) -> list[tuple[int, int, IOFormat]]:
         return [(c, i, f) for (c, i), f in sorted(self._remote.items())]

@@ -46,8 +46,9 @@ from repro.net.transport import Transport, TransportError, transport_token
 
 from . import encoder as enc
 from .context import FormatHandle, IOContext
-from .errors import PbioError
+from .errors import MessageError, PbioError
 from .runtime import ConverterCache, Metrics
+from .safety import DEFAULT_LIMITS, DecodeLimits
 
 if TYPE_CHECKING:  # import would cycle through repro.net at runtime
     from repro.net.faults import RetryPolicy
@@ -111,16 +112,30 @@ def _parse_call_header(data: bytes) -> tuple[int, bool, bool, str, bytes]:
         pos = _CALL.size
         (op_len,) = struct.unpack_from(">H", data, pos)
         pos += 2
-        operation = data[pos : pos + op_len].decode("utf-8")
+        if pos + op_len > len(data):
+            raise MessageError(
+                f"call header truncated: operation name needs {op_len} bytes, "
+                f"have {len(data) - pos}"
+            )
+        operation = bytes(data[pos : pos + op_len]).decode("utf-8")
         pos += op_len
         (key_len,) = struct.unpack_from(">H", data, pos)
         pos += 2
-        key = data[pos : pos + key_len]
-    except (struct.error, UnicodeDecodeError) as exc:
+        if pos + key_len > len(data):
+            raise MessageError(
+                f"call header truncated: object key needs {key_len} bytes, "
+                f"have {len(data) - pos}"
+            )
+        key = bytes(data[pos : pos + key_len])
+        if pos + key_len != len(data):
+            raise MessageError(
+                f"{len(data) - pos - key_len} trailing byte(s) after call header"
+            )
+    except (struct.error, UnicodeDecodeError, IndexError) as exc:
         # A frame that is not a call header at all (e.g. a record body
         # surfacing where a header belongs after mid-reply frame loss):
         # protocol damage, reported as such rather than a struct leak.
-        raise PbioError(f"malformed call header: {exc}") from exc
+        raise MessageError(f"malformed call header: {exc}") from exc
     return request_id, bool(flags & _REPLY_FLAG), bool(flags & _FAULT_FLAG), operation, key
 
 
@@ -133,8 +148,9 @@ class RpcClient:
         interface: RpcInterface,
         *,
         cache: ConverterCache | None = None,
+        limits: DecodeLimits | None = DEFAULT_LIMITS,
     ):
-        self.ctx = IOContext(machine, cache=cache)
+        self.ctx = IOContext(machine, cache=cache, limits=limits)
         self.interface = interface
         self.metrics = Metrics()
         self._handles: dict[str, FormatHandle] = {}
@@ -279,10 +295,11 @@ class RpcServer:
         *,
         cache: ConverterCache | None = None,
         dedup_window: int = 64,
+        limits: DecodeLimits | None = DEFAULT_LIMITS,
     ):
         if dedup_window < 0:
             raise ValueError("dedup_window must be >= 0")
-        self.ctx = IOContext(machine, cache=cache)
+        self.ctx = IOContext(machine, cache=cache, limits=limits)
         self.interface = interface
         self.metrics = Metrics()
         self._servants: dict[bytes, dict[str, Callable[[dict], dict]]] = {}

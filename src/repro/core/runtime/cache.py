@@ -71,10 +71,18 @@ class ConverterCache:
     show exactly one generation however many of them decode.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_entries: int | None = None) -> None:
+        """``max_entries`` caps the cache: inserting beyond it evicts the
+        oldest entry (FIFO, counted as ``cache.evictions``).  ``None`` is
+        unbounded — appropriate for trusted format populations; contexts
+        decoding hostile peers get a quota from their
+        :class:`~repro.core.safety.DecodeLimits`."""
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
         self._entries: dict[CacheKey, CacheEntry] = {}
         self._lock = threading.RLock()
         self.metrics = Metrics()
+        self.max_entries = max_entries
 
     @staticmethod
     def key_for(
@@ -103,6 +111,10 @@ class ConverterCache:
                 self.metrics.inc("converter_cache_hits")
                 return entry, "hit"
             entry = build(wire, native)
+            if self.max_entries is not None and len(self._entries) >= self.max_entries:
+                # dicts iterate in insertion order: drop the oldest entry.
+                self._entries.pop(next(iter(self._entries)))
+                self.metrics.inc("cache.evictions")
             self._entries[key] = entry
             if entry.converter is not None:
                 self.metrics.inc("converters_generated")

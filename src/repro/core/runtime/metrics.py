@@ -24,6 +24,16 @@ Counter names used by the runtime:
 ``reconnects`` / ``announcements_replayed`` / ``dial_failures``  reconnect layer
 ``requests_served`` / ``dedup_hits`` / ``servant_errors``        RPC server
 ``calls`` / ``retries`` / ``transport_errors`` / ``stale_replies``  RPC client
+``decode.rejected``       messages refused by the validated decode frontend
+                          (malformed, inconsistent, or over a DecodeLimits
+                          bound) — incremented exactly once per rejection
+``cache.evictions``       converter-cache entries dropped at ``max_entries``
+``relay.rejected``        non-PBIO / oversized / inconsistent frames a relay
+                          dropped instead of forwarding
+``file.corrupt_records``  CRC-mismatched (or undecodable) file frames
+``file.torn_tails``       incomplete trailing frames (crash mid-append)
+``file.recovered_records``  records delivered *after* file damage was seen
+                          (what ``recover="skip"`` salvaged over ``"stop"``)
 ========================  =====================================================
 
 Stage timings (``decode.parse``, ``decode.resolve``, ``decode.convert``)

@@ -32,15 +32,23 @@ from typing import Any
 
 from repro.abi import MachineDescription, RecordView, StructLayout
 
+import struct
+
 from .. import encoder as enc
 from ..conversion import InterpretedConverter, build_plan, generate_converter
-from ..errors import FormatError, MessageError
+from ..errors import ConversionError, FormatError, LimitError, MessageError, PbioError
 from ..formats import IOFormat
 from ..matching import match_formats
 from ..registry import FormatRegistry
+from ..safety import DEFAULT_LIMITS, DecodeLimits
 from .cache import CacheEntry, ConverterCache
 from .metrics import Metrics
 from .pool import BufferPool
+
+#: Stdlib/numpy exceptions a converter or code generator may leak when
+#: fed structurally valid but content-hostile input; decode paths wrap
+#: them into the PbioError taxonomy so callers see exactly one family.
+_LEAKY_ERRORS = (struct.error, ValueError, IndexError, KeyError, OverflowError, UnicodeDecodeError)
 
 
 class DecodePipeline:
@@ -61,6 +69,8 @@ class DecodePipeline:
         "cache",
         "metrics",
         "pool",
+        "limits",
+        "_max_msg",
         "_memo",
     )
 
@@ -74,12 +84,21 @@ class DecodePipeline:
         cache: ConverterCache | None = None,
         metrics: Metrics | None = None,
         pool: BufferPool | None = None,
+        limits: DecodeLimits | None = DEFAULT_LIMITS,
     ) -> None:
         self.registry = registry
         self.expected = expected
         self.machine = machine
         self.conversion = conversion
-        self.cache = cache if cache is not None else ConverterCache()
+        self.limits = limits
+        # Hoisted ceiling: the per-message hot path pays one local load
+        # and one compare, not two attribute chases.
+        self._max_msg = limits.max_message_size if limits is not None else None
+        if cache is None:
+            cache = ConverterCache(
+                max_entries=limits.max_cache_entries if limits is not None else None
+            )
+        self.cache = cache
         self.metrics = metrics if metrics is not None else Metrics()
         self.pool = pool if pool is not None else BufferPool()
         # Lock-free per-pipeline front for the (possibly shared, locked)
@@ -90,17 +109,42 @@ class DecodePipeline:
     # -- stage 1+2: parse and resolve ---------------------------------------
 
     def open_data(self, message) -> tuple[IOFormat, memoryview]:
-        """Validate a data message; return its wire format and payload."""
-        msg_type, context_id, format_id, payload_len = enc.unpack_header(message)
-        if msg_type != enc.MSG_DATA:
-            raise MessageError("expected a data message")
-        payload = memoryview(message)[enc.HEADER_SIZE :]
-        if len(payload) != payload_len:
-            raise MessageError(
-                f"payload length mismatch: header says {payload_len}, got {len(payload)}"
-            )
-        wire_fmt = self.registry.remote_format(context_id, format_id)
-        return wire_fmt, payload
+        """Validate a data message; return its wire format and payload.
+
+        The first stop for untrusted bytes on every decode path: the
+        header must parse, the message must fit the configured
+        :class:`DecodeLimits`, the payload must match the header's
+        declared length *and* the wire format's record size (string
+        formats carry a variable region after the fixed record, so they
+        may be longer — never shorter).  Failures raise the PbioError
+        taxonomy and count as ``decode.rejected``.
+        """
+        try:
+            if self._max_msg is not None and len(message) > self._max_msg:
+                raise LimitError(
+                    f"message of {len(message)} bytes exceeds max_message_size "
+                    f"({self._max_msg})"
+                )
+            msg_type, context_id, format_id, payload_len = enc.unpack_header(message)
+            if msg_type != enc.MSG_DATA:
+                raise MessageError("expected a data message")
+            payload = memoryview(message)[enc.HEADER_SIZE :]
+            if len(payload) != payload_len:
+                raise MessageError(
+                    f"payload length mismatch: header says {payload_len}, got {len(payload)}"
+                )
+            wire_fmt = self.registry.remote_format(context_id, format_id)
+            if payload_len != wire_fmt.record_size and (
+                payload_len < wire_fmt.record_size or not wire_fmt.has_strings
+            ):
+                raise MessageError(
+                    f"payload of {payload_len} bytes does not cover a "
+                    f"{wire_fmt.record_size}-byte {wire_fmt.name!r} record"
+                )
+            return wire_fmt, payload
+        except PbioError:
+            self.metrics.inc("decode.rejected")
+            raise
 
     def native_for(self, wire_fmt: IOFormat) -> IOFormat:
         """The expected native format matching ``wire_fmt`` by name."""
@@ -113,9 +157,36 @@ class DecodePipeline:
         return native
 
     def absorb(self, message, context_id: int, format_id: int) -> None:
-        """Register the format carried by an announcement message."""
-        meta = memoryview(message)[enc.HEADER_SIZE :]
-        self.registry.register_remote(context_id, format_id, IOFormat.from_meta_bytes(meta))
+        """Register the format carried by an announcement message.
+
+        Validation order matters: the meta block is parsed and
+        structurally validated (``from_meta_bytes`` under this
+        pipeline's limits) *before* the per-peer format quota is
+        consulted, and the quota only applies to genuinely new
+        (context, id) pairs — benign re-announcements never trip it.
+        """
+        try:
+            meta = memoryview(message)[enc.HEADER_SIZE :]
+            declared = enc.unpack_header(message)[3]
+            if len(meta) != declared:
+                raise MessageError(
+                    f"meta payload length mismatch: header says {declared}, "
+                    f"got {len(meta)}"
+                )
+            fmt = IOFormat.from_meta_bytes(meta, limits=self.limits)
+            if (
+                self.limits is not None
+                and not self.registry.knows_remote(context_id, format_id)
+                and self.registry.remote_count(context_id) >= self.limits.max_formats_per_peer
+            ):
+                raise LimitError(
+                    f"peer {context_id:#010x} exceeded max_formats_per_peer "
+                    f"({self.limits.max_formats_per_peer})"
+                )
+            self.registry.register_remote(context_id, format_id, fmt)
+        except PbioError:
+            self.metrics.inc("decode.rejected")
+            raise
 
     # -- stage 3: converter resolution --------------------------------------
 
@@ -131,14 +202,28 @@ class DecodePipeline:
             self.metrics.inc("converter_cache_hits")
             self.cache.metrics.inc("converter_cache_hits")
             return entry
-        entry, outcome = self.cache.resolve(
-            wire_fmt, native, self.conversion, self.machine, self._build_entry
-        )
+        try:
+            entry, outcome = self.cache.resolve(
+                wire_fmt, native, self.conversion, self.machine, self._build_entry
+            )
+        except PbioError:
+            raise
+        except _LEAKY_ERRORS as exc:
+            # A format pair that passed structural validation but still
+            # broke converter generation: protocol damage, not a crash.
+            raise FormatError(
+                f"cannot build converter {wire_fmt.name!r} -> {native.name!r}: {exc}"
+            ) from exc
         if outcome == "hit":
             self.metrics.inc("converter_cache_hits")
         elif outcome == "built":
             self.metrics.inc("converters_generated")
             self.metrics.add("generation_time_s", entry.generation_time_s)
+        if (
+            self.limits is not None
+            and len(self._memo) >= self.limits.max_cache_entries
+        ):
+            self._memo.clear()  # keep the lock-free front bounded too
         self._memo[memo_key] = entry
         return entry
 
@@ -189,12 +274,16 @@ class DecodePipeline:
         if self.metrics.timing_enabled:
             return self._decode_native_timed(message)
         wire_fmt, payload = self.open_data(message)
-        entry = self.entry_for(wire_fmt, self.native_for(wire_fmt))
-        if entry.zero_copy:
-            self.metrics.inc("zero_copy_decodes")
-            return bytes(payload)
-        self.metrics.inc("converted_decodes")
-        return entry.converter(payload)
+        try:
+            entry = self.entry_for(wire_fmt, self.native_for(wire_fmt))
+            if entry.zero_copy:
+                self.metrics.inc("zero_copy_decodes")
+                return bytes(payload)
+            self.metrics.inc("converted_decodes")
+            return self._run_converter(entry, wire_fmt, payload)
+        except PbioError:
+            self.metrics.inc("decode.rejected")
+            raise
 
     def decode_view(self, message) -> RecordView:
         """Decode to a :class:`RecordView`.
@@ -206,23 +295,34 @@ class DecodePipeline:
         if self.metrics.timing_enabled:
             return self._decode_view_timed(message)
         wire_fmt, payload = self.open_data(message)
-        native = self.native_for(wire_fmt)
-        entry = self.entry_for(wire_fmt, native)
-        layout = self._layout_of(native)
-        if entry.zero_copy:
-            self.metrics.inc("zero_copy_decodes")
-            return RecordView(layout, payload)
-        self.metrics.inc("converted_decodes")
-        if entry.supports_dst:
-            buf = self.pool.acquire(entry.native_size)
-            view = RecordView(layout, entry.converter(payload, buf))
-            self.pool.attach(view, buf)
-            return view
-        return RecordView(layout, entry.converter(payload))
+        try:
+            native = self.native_for(wire_fmt)
+            entry = self.entry_for(wire_fmt, native)
+            layout = self._layout_of(native)
+            if entry.zero_copy:
+                self.metrics.inc("zero_copy_decodes")
+                return RecordView(layout, payload)
+            self.metrics.inc("converted_decodes")
+            if entry.supports_dst:
+                buf = self.pool.acquire(entry.native_size)
+                view = RecordView(layout, self._run_converter(entry, wire_fmt, payload, buf))
+                self.pool.attach(view, buf)
+                return view
+            return RecordView(layout, self._run_converter(entry, wire_fmt, payload))
+        except PbioError:
+            self.metrics.inc("decode.rejected")
+            raise
 
     def decode(self, message) -> dict[str, Any]:
         """Decode to a fully materialized value dict."""
-        return self.decode_view(message).to_dict()
+        view = self.decode_view(message)
+        try:
+            return view.to_dict()
+        except _LEAKY_ERRORS as exc:
+            # Zero-copy string records materialize straight from the
+            # message buffer; a bogus pointer or missing NUL lands here.
+            self.metrics.inc("decode.rejected")
+            raise ConversionError(f"malformed record content: {exc}") from exc
 
     def ingest(self, message) -> dict[str, Any] | None:
         """Process one message of either type.
@@ -230,11 +330,33 @@ class DecodePipeline:
         Announcements are absorbed into the registry (returns ``None``);
         data messages decode to a value dict.
         """
-        msg_type, context_id, format_id, _ = enc.unpack_header(message)
+        try:
+            if self._max_msg is not None and len(message) > self._max_msg:
+                raise LimitError(
+                    f"message of {len(message)} bytes exceeds max_message_size "
+                    f"({self._max_msg})"
+                )
+            msg_type, context_id, format_id, _ = enc.unpack_header(message)
+        except PbioError:
+            self.metrics.inc("decode.rejected")
+            raise
         if msg_type == enc.MSG_FORMAT:
             self.absorb(message, context_id, format_id)
             return None
         return self.decode(message)
+
+    def _run_converter(self, entry: CacheEntry, wire_fmt: IOFormat, payload, dst=None):
+        """Run a cached converter, translating content-level explosions
+        (short string regions, missing NUL terminators, numpy buffer
+        mismatches) into :class:`ConversionError`."""
+        try:
+            if dst is not None:
+                return entry.converter(payload, dst)
+            return entry.converter(payload)
+        except _LEAKY_ERRORS as exc:
+            raise ConversionError(
+                f"malformed {wire_fmt.name!r} payload broke conversion: {exc}"
+            ) from exc
 
     # -- internals ----------------------------------------------------------
 
@@ -242,15 +364,19 @@ class DecodePipeline:
         """decode_native with per-stage timings (metrics.timing_enabled)."""
         t0 = perf_counter()
         wire_fmt, payload = self.open_data(message)
-        t1 = perf_counter()
-        entry = self.entry_for(wire_fmt, self.native_for(wire_fmt))
-        t2 = perf_counter()
-        if entry.zero_copy:
-            self.metrics.inc("zero_copy_decodes")
-            out = bytes(payload)
-        else:
-            self.metrics.inc("converted_decodes")
-            out = entry.converter(payload)
+        try:
+            t1 = perf_counter()
+            entry = self.entry_for(wire_fmt, self.native_for(wire_fmt))
+            t2 = perf_counter()
+            if entry.zero_copy:
+                self.metrics.inc("zero_copy_decodes")
+                out = bytes(payload)
+            else:
+                self.metrics.inc("converted_decodes")
+                out = self._run_converter(entry, wire_fmt, payload)
+        except PbioError:
+            self.metrics.inc("decode.rejected")
+            raise
         t3 = perf_counter()
         self.metrics.observe("decode.parse", t1 - t0)
         self.metrics.observe("decode.resolve", t2 - t1)
@@ -261,22 +387,26 @@ class DecodePipeline:
         """decode_view with per-stage timings (metrics.timing_enabled)."""
         t0 = perf_counter()
         wire_fmt, payload = self.open_data(message)
-        t1 = perf_counter()
-        native = self.native_for(wire_fmt)
-        entry = self.entry_for(wire_fmt, native)
-        layout = self._layout_of(native)
-        t2 = perf_counter()
-        if entry.zero_copy:
-            self.metrics.inc("zero_copy_decodes")
-            view = RecordView(layout, payload)
-        else:
-            self.metrics.inc("converted_decodes")
-            if entry.supports_dst:
-                buf = self.pool.acquire(entry.native_size)
-                view = RecordView(layout, entry.converter(payload, buf))
-                self.pool.attach(view, buf)
+        try:
+            t1 = perf_counter()
+            native = self.native_for(wire_fmt)
+            entry = self.entry_for(wire_fmt, native)
+            layout = self._layout_of(native)
+            t2 = perf_counter()
+            if entry.zero_copy:
+                self.metrics.inc("zero_copy_decodes")
+                view = RecordView(layout, payload)
             else:
-                view = RecordView(layout, entry.converter(payload))
+                self.metrics.inc("converted_decodes")
+                if entry.supports_dst:
+                    buf = self.pool.acquire(entry.native_size)
+                    view = RecordView(layout, self._run_converter(entry, wire_fmt, payload, buf))
+                    self.pool.attach(view, buf)
+                else:
+                    view = RecordView(layout, self._run_converter(entry, wire_fmt, payload))
+        except PbioError:
+            self.metrics.inc("decode.rejected")
+            raise
         t3 = perf_counter()
         self.metrics.observe("decode.parse", t1 - t0)
         self.metrics.observe("decode.resolve", t2 - t1)

@@ -1,0 +1,133 @@
+"""Resource limits and structural validation for untrusted decode input.
+
+Every PBIO decode path is an untrusted-input parser: receivers interpret
+foreign bytes — sender-native NDR records plus self-describing
+meta-information — that may arrive damaged (lossy links, torn files) or
+hostile (a peer that lies about sizes and counts).  This module is the
+shared frontend those paths consult before allocating or generating
+anything:
+
+* :class:`DecodeLimits` — per-endpoint resource ceilings (message size,
+  meta size, field count, name length, array count, per-peer format
+  quota, converter-cache quota).  Enforced by
+  :meth:`~repro.core.formats.IOFormat.from_meta_bytes`, the
+  :class:`~repro.core.runtime.DecodePipeline` (and therefore
+  ``IOContext.receive``, channels, relays, filters and RPC), and
+  :class:`~repro.core.files.PbioFileReader`.  Violations raise
+  :class:`~repro.core.errors.LimitError`.
+* :func:`check_field_shape` — the structural invariant a received field
+  description must satisfy before any converter is generated from it:
+  the (kind, size) pair must name a primitive the conversion layer can
+  actually handle.  Offset/overlap/record-bound invariants live in
+  :func:`repro.core.fields.validate_wire_fields`; together they are the
+  "validated decode frontend".
+
+``limits=None`` anywhere in the API means *no resource checks* — the
+seed behaviour, appropriate for trusted in-process wiring and used as
+the baseline by ``benchmarks/bench_safety_overhead.py``.  The default
+everywhere else is :data:`DEFAULT_LIMITS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.abi import PrimKind
+from repro.abi.types import STRUCT_CODES
+
+from .errors import FormatError, LimitError
+
+#: Element sizes the conversion layer supports per semantic kind.
+#: Derived from the struct-code table (what converters can be generated
+#: for); STRING fields are pointers, so their size is a pointer width.
+ALLOWED_SIZES: dict[PrimKind, frozenset[int]] = {
+    kind: frozenset(size for (k, size) in STRUCT_CODES if k is kind)
+    for kind in (PrimKind.INTEGER, PrimKind.UNSIGNED, PrimKind.FLOAT,
+                 PrimKind.CHAR, PrimKind.BOOLEAN)
+}
+ALLOWED_SIZES[PrimKind.STRING] = frozenset((4, 8))
+
+
+@dataclass(frozen=True)
+class DecodeLimits:
+    """Resource ceilings applied to untrusted decode input.
+
+    All bounds are inclusive.  The defaults are deliberately generous —
+    orders of magnitude above anything the benchmarks or the paper's
+    workloads produce — so they only ever trip on damage or hostility.
+
+    ==========================  ================================================
+    ``max_message_size``        whole-message bytes accepted by any ingress path
+    ``max_meta_size``           bytes of one format meta-information block
+    ``max_record_size``         declared record size in received meta-information
+    ``max_fields``              fields per received format description
+    ``max_name_length``         bytes of a format/field/operation name
+    ``max_count``               elements in one array field (chars: buffer len)
+    ``max_formats_per_peer``    remote formats registered per peer context id
+    ``max_cache_entries``       converter-cache entries before FIFO eviction
+    ==========================  ================================================
+    """
+
+    max_message_size: int = 64 * 1024 * 1024
+    max_meta_size: int = 64 * 1024
+    max_record_size: int = 64 * 1024 * 1024
+    max_fields: int = 4096
+    max_name_length: int = 1024
+    max_count: int = 1 << 24
+    max_formats_per_peer: int = 1024
+    max_cache_entries: int = 4096
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 1:
+                raise ValueError(f"DecodeLimits.{name} must be >= 1")
+
+    def check_message_size(self, nbytes: int) -> None:
+        """Reject a whole message larger than the configured ceiling."""
+        if nbytes > self.max_message_size:
+            raise LimitError(
+                f"message of {nbytes} bytes exceeds max_message_size "
+                f"({self.max_message_size})"
+            )
+
+    def check_meta_size(self, nbytes: int) -> None:
+        if nbytes > self.max_meta_size:
+            raise LimitError(
+                f"format meta-information of {nbytes} bytes exceeds "
+                f"max_meta_size ({self.max_meta_size})"
+            )
+
+    @classmethod
+    def unlimited(cls) -> "DecodeLimits":
+        """Limits so large they never trip (validation logic still runs)."""
+        big = 1 << 62
+        return cls(
+            max_message_size=big,
+            max_meta_size=big,
+            max_record_size=big,
+            max_fields=big,
+            max_name_length=big,
+            max_count=big,
+            max_formats_per_peer=big,
+            max_cache_entries=big,
+        )
+
+
+#: The limits applied wherever the caller does not choose their own.
+DEFAULT_LIMITS = DecodeLimits()
+
+
+def check_field_shape(kind: PrimKind, size: int, name: str) -> None:
+    """Reject a field whose element size is inconsistent with its kind.
+
+    Meta-information arrives from the network; a size the conversion
+    layer has no primitive for must fail *here*, as a
+    :class:`FormatError`, not later as a ``struct.error``/``KeyError``
+    leaking out of converter generation.
+    """
+    allowed = ALLOWED_SIZES.get(kind)
+    if allowed is None or size not in allowed:
+        raise FormatError(
+            f"field {name!r}: size {size} is invalid for kind {kind.value!r} "
+            f"(allowed: {sorted(allowed) if allowed else 'none'})"
+        )

@@ -70,7 +70,11 @@ class Subscription:
         )
 
     def _offer(self, message: bytes) -> None:
-        msg_type, context_id, format_id, _ = enc.unpack_header(message)
+        try:
+            msg_type, context_id, format_id, _ = enc.unpack_header(message)
+        except PbioError:  # short frame / bad magic: damage, not delivery
+            self.metrics.inc("decode_errors")
+            raise
         if msg_type == enc.MSG_FORMAT:
             self.ctx.receive(message)
             return

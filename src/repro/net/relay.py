@@ -29,8 +29,10 @@ from typing import Callable
 from repro.abi import X86_64
 from repro.core import encoder as enc
 from repro.core.context import IOContext
+from repro.core.errors import PbioError
 from repro.core.filters import RecordFilter
 from repro.core.runtime import ConverterCache, DownstreamStats, Metrics
+from repro.core.safety import DEFAULT_LIMITS, DecodeLimits
 from repro.net.transport import Transport, TransportError
 
 
@@ -69,6 +71,7 @@ class Relay:
         cache: ConverterCache | None = None,
         quarantine_after: int = 3,
         on_error: Callable[[_Downstream, TransportError], None] | None = None,
+        limits: DecodeLimits | None = DEFAULT_LIMITS,
     ) -> None:
         if quarantine_after < 1:
             raise ValueError("quarantine_after must be >= 1")
@@ -76,9 +79,11 @@ class Relay:
         # filter compilation; records are never decoded to its layouts.
         # A shared cache is accepted anyway so filter-free relays embedded
         # in larger topologies can participate in channel-wide sharing.
-        self.ctx = IOContext(X86_64, cache=cache)
+        self.ctx = IOContext(X86_64, cache=cache, limits=limits)
+        self.limits = limits
         self.quarantine_after = quarantine_after
         self.on_error = on_error
+        self.metrics = Metrics()
         self._downstreams: list[_Downstream] = []
         self._announcements: list[bytes] = []
         self.messages_seen = 0
@@ -142,20 +147,50 @@ class Relay:
             downstream.metrics.inc(counter)
 
     def forward(self, message: bytes) -> None:
-        """Process one upstream message."""
-        if enc.try_message_type(message) == enc.MSG_FORMAT:
-            self.ctx.receive(message)  # absorb for filter compilation
+        """Process one upstream message.
+
+        Frames that are not PBIO messages, that exceed the relay's
+        :class:`~repro.core.safety.DecodeLimits`, or whose header
+        contradicts their actual length are *dropped* (counted as
+        ``relay.rejected`` in :attr:`metrics`) rather than fanned out:
+        an intermediary must not amplify damage to every downstream.
+        """
+        kind = enc.try_message_type(message)
+        if kind is None:
+            self.metrics.inc("relay.rejected")
+            return
+        if self.limits is not None and len(message) > self.limits.max_message_size:
+            self.metrics.inc("relay.rejected")
+            return
+        if kind == enc.MSG_FORMAT:
+            try:
+                self.ctx.receive(message)  # absorb for filter compilation
+            except PbioError:  # malformed meta: don't propagate it downstream
+                self.metrics.inc("relay.rejected")
+                return
             self._announcements.append(bytes(message))
             for downstream in self._downstreams:
                 self._send(downstream, message, "announcements")
+            return
+        if enc.unpack_header(message)[3] != len(message) - enc.HEADER_SIZE:
+            self.metrics.inc("relay.rejected")  # torn/padded data frame
             return
         self.messages_seen += 1
         for downstream in self._downstreams:
             if downstream.quarantined:
                 continue
-            if downstream.filter is not None and not downstream.filter.matches(message):
-                downstream.metrics.inc("filtered_out")
-                continue
+            if downstream.filter is not None:
+                try:
+                    matched = downstream.filter.matches(message)
+                except PbioError:
+                    # e.g. the announcement this record needs never made it
+                    # here: this downstream cannot evaluate its predicate,
+                    # so the record is withheld from it, not from siblings.
+                    downstream.metrics.inc("filter_errors")
+                    continue
+                if not matched:
+                    downstream.metrics.inc("filtered_out")
+                    continue
             self._send(downstream, message, "forwarded")  # verbatim: zero re-encoding
 
     def pump(self, upstream: Transport, count: int) -> None:

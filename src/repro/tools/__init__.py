@@ -4,9 +4,12 @@
   schema's native layout on one or many simulated machines.
 * ``pbio-dump`` (:mod:`repro.tools.dump_tool`) — dump the messages of a
   PBIO file: formats, records, hex payloads.
+* ``pbio-fsck`` (:mod:`repro.tools.fsck_tool`) — verify a PBIO file's
+  per-record CRCs, report damage, repair or truncate.
 """
 
 from .layout_tool import main as layout_main
 from .dump_tool import main as dump_main
+from .fsck_tool import main as fsck_main
 
-__all__ = ["layout_main", "dump_main"]
+__all__ = ["layout_main", "dump_main", "fsck_main"]

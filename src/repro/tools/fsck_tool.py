@@ -1,0 +1,230 @@
+"""pbio-fsck: verify and repair PBIO record files.
+
+Usage::
+
+    pbio-fsck data.pbio                 # scan, report per-frame verdicts
+    pbio-fsck --quiet data.pbio         # summary line only
+    pbio-fsck --repair clean.pbio data.pbio   # copy intact frames to a new file
+    pbio-fsck --truncate data.pbio      # drop a torn tail in place
+
+Exit codes: 0 — file clean; 1 — damage found (and, with ``--repair`` /
+``--truncate``, repaired); 2 — not a PBIO file or usage error.
+
+The v2 frame format (``u32 len | payload | u32 crc32 | u32 len-echo``)
+makes three verdicts decidable per frame:
+
+* ``ok``      — CRC matches the payload;
+* ``corrupt`` — complete frame, CRC mismatch (bit rot / torn overwrite);
+* ``torn``    — the file ends inside the frame (crash mid-append).
+
+When a frame's length prefix and echo disagree *and* the CRC fails, the
+framing itself is untrustworthy; the scanner then resynchronizes by
+searching forward for the next offset that parses as a valid frame
+(length sane, CRC matches, echo agrees) and reports the gap as
+``framing`` damage.  v1 files (no trailer) are scanned for framing
+consistency and torn tails only — content damage is undetectable there,
+which is the argument for v2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import zlib
+from typing import BinaryIO
+
+from repro.core.files import _FILE_HEADER, _MSG_LEN, _V2_TRAILER, FILE_MAGIC
+
+#: Scanning resync never considers candidate frames larger than this —
+#: a corrupted length prefix must not make the scanner "validate" an
+#: absurd span by luck.
+MAX_SCAN_FRAME = 1 << 30
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameReport:
+    """One scanned frame (or damaged region)."""
+
+    offset: int  # file offset of the length prefix (or damage start)
+    length: int  # payload length (or damaged span for framing/torn)
+    verdict: str  # "ok" | "corrupt" | "torn" | "framing"
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+@dataclasses.dataclass
+class FsckReport:
+    version: int
+    frames: list[FrameReport]
+    file_size: int
+
+    @property
+    def ok(self) -> list[FrameReport]:
+        return [f for f in self.frames if f.verdict == "ok"]
+
+    @property
+    def damaged(self) -> list[FrameReport]:
+        return [f for f in self.frames if f.verdict != "ok"]
+
+    @property
+    def clean(self) -> bool:
+        return not self.damaged
+
+    @property
+    def intact_prefix_end(self) -> int:
+        """File offset up to which every frame is intact — the truncation
+        point that drops a torn tail without losing good records."""
+        end = _FILE_HEADER.size
+        for frame in self.frames:
+            if frame.verdict != "ok":
+                break
+            end = frame.end
+        return end
+
+
+class NotPbioFile(ValueError):
+    pass
+
+
+def _frame_at(data: bytes, pos: int, version: int) -> tuple[str, int, int] | None:
+    """Try to parse one frame at ``pos``.
+
+    Returns ``(verdict, payload_start, frame_end)`` for a structurally
+    complete frame (verdict ``ok`` or ``corrupt``), ``("torn", pos,
+    len(data))`` when the file ends inside the frame, or ``None`` when
+    the bytes at ``pos`` cannot be framing at all (length/echo disagree
+    with a failing CRC — resync territory)."""
+    if pos + _MSG_LEN.size > len(data):
+        return ("torn", pos, len(data))
+    (n,) = _MSG_LEN.unpack_from(data, pos)
+    if n > MAX_SCAN_FRAME:
+        return None
+    body_start = pos + _MSG_LEN.size
+    if version < 2:
+        end = body_start + n
+        if end > len(data):
+            return ("torn", pos, len(data))
+        return ("ok", body_start, end)
+    end = body_start + n + _V2_TRAILER.size
+    if end > len(data):
+        # Could be a torn tail — or a corrupted length pointing past EOF.
+        # Trust it as torn only if nothing after it could resync anyway.
+        return ("torn", pos, len(data))
+    crc, echo = _V2_TRAILER.unpack_from(data, body_start + n)
+    if zlib.crc32(data[body_start : body_start + n]) == crc:
+        return ("ok", body_start, end)
+    if echo == n:
+        return ("corrupt", body_start, end)
+    return None  # length and echo disagree AND the CRC fails: not framing
+
+
+def _resync(data: bytes, pos: int, version: int) -> int:
+    """The next offset >= pos+1 where a valid frame parses (or EOF)."""
+    for candidate in range(pos + 1, len(data)):
+        parsed = _frame_at(data, candidate, version)
+        if parsed is not None and parsed[0] == "ok":
+            return candidate
+    return len(data)
+
+
+def scan_bytes(data: bytes) -> FsckReport:
+    """Scan an in-memory PBIO file image."""
+    if len(data) < _FILE_HEADER.size:
+        raise NotPbioFile("truncated file header")
+    magic, version = _FILE_HEADER.unpack_from(data, 0)
+    if magic != FILE_MAGIC:
+        raise NotPbioFile(f"bad magic {magic!r}")
+    if version not in (1, 2):
+        raise NotPbioFile(f"unsupported PBIO file version {version}")
+    frames: list[FrameReport] = []
+    pos = _FILE_HEADER.size
+    while pos < len(data):
+        parsed = _frame_at(data, pos, version)
+        if parsed is None:
+            resync_at = _resync(data, pos, version)
+            frames.append(FrameReport(pos, resync_at - pos, "framing"))
+            pos = resync_at
+            continue
+        verdict, _body_start, end = parsed
+        frames.append(FrameReport(pos, end - pos, verdict))
+        pos = end
+    return FsckReport(version=version, frames=frames, file_size=len(data))
+
+
+def scan(stream: BinaryIO) -> FsckReport:
+    return scan_bytes(stream.read())
+
+
+def repair_bytes(data: bytes, report: FsckReport | None = None) -> bytes:
+    """A new file image containing only the intact frames of ``data``."""
+    if report is None:
+        report = scan_bytes(data)
+    out = bytearray(data[: _FILE_HEADER.size])
+    for frame in report.ok:
+        out += data[frame.offset : frame.end]
+    return bytes(out)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pbio-fsck", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("path", help="PBIO file to check")
+    parser.add_argument("--quiet", action="store_true", help="summary only, no per-frame report")
+    parser.add_argument(
+        "--repair", metavar="OUT", default=None, help="write intact frames to a new file OUT"
+    )
+    parser.add_argument(
+        "--truncate",
+        action="store_true",
+        help="truncate the file in place at the end of its intact prefix",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.repair and args.truncate:
+        print("--repair and --truncate are mutually exclusive", file=sys.stderr)
+        return 2
+    try:
+        with open(args.path, "rb") as stream:
+            data = stream.read()
+        report = scan_bytes(data)
+    except FileNotFoundError:
+        print(f"no such file: {args.path}", file=sys.stderr)
+        return 2
+    except NotPbioFile as exc:
+        print(f"not a PBIO file: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        for frame in report.frames:
+            print(f"{frame.offset:#010x}  {frame.length:8d}  {frame.verdict}")
+    counts = {"ok": 0, "corrupt": 0, "torn": 0, "framing": 0}
+    for frame in report.frames:
+        counts[frame.verdict] += 1
+    print(
+        f"{args.path}: v{report.version}, {report.file_size} bytes, "
+        f"{counts['ok']} ok, {counts['corrupt']} corrupt, "
+        f"{counts['torn']} torn, {counts['framing']} framing"
+    )
+    if report.clean:
+        return 0
+    if args.repair:
+        repaired = repair_bytes(data, report)
+        with open(args.repair, "wb") as out:
+            out.write(repaired)
+        print(f"repaired: {len(report.ok)} intact frame(s) -> {args.repair}")
+    elif args.truncate:
+        cut = report.intact_prefix_end
+        with open(args.path, "r+b") as stream:
+            stream.truncate(cut)
+        print(f"truncated: {args.path} now {cut} bytes")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

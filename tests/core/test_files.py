@@ -123,6 +123,114 @@ class TestCorruption:
             reader.read_all()
 
 
+class TestCrashSafety:
+    """v2 framing: CRC trailers, recover policies, append, v1 compat."""
+
+    RECORDS = [{"i": k, "d": k * 1.5, "name": b"r%d" % k} for k in range(4)]
+
+    def reader_for(self, blob, recover="raise"):
+        rctx = IOContext(X86)
+        rctx.expect(SIMPLE)
+        return rctx, PbioFileReader(rctx, io.BytesIO(blob), recover=recover)
+
+    def frame_boundaries(self, blob):
+        import struct as _struct
+
+        boundaries, pos = [12], 12
+        while pos < len(blob):
+            (n,) = _struct.unpack_from(">I", blob, pos)
+            pos += 4 + n + 8
+            boundaries.append(pos)
+        return boundaries
+
+    def test_kill_minus_nine_mid_append_recovers_prefix(self):
+        """Simulated crash: the file truncated at EVERY possible byte is
+        readable up to the last intact record with recover="skip"."""
+        blob = file_to_buffer(IOContext(X86), SIMPLE, self.RECORDS)
+        boundaries = self.frame_boundaries(blob)
+        for cut in range(12, len(blob)):
+            intact_frames = sum(1 for b in boundaries if b <= cut) - 1
+            expected = max(0, intact_frames - 1)  # first frame is the meta
+            rctx, reader = self.reader_for(blob[:cut], recover="skip")
+            out = [r["i"] for r in reader]
+            assert out == [r["i"] for r in self.RECORDS[:expected]]
+            if cut not in boundaries:
+                assert rctx.metrics.value("file.torn_tails") == 1
+
+    def test_corrupt_record_raise_policy(self):
+        blob = bytearray(file_to_buffer(IOContext(X86), SIMPLE, self.RECORDS))
+        second_record = self.frame_boundaries(blob)[2]
+        blob[second_record + 4 + 16 + 2] ^= 0xFF  # payload byte of record 2
+        _, reader = self.reader_for(bytes(blob))
+        with pytest.raises(MessageError, match="CRC"):
+            reader.read_all()
+
+    def test_corrupt_record_skip_policy_salvages_the_rest(self):
+        blob = bytearray(file_to_buffer(IOContext(X86), SIMPLE, self.RECORDS))
+        second_record = self.frame_boundaries(blob)[2]
+        blob[second_record + 4 + 16 + 2] ^= 0xFF
+        rctx, reader = self.reader_for(bytes(blob), recover="skip")
+        assert [r["i"] for r in reader] == [0, 2, 3]  # record 1 dropped
+        assert rctx.metrics.value("file.corrupt_records") == 1
+        assert rctx.metrics.value("file.recovered_records") == 2
+
+    def test_corrupt_record_stop_policy(self):
+        blob = bytearray(file_to_buffer(IOContext(X86), SIMPLE, self.RECORDS))
+        second_record = self.frame_boundaries(blob)[2]
+        blob[second_record + 4 + 16 + 2] ^= 0xFF
+        rctx, reader = self.reader_for(bytes(blob), recover="stop")
+        assert [r["i"] for r in reader] == [0]
+
+    def test_v1_file_still_reads(self):
+        blob = file_to_buffer(IOContext(X86), SIMPLE, self.RECORDS, version=1)
+        _, reader = self.reader_for(blob)
+        assert reader.version == 1
+        assert [r["i"] for r in reader] == [0, 1, 2, 3]
+
+    def test_v1_torn_tail_skip_policy_stops_cleanly(self):
+        blob = file_to_buffer(IOContext(X86), SIMPLE, self.RECORDS, version=1)
+        rctx, reader = self.reader_for(blob[:-3], recover="skip")
+        assert [r["i"] for r in reader] == [0, 1, 2]
+        assert rctx.metrics.value("file.torn_tails") == 1
+
+    def test_append_continues_the_file(self, tmp_path):
+        path = str(tmp_path / "grow.pbio")
+        ctx = IOContext(X86)
+        with PbioFileWriter.open(ctx, path) as writer:
+            writer.write(ctx.register_format(SIMPLE), self.RECORDS[0])
+        ctx2 = IOContext(X86)
+        with PbioFileWriter.append(ctx2, path) as writer:
+            assert writer.version == 2
+            writer.write(ctx2.register_format(SIMPLE), self.RECORDS[1])
+        out = read_records(IOContext(SPARC_V8), path, SIMPLE)
+        assert [r["i"] for r in out] == [0, 1]
+
+    def test_append_preserves_v1_framing(self, tmp_path):
+        path = str(tmp_path / "old.pbio")
+        ctx = IOContext(X86)
+        with PbioFileWriter.open(ctx, path, version=1) as writer:
+            writer.write(ctx.register_format(SIMPLE), self.RECORDS[0])
+        ctx2 = IOContext(X86)
+        with PbioFileWriter.append(ctx2, path) as writer:
+            assert writer.version == 1
+            writer.write(ctx2.register_format(SIMPLE), self.RECORDS[1])
+        out = read_records(IOContext(X86), path, SIMPLE)
+        assert [r["i"] for r in out] == [0, 1]
+
+    def test_bogus_length_prefix_cannot_demand_gigabytes(self):
+        import struct as _struct
+
+        blob = bytearray(file_to_buffer(IOContext(X86), SIMPLE, self.RECORDS[:1]))
+        _struct.pack_into(">I", blob, 12, 0x7FFFFFFF)
+        _, reader = self.reader_for(bytes(blob))
+        with pytest.raises(MessageError):
+            reader.read_all()
+
+    def test_invalid_recover_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PbioFileReader(IOContext(X86), io.BytesIO(b""), recover="maybe")
+
+
 class TestReflectionOverFiles:
     def test_iter_raw_with_generic_decode(self, tmp_path):
         from repro.core import generic_decode

@@ -13,9 +13,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.abi import SPARC_V8, X86, RecordSchema
 from repro.core import IOContext, PbioError
-from repro.core import encoder as enc
 from repro.core.files import PbioFileReader
-from repro.wire.xml import SaxParser, XmlParseError
 
 SCHEMA = RecordSchema.from_pairs(
     "rec", [("i", "int"), ("d", "double[4]"), ("name", "char[8]")]
@@ -103,11 +101,12 @@ def test_truncated_pbio_file_raises(seed, cut):
         ctx, SCHEMA, [{"i": int(rng.integers(100)), "d": (0.0,) * 4, "name": b"x"}] * 2
     )
     # Message boundaries: cuts exactly there leave a VALID shorter file.
+    # v2 frames are length-prefix + payload + 8-byte CRC/echo trailer.
     boundaries = {12}
     pos = 12
     while pos < len(blob):
         (n,) = struct.unpack_from(">I", blob, pos)
-        pos += 4 + n
+        pos += 4 + n + 8
         boundaries.add(pos)
     cut = min(cut, len(blob) - 1)
     truncated = blob[:cut]
@@ -124,11 +123,13 @@ def test_truncated_pbio_file_raises(seed, cut):
 @settings(max_examples=60, deadline=None)
 @given(data=st.binary(max_size=40))
 def test_format_meta_parser_rejects_garbage(data):
-    from repro.core import FormatError, IOFormat
+    """Garbage meta never leaks a stdlib exception — only the PBIO
+    taxonomy (FormatError for structure, LimitError for resources)."""
+    from repro.core import IOFormat
 
     try:
         fmt = IOFormat.from_meta_bytes(data)
-    except (FormatError, UnicodeDecodeError):
+    except PbioError:
         return
     # If garbage happens to parse, it must at least be self-consistent.
     assert fmt.record_size >= 0

@@ -1,0 +1,84 @@
+"""Shared machinery for the deterministic fuzz harness.
+
+All randomness is drawn from ``random.Random`` instances seeded from
+``PBIO_CHAOS_SEED`` (the same knob the chaos suite uses, default 0) plus
+a per-test stream id — every run with the same seed replays the exact
+same mutations, and the CI matrix explores three seeds.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from pathlib import Path
+
+from repro.abi import SPARC_V8, X86, RecordSchema
+from repro.core import IOContext
+
+CHAOS_SEED = int(os.environ.get("PBIO_CHAOS_SEED", "0"))
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+SCHEMA = RecordSchema.from_pairs(
+    "fuzzed", [("i", "int"), ("d", "double[4]"), ("name", "char[8]")]
+)
+
+RECORD = {"i": 7, "d": (1.0, -2.0, 3.5, 0.0), "name": b"abc"}
+
+
+def rng_for(stream: str) -> random.Random:
+    """A deterministic generator for one named fuzz stream."""
+    return random.Random(f"{CHAOS_SEED}:{stream}")
+
+
+def sender_messages():
+    """A sender context plus (announce, data message) for SCHEMA."""
+    sender = IOContext(X86)
+    handle = sender.register_format(SCHEMA)
+    return sender.announce(handle), sender.encode(handle, RECORD)
+
+
+def fresh_receiver() -> IOContext:
+    receiver = IOContext(SPARC_V8)
+    receiver.expect(SCHEMA)
+    return receiver
+
+
+def mutate(rng: random.Random, data: bytes) -> bytes:
+    """One random structural mutation of ``data``.
+
+    The operators cover the damage classes the decode frontend must
+    survive: bit/byte corruption, truncation, garbage extension, length
+    field inflation (multi-byte overwrites), and splicing.
+    """
+    buf = bytearray(data)
+    op = rng.randrange(6)
+    if op == 0 and buf:  # flip one byte
+        i = rng.randrange(len(buf))
+        buf[i] ^= 1 << rng.randrange(8)
+    elif op == 1 and buf:  # overwrite one byte
+        buf[rng.randrange(len(buf))] = rng.randrange(256)
+    elif op == 2 and buf:  # truncate
+        del buf[rng.randrange(len(buf)) :]
+    elif op == 3:  # extend with garbage
+        buf += bytes(rng.randrange(256) for _ in range(rng.randrange(1, 24)))
+    elif op == 4 and len(buf) >= 4:  # smash a 2/4-byte window (length fields)
+        width = rng.choice((2, 4))
+        i = rng.randrange(len(buf) - width + 1)
+        buf[i : i + width] = bytes(rng.randrange(256) for _ in range(width))
+    elif len(buf) >= 2:  # splice: duplicate an internal span elsewhere
+        a, b = sorted(rng.randrange(len(buf)) for _ in range(2))
+        if a != b:
+            i = rng.randrange(len(buf))
+            buf[i : i + (b - a)] = buf[a:b]
+    return bytes(buf)
+
+
+def mutations(stream: str, data: bytes, count: int):
+    """``count`` seeded mutations of ``data`` (1..3 operators stacked)."""
+    rng = rng_for(stream)
+    for _ in range(count):
+        out = data
+        for _ in range(rng.randrange(1, 4)):
+            out = mutate(rng, out)
+        yield out

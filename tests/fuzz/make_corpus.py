@@ -1,0 +1,91 @@
+"""Regenerate the checked-in fuzz corpus (``tests/fuzz/corpus/``).
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fuzz/make_corpus.py
+
+Every artifact is deterministic (fixed seeds, fixed schemas), so a
+regeneration only changes the files when the wire format itself changes
+— at which point the diff *is* the review artifact.
+
+Corpus contents:
+
+* ``announce.bin`` / ``record.bin`` — a valid format announcement and
+  data message (X86 sender, the fuzz schema);
+* ``meta.bin``        — the bare meta block (``to_meta_bytes``);
+* ``meta_v1.bin``     — the same block without the fingerprint trailer;
+* ``clean_v1.pbio`` / ``clean_v2.pbio`` — intact record files;
+* ``damaged_v2.pbio`` — a v2 file with a CRC-corrupted middle record
+  AND a torn tail (the fsck/recovery fixture: 3 written, 1 clean +
+  1 recovered readable, repairable to 2);
+* ``garbage_NN.bin``  — seeded random byte blobs;
+* ``regress_*.bin``   — inputs that previously escaped the taxonomy,
+  kept forever as regression tests.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+from pathlib import Path
+
+from repro.abi import X86
+from repro.core import IOContext
+from repro.core.files import PbioFileWriter, file_to_buffer
+
+try:  # runnable both as a module and as a script
+    from .common import RECORD, SCHEMA
+except ImportError:  # pragma: no cover
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from common import RECORD, SCHEMA  # type: ignore[no-redef]
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def build_damaged_v2() -> bytes:
+    """Three records; corrupt the second's payload (CRC mismatch) and
+    tear the third mid-frame, as a crash would."""
+    buf = io.BytesIO()
+    ctx = IOContext(X86)
+    writer = PbioFileWriter(ctx, buf, version=2)
+    handle = ctx.register_format(SCHEMA)
+    offsets = []
+    for i in range(3):
+        offsets.append(buf.tell())
+        writer.write(handle, {**RECORD, "i": i})
+    blob = bytearray(buf.getvalue())
+    # Flip a payload byte inside record #2 (offset + len-prefix + header).
+    blob[offsets[1] + 4 + 16 + 3] ^= 0xFF
+    # Tear the tail: drop the last 10 bytes of record #3's frame.
+    return bytes(blob[:-10])
+
+
+def main() -> None:
+    CORPUS.mkdir(exist_ok=True)
+    sender = IOContext(X86)
+    handle = sender.register_format(SCHEMA)
+
+    artifacts: dict[str, bytes] = {
+        "announce.bin": sender.announce(handle),
+        "record.bin": sender.encode(handle, RECORD),
+        "meta.bin": handle.iofmt.to_meta_bytes(),
+        "meta_v1.bin": handle.iofmt.to_meta_bytes()[:-20],
+        "clean_v1.pbio": file_to_buffer(IOContext(X86), SCHEMA, [RECORD] * 2, version=1),
+        "clean_v2.pbio": file_to_buffer(IOContext(X86), SCHEMA, [RECORD] * 2, version=2),
+        "damaged_v2.pbio": build_damaged_v2(),
+    }
+    rng = random.Random("pbio-fuzz-corpus")
+    for i in range(4):
+        artifacts[f"garbage_{i:02d}.bin"] = bytes(
+            rng.randrange(256) for _ in range(rng.randrange(8, 200))
+        )
+
+    for name, data in sorted(artifacts.items()):
+        (CORPUS / name).write_bytes(data)
+        print(f"wrote {name}: {len(data)} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Hypothesis properties for the format meta-information codec.
+
+The central property (ISSUE 3 satellite): a *single-byte* mutation of a
+valid meta block either fails to parse (PbioError) or parses to a format
+that is semantically identical to the original — i.e. re-serializes to
+the original canonical bytes.  The sha1 fingerprint trailer is what
+makes this hold: every semantic field is covered by the digest, so the
+only mutations that survive parsing are non-canonical encodings of the
+same description (e.g. a flag byte of 2 instead of 1).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.abi import SPARC_V8, X86, X86_64, RecordSchema
+from repro.core import IOContext, IOFormat, PbioError
+
+from .common import SCHEMA
+
+MACHINES = (X86, X86_64, SPARC_V8)
+
+SCHEMAS = (
+    SCHEMA,
+    RecordSchema.from_pairs("pair", [("a", "int"), ("b", "double")]),
+    RecordSchema.from_pairs("strs", [("tag", "string"), ("n", "int")]),
+)
+
+
+def canonical_meta(machine, schema) -> bytes:
+    ctx = IOContext(machine)
+    return ctx.register_format(schema).iofmt.to_meta_bytes()
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    machine_i=st.integers(min_value=0, max_value=len(MACHINES) - 1),
+    schema_i=st.integers(min_value=0, max_value=len(SCHEMAS) - 1),
+    pos=st.integers(min_value=0, max_value=10_000),
+    value=st.integers(min_value=0, max_value=255),
+)
+def test_single_byte_mutation_roundtrips_or_raises(machine_i, schema_i, pos, value):
+    original = canonical_meta(MACHINES[machine_i], SCHEMAS[schema_i])
+    mutated = bytearray(original)
+    pos %= len(mutated)
+    mutated[pos] = value
+    try:
+        fmt = IOFormat.from_meta_bytes(bytes(mutated))
+    except PbioError:
+        return
+    assert fmt.to_meta_bytes() == original
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    cut=st.integers(min_value=0, max_value=10_000),
+    machine_i=st.integers(min_value=0, max_value=len(MACHINES) - 1),
+)
+def test_truncation_always_raises(cut, machine_i):
+    original = canonical_meta(MACHINES[machine_i], SCHEMA)
+    cut %= len(original)  # strictly shorter than the full block
+    if cut == len(original) - 20:
+        return  # stripping exactly the trailer leaves a legal v1 block
+    try:
+        IOFormat.from_meta_bytes(original[:cut])
+    except PbioError:
+        return
+    raise AssertionError(f"truncation at {cut}/{len(original)} parsed silently")
+
+
+@settings(max_examples=100, deadline=None)
+@given(junk=st.binary(min_size=1, max_size=32))
+def test_trailing_garbage_always_raises(junk):
+    original = canonical_meta(X86, SCHEMA)
+    try:
+        IOFormat.from_meta_bytes(original + junk)
+    except PbioError:
+        return
+    raise AssertionError("trailing garbage parsed silently")
+
+
+def test_v1_trailerless_block_still_parses():
+    """Compatibility: a meta block without the fingerprint trailer (as
+    written by v1 files / the seed encoder) parses and re-fingerprints."""
+    original = canonical_meta(X86, SCHEMA)
+    v1_block = original[:-20]
+    fmt = IOFormat.from_meta_bytes(v1_block)
+    assert fmt.to_meta_bytes() == original
