@@ -20,6 +20,7 @@ from .errors import (
     LimitError,
     MessageError,
     PbioError,
+    TokenResolutionError,
     UnknownFormatError,
 )
 from .safety import DEFAULT_LIMITS, DecodeLimits
@@ -46,6 +47,7 @@ from .runtime import (
 )
 from .context import FormatHandle, IOContext
 from .connection import PbioConnection
+from .negotiation import Announcer, InboundNegotiator, link_key
 from .pbio_wire import BoundPbio, PbioWire
 from .reflection import MessageInfo, generic_decode, incoming_format, peek_message
 from .versioning import CompatibilityReport, check_evolution
@@ -99,6 +101,10 @@ __all__ = [
     "shared_cache",
     "reset_shared_cache",
     "PbioConnection",
+    "TokenResolutionError",
+    "Announcer",
+    "InboundNegotiator",
+    "link_key",
     "PbioWire",
     "BoundPbio",
     "MessageInfo",

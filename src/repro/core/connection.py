@@ -6,6 +6,22 @@ message; the receiving side absorbs announcements and returns only data.
 This is the convenience layer examples and integration tests use — the
 benchmarks call the context primitives directly so the one-time costs can
 be measured separately.
+
+With a format service attached to the sending context
+(:meth:`IOContext.use_format_service`), announcements shrink to 28-byte
+``(fingerprint, token)`` messages; the receiving side resolves tokens
+through its own service's cache ladder, and when it cannot — server
+down, cold cache — the connection runs the
+:mod:`~repro.core.negotiation` recovery dance: a ``MSG_FORMAT_REQUEST``
+travels back, data messages of the unresolved format are held (never
+dropped), and the sender answers with classic inline meta.  Everything
+degrades to the pre-service wire protocol; nothing ever depends on the
+format server being up.
+
+Announcement state is keyed by *live link identity* — transport token
+plus reconnect generation — so a re-dialled transport is re-announced
+to rather than silently assumed to remember formats the dead link heard
+(see :func:`~repro.core.negotiation.link_key`).
 """
 
 from __future__ import annotations
@@ -14,8 +30,8 @@ from typing import Any
 
 from repro.net.transport import Transport
 
-from . import encoder as enc
 from .context import FormatHandle, IOContext
+from .negotiation import Announcer, InboundNegotiator
 
 
 class PbioConnection:
@@ -24,15 +40,20 @@ class PbioConnection:
     def __init__(self, ctx: IOContext, transport: Transport):
         self.ctx = ctx
         self.transport = transport
-        self._announced: set[int] = set()
+        self._announcer = Announcer(ctx)
+        # Late-bound send: `self.transport` may be swapped for a
+        # re-dialled replacement, and back-channel traffic must follow.
+        self._negotiator = InboundNegotiator(ctx, lambda data: self.transport.send(data))
 
     # -- sending ------------------------------------------------------------
 
     def send_native(self, handle: FormatHandle, native) -> None:
         """Send a record already in native binary form (NDR fast path)."""
-        if handle.format_id not in self._announced:
-            self.transport.send(self.ctx.announce(handle))
-            self._announced.add(handle.format_id)
+        # Answer any meta requests the peer has queued before pushing
+        # more data at it (keeps the recovery dance converging even when
+        # this side never calls recv).
+        self._negotiator.pump(self.transport)
+        self._announcer.ensure_announced(self.transport, handle)
         self.transport.send_segments(self.ctx.encode_segments(handle, native))
 
     def send(self, handle: FormatHandle, record: dict[str, Any]) -> None:
@@ -42,13 +63,17 @@ class PbioConnection:
     # -- receiving ------------------------------------------------------------
 
     def recv_message(self) -> bytes:
-        """Receive the next *data* message, absorbing announcements."""
-        while True:
-            message = self.transport.recv()
-            if enc.try_message_type(message) == enc.MSG_FORMAT:
-                self.ctx.receive(message)
-                continue
-            return message
+        """Receive the next *data* message, absorbing announcements.
+
+        Token announcements that cannot be resolved locally trigger the
+        inline-recovery protocol transparently; messages of a format
+        whose meta is still in flight are held and returned (in order)
+        once it arrives.
+        """
+        message = self._negotiator.next_ready()
+        while message is None:
+            message = self._negotiator.filter(self.transport.recv())
+        return message
 
     def recv(self) -> dict[str, Any]:
         """Receive and decode the next record to a dict."""
@@ -58,6 +83,15 @@ class PbioConnection:
         """Receive and decode the next record to a (possibly zero-copy)
         :class:`~repro.abi.views.RecordView`."""
         return self.ctx.decode_view(self.recv_message())
+
+    def poll(self) -> None:
+        """Drain frames available right now without blocking.
+
+        Absorbs announcements, answers the peer's meta requests, and
+        queues any data messages for the next :meth:`recv`.  Useful for
+        send-mostly endpoints on non-blocking transports.
+        """
+        self._negotiator.pump(self.transport)
 
     def close(self) -> None:
         self.transport.close()

@@ -96,6 +96,7 @@ class IOContext:
         cache: ConverterCache | None = None,
         metrics: Metrics | None = None,
         limits: DecodeLimits | None = DEFAULT_LIMITS,
+        format_service=None,
     ):
         if conversion not in ("dcg", "interpreted", "vcode"):
             raise ValueError(f"unknown conversion mode {conversion!r}")
@@ -116,6 +117,9 @@ class IOContext:
             metrics=self.metrics,
             limits=limits,
         )
+        self.format_service = None
+        if format_service is not None:
+            self.use_format_service(format_service)
 
     @property
     def context_id(self) -> int:
@@ -133,6 +137,19 @@ class IOContext:
         self.pipeline.set_cache(cache)
         return self
 
+    def use_format_service(self, service) -> "IOContext":
+        """Attach a :class:`~repro.fmtserv.FormatService` (or ``None``).
+
+        With a service attached, :meth:`announce_compact` emits 28-byte
+        token announcements when the service can vouch for the format,
+        and the decode pipeline resolves incoming token announcements
+        through the service's cache ladder.  Detaching (``None``)
+        restores pure inline behaviour.
+        """
+        self.format_service = service
+        self.pipeline.resolver = service.resolve if service is not None else None
+        return self
+
     # -- writer side --------------------------------------------------------
 
     def register_format(self, schema: RecordSchema) -> FormatHandle:
@@ -147,6 +164,29 @@ class IOContext:
     def announce(self, handle: FormatHandle) -> bytes:
         """The one-time format meta-information message for ``handle``."""
         return enc.encode_format_message(self.context_id, handle.format_id, handle.iofmt)
+
+    def announce_compact(self, handle: FormatHandle) -> bytes:
+        """The cheapest safe announcement for ``handle``.
+
+        A 28-byte token message when the attached format service holds a
+        token for the format (the server has the meta, so any receiver
+        can resolve it); the classic inline meta message otherwise.
+        Token announcements are only ever emitted once the server has
+        confirmed registration — a token in flight always has meta
+        behind it.
+        """
+        svc = self.format_service
+        if svc is not None:
+            token = svc.publish(handle.iofmt)
+            if token is not None:
+                return enc.encode_token_message(
+                    self.context_id,
+                    handle.format_id,
+                    handle.iofmt.fingerprint,
+                    token,
+                )
+            svc.note_inline_fallback()
+        return self.announce(handle)
 
     def encode_native(self, handle: FormatHandle, native) -> bytes:
         """Encode a record already in native binary form (contiguous)."""

@@ -10,8 +10,15 @@ building 16 bytes of header.
 
 Message types:
 
-* ``MSG_FORMAT`` — format meta-information (sent once per format);
-* ``MSG_DATA``   — header + native record bytes.
+* ``MSG_FORMAT``         — format meta-information (sent once per format);
+* ``MSG_DATA``           — header + native record bytes;
+* ``MSG_FORMAT_TOKEN``   — compact announcement: the sender binds its
+  (context id, format id) to a format identified only by its 20-byte
+  SHA-1 fingerprint plus the format server's global token — no meta
+  travels (the format-service protocol, docs/wire-format.md §7);
+* ``MSG_FORMAT_REQUEST`` — a receiver that cannot resolve a fingerprint
+  (format server down, cold cache) asks the sender to re-announce the
+  format inline; the payload is the fingerprint being requested.
 """
 
 from __future__ import annotations
@@ -25,10 +32,17 @@ MAGIC = 0xB1  # 'PBIO' message marker
 VERSION = 1
 MSG_FORMAT = 1
 MSG_DATA = 2
+MSG_FORMAT_TOKEN = 3
+MSG_FORMAT_REQUEST = 4
+
+_MSG_TYPES = (MSG_FORMAT, MSG_DATA, MSG_FORMAT_TOKEN, MSG_FORMAT_REQUEST)
 
 # magic, version, msg type, pad, context id, format id, payload length
 _HEADER = struct.Struct(">BBBxIII")
 HEADER_SIZE = _HEADER.size
+
+FINGERPRINT_SIZE = 20  # sha1 digest length (matches IOFormat.fingerprint)
+_TOKEN_PAYLOAD = struct.Struct(f">{FINGERPRINT_SIZE}sQ")  # fingerprint, token
 
 
 def pack_header(msg_type: int, context_id: int, format_id: int, payload_len: int) -> bytes:
@@ -44,13 +58,13 @@ def unpack_header(message) -> tuple[int, int, int, int]:
         raise MessageError(f"bad PBIO magic {magic:#x}")
     if version != VERSION:
         raise MessageError(f"unsupported PBIO version {version}")
-    if msg_type not in (MSG_FORMAT, MSG_DATA):
+    if msg_type not in _MSG_TYPES:
         raise MessageError(f"unknown message type {msg_type}")
     return msg_type, context_id, format_id, payload_len
 
 
 def message_kind(message) -> int:
-    """The validated message type (``MSG_FORMAT`` or ``MSG_DATA``).
+    """The validated message type (one of the ``MSG_*`` constants).
 
     The single place endpoints peek at a message's type — the header
     layout is defined here and nowhere else.
@@ -70,7 +84,7 @@ def try_message_type(message) -> int | None:
     if message[0] != MAGIC or message[1] != VERSION:
         return None
     msg_type = message[2]
-    if msg_type not in (MSG_FORMAT, MSG_DATA):
+    if msg_type not in _MSG_TYPES:
         return None
     return msg_type
 
@@ -101,3 +115,66 @@ def encode_data_segments(
 def encode_data_message(context_id: int, format_id: int, native) -> bytes:
     """Contiguous convenience form of :func:`encode_data_segments`."""
     return pack_header(MSG_DATA, context_id, format_id, len(native)) + bytes(native)
+
+
+def encode_token_message(
+    context_id: int, format_id: int, fingerprint: bytes, token: int
+) -> bytes:
+    """A token-only announcement: ``(fingerprint, token)``, no meta.
+
+    28 bytes of payload regardless of format complexity — the whole
+    point of the format service: meta travels once per *cluster* (to the
+    server), not once per connection.
+    """
+    if len(fingerprint) != FINGERPRINT_SIZE:
+        raise MessageError(
+            f"fingerprint must be {FINGERPRINT_SIZE} bytes, got {len(fingerprint)}"
+        )
+    payload = _TOKEN_PAYLOAD.pack(bytes(fingerprint), token)
+    return pack_header(MSG_FORMAT_TOKEN, context_id, format_id, len(payload)) + payload
+
+
+def parse_token_message(message) -> tuple[int, int, bytes, int]:
+    """Returns ``(context_id, format_id, fingerprint, token)``.
+
+    Strict: the payload must be exactly fingerprint + token — a type-3
+    header glued onto anything else is protocol damage, not a tolerable
+    variant (this is what keeps random corruption of other message types
+    from parsing as a token announcement).
+    """
+    msg_type, context_id, format_id, payload_len = unpack_header(message)
+    if msg_type != MSG_FORMAT_TOKEN:
+        raise MessageError(f"expected a token announcement, got type {msg_type}")
+    payload = bytes(message[HEADER_SIZE:])
+    if payload_len != _TOKEN_PAYLOAD.size or len(payload) != _TOKEN_PAYLOAD.size:
+        raise MessageError(
+            f"token announcement payload must be {_TOKEN_PAYLOAD.size} bytes, "
+            f"header says {payload_len}, got {len(payload)}"
+        )
+    fingerprint, token = _TOKEN_PAYLOAD.unpack(payload)
+    return context_id, format_id, fingerprint, token
+
+
+def encode_format_request(context_id: int, fingerprint: bytes) -> bytes:
+    """A receiver's request that the peer re-announce a format inline."""
+    if len(fingerprint) != FINGERPRINT_SIZE:
+        raise MessageError(
+            f"fingerprint must be {FINGERPRINT_SIZE} bytes, got {len(fingerprint)}"
+        )
+    return pack_header(
+        MSG_FORMAT_REQUEST, context_id, 0, FINGERPRINT_SIZE
+    ) + bytes(fingerprint)
+
+
+def parse_format_request(message) -> bytes:
+    """The fingerprint a :data:`MSG_FORMAT_REQUEST` message asks for."""
+    msg_type, _context_id, _format_id, payload_len = unpack_header(message)
+    if msg_type != MSG_FORMAT_REQUEST:
+        raise MessageError(f"expected a format request, got type {msg_type}")
+    payload = bytes(message[HEADER_SIZE:])
+    if payload_len != FINGERPRINT_SIZE or len(payload) != FINGERPRINT_SIZE:
+        raise MessageError(
+            f"format request payload must be {FINGERPRINT_SIZE} bytes, "
+            f"header says {payload_len}, got {len(payload)}"
+        )
+    return payload

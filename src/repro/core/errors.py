@@ -23,6 +23,24 @@ class UnknownFormatError(FormatError):
         self.format_id = format_id
 
 
+class TokenResolutionError(FormatError):
+    """A token-only announcement named a fingerprint the receiver cannot
+    resolve (no format service attached, cold cache, format server
+    unreachable).  Unlike :class:`UnknownFormatError` this is *not*
+    evidence of protocol damage — duplex endpoints recover by sending a
+    ``MSG_FORMAT_REQUEST`` back to the announcer."""
+
+    def __init__(self, context_id: int, format_id: int, fingerprint: bytes):
+        super().__init__(
+            f"cannot resolve format {fingerprint.hex()} announced as id "
+            f"{format_id} by context {context_id:#010x} (format service "
+            f"miss or unreachable)"
+        )
+        self.context_id = context_id
+        self.format_id = format_id
+        self.fingerprint = fingerprint
+
+
 class MessageError(PbioError):
     """Malformed wire message (bad magic, truncation, bad type)."""
 

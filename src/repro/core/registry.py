@@ -9,10 +9,23 @@ different writers never collide at a receiver.
 
 from __future__ import annotations
 
-import random
+import os
 
 from .errors import FormatError, UnknownFormatError
 from .formats import IOFormat
+
+
+def fresh_context_id() -> int:
+    """A random 32-bit context id from the OS entropy pool.
+
+    Deliberately *not* the :mod:`random` module: application code that
+    seeds the global generator (simulations, chaos tests) would otherwise
+    mint colliding context ids for every writer created after the seed —
+    and two writers sharing a context id corrupt each other's id space at
+    every receiver.  Tests that need determinism inject ``context_id``
+    explicitly instead of seeding.
+    """
+    return int.from_bytes(os.urandom(4), "big")
 
 
 class FormatRegistry:
@@ -24,7 +37,7 @@ class FormatRegistry:
 
     def __init__(self, context_id: int | None = None):
         self.context_id = (
-            context_id if context_id is not None else random.getrandbits(32)
+            context_id if context_id is not None else fresh_context_id()
         )
         self._local_by_fp: dict[bytes, int] = {}
         self._local_by_id: dict[int, IOFormat] = {}
@@ -55,6 +68,11 @@ class FormatRegistry:
 
     def local_ids(self) -> list[int]:
         return sorted(self._local_by_id)
+
+    def local_id_for_fingerprint(self, fingerprint: bytes) -> int | None:
+        """The local id registered for ``fingerprint``, if any (the
+        lookup a ``MSG_FORMAT_REQUEST`` resolves against)."""
+        return self._local_by_fp.get(bytes(fingerprint))
 
     # -- remote side ----------------------------------------------------------
 

@@ -47,6 +47,7 @@ from repro.net.transport import Transport, TransportError, transport_token
 from . import encoder as enc
 from .context import FormatHandle, IOContext
 from .errors import MessageError, PbioError
+from .negotiation import Announcer, InboundNegotiator, link_key
 from .runtime import ConverterCache, Metrics
 from .safety import DEFAULT_LIMITS, DecodeLimits
 
@@ -149,12 +150,17 @@ class RpcClient:
         *,
         cache: ConverterCache | None = None,
         limits: DecodeLimits | None = DEFAULT_LIMITS,
+        format_service=None,
     ):
-        self.ctx = IOContext(machine, cache=cache, limits=limits)
+        self.ctx = IOContext(
+            machine, cache=cache, limits=limits, format_service=format_service
+        )
         self.interface = interface
         self.metrics = Metrics()
         self._handles: dict[str, FormatHandle] = {}
-        self._announced: set[tuple[int, int]] = set()
+        self._announcer = Announcer(self.ctx)
+        self._negotiators: dict[tuple[int, int], InboundNegotiator] = {}
+        self._neg_memo: tuple | None = None
         self._next_id = 1
 
     def _handle_for(self, schema: RecordSchema) -> FormatHandle:
@@ -229,6 +235,33 @@ class RpcClient:
 
     # -- wire helpers --------------------------------------------------------
 
+    def _neg(self, transport: Transport) -> InboundNegotiator:
+        """The inbound negotiator for the current incarnation of a link."""
+        gen = getattr(transport, "generation", 0)
+        memo = self._neg_memo
+        if memo is not None and memo[0] is transport and memo[1] == gen:
+            return memo[2]
+        key = link_key(transport)
+        neg = self._negotiators.get(key)
+        if neg is None:
+            neg = InboundNegotiator(self.ctx, transport.send)
+            self._negotiators[key] = neg
+            while len(self._negotiators) > 16:  # dead incarnations, oldest first
+                del self._negotiators[next(iter(self._negotiators))]
+        self._neg_memo = (transport, gen, neg)
+        return neg
+
+    def _recv_frame(self, transport: Transport) -> bytes:
+        """The next caller-visible frame: announcements (inline and
+        token), meta requests and held messages are handled in the
+        negotiator; what comes out is a call header, fault text, or a
+        decodable data message."""
+        neg = self._neg(transport)
+        frame = neg.next_ready()
+        while frame is None:
+            frame = neg.filter(transport.recv())
+        return frame
+
     def _transmit(
         self,
         transport: Transport,
@@ -238,18 +271,19 @@ class RpcClient:
         object_key: bytes,
         request: dict,
     ) -> None:
-        announce_key = (transport_token(transport), handle.format_id)
-        if announce_key not in self._announced:
-            transport.send(self.ctx.announce(handle))
-            self._announced.add(announce_key)
+        self._announcer.ensure_announced(transport, handle)
         transport.send(
             _call_header(request_id, reply=False, fault=False, operation=operation, key=object_key)
         )
         transport.send(self.ctx.encode(handle, request))
 
     def _await_reply(self, transport: Transport, request_id: int) -> dict:
+        neg = self._neg(transport)
+        recv, filt, ready = transport.recv, neg.filter, neg.next_ready
         while True:
-            header = transport.recv()
+            header = ready()
+            while header is None:
+                header = filt(recv())
             reply_id, is_reply, is_fault, _op, _key = _parse_call_header(header)
             if not is_reply:
                 raise PbioError("protocol error: expected a reply header")
@@ -261,21 +295,19 @@ class RpcClient:
                     self._absorb_reply_body(transport, fault=is_fault)
                     continue
                 raise PbioError(f"reply id {reply_id} for unknown request")
-            body = transport.recv()
+            body = ready()
+            while body is None:
+                body = filt(recv())
             if is_fault:
                 raise RpcFault(bytes(body).decode("utf-8", "replace"))
-            result = self.ctx.receive(body)
-            if result is None:  # absorbed a format announcement; body follows
-                body = transport.recv()
-                result = self.ctx.receive(body)
-            return result
+            return self.ctx.receive(body)
 
     def _absorb_reply_body(self, transport: Transport, *, fault: bool) -> None:
-        body = transport.recv()
+        body = self._recv_frame(transport)
         if fault:
             return  # fault bodies are raw text, one frame
-        if enc.is_pbio_message(body) and self.ctx.receive(body) is None:
-            self.ctx.receive(transport.recv())  # announcement, then the data
+        if enc.is_pbio_message(body):
+            self.ctx.receive(body)
 
 
 class RpcServer:
@@ -296,15 +328,20 @@ class RpcServer:
         cache: ConverterCache | None = None,
         dedup_window: int = 64,
         limits: DecodeLimits | None = DEFAULT_LIMITS,
+        format_service=None,
     ):
         if dedup_window < 0:
             raise ValueError("dedup_window must be >= 0")
-        self.ctx = IOContext(machine, cache=cache, limits=limits)
+        self.ctx = IOContext(
+            machine, cache=cache, limits=limits, format_service=format_service
+        )
         self.interface = interface
         self.metrics = Metrics()
         self._servants: dict[bytes, dict[str, Callable[[dict], dict]]] = {}
         self._handles: dict[str, FormatHandle] = {}
-        self._announced: set[tuple[int, int]] = set()
+        self._announcer = Announcer(self.ctx)
+        self._negotiators: dict[tuple[int, int], InboundNegotiator] = {}
+        self._neg_memo: tuple | None = None
         self._dedup_window = dedup_window
         self._replies: dict[int, OrderedDict[int, list[bytes]]] = {}
         for op in interface.operations.values():
@@ -315,28 +352,45 @@ class RpcServer:
             self.interface[name]  # validate
         self._servants[object_key] = dict(operations)
 
+    def _neg(self, transport: Transport) -> InboundNegotiator:
+        gen = getattr(transport, "generation", 0)
+        memo = self._neg_memo
+        if memo is not None and memo[0] is transport and memo[1] == gen:
+            return memo[2]
+        key = link_key(transport)
+        neg = self._negotiators.get(key)
+        if neg is None:
+            neg = InboundNegotiator(self.ctx, transport.send)
+            self._negotiators[key] = neg
+            while len(self._negotiators) > 16:
+                del self._negotiators[next(iter(self._negotiators))]
+        self._neg_memo = (transport, gen, neg)
+        return neg
+
     def serve_one(self, transport: Transport) -> None:
-        """Handle exactly one call (absorbing any format announcements)."""
-        while True:
-            message = transport.recv()
-            # Format announcements are PBIO messages; call headers are not.
-            if enc.is_pbio_message(message):
-                self.ctx.receive(message)
-                continue
-            break
+        """Handle exactly one call (absorbing any format announcements).
+
+        Announcements — inline or token — and the token-recovery
+        back-channel are handled by the link's
+        :class:`~repro.core.negotiation.InboundNegotiator`: a request
+        whose format arrives as an unresolvable token makes the server
+        ask the client for inline meta and hold the request body until
+        it lands, so no call is lost to a format-server outage.
+        """
+        neg = self._neg(transport)
+        recv, filt = transport.recv, neg.filter
+        message = neg.next_ready()
+        while message is None:
+            message = filt(recv())
         request_id, is_reply, _fault, operation, key = _parse_call_header(message)
         if is_reply:
             raise PbioError("protocol error: server received a reply header")
-        body = transport.recv()
-        while True:
-            if enc.is_pbio_message(body):
-                decoded = self.ctx.receive(body)
-                if decoded is None:  # it was an announcement
-                    body = transport.recv()
-                    continue
-                request = decoded
-                break
+        body = neg.next_ready()
+        while body is None:
+            body = filt(recv())
+        if not enc.is_pbio_message(body):
             raise PbioError("protocol error: expected a PBIO data message")
+        request = self.ctx.receive(body)
         token = transport_token(transport)
         window = self._replies.setdefault(token, OrderedDict())
         cached = window.get(request_id)
@@ -373,10 +427,7 @@ class RpcServer:
                 handle = self.ctx.register_format(op.reply_schema)
                 self._handles[op.reply_schema.name] = handle
             send(_call_header(request_id, reply=True, fault=False, operation=operation, key=b""))
-            announce_key = (token, handle.format_id)
-            if announce_key not in self._announced:
-                send(self.ctx.announce(handle))
-                self._announced.add(announce_key)
+            self._announcer.ensure_announced(transport, handle, send=send)
             send(self.ctx.encode(handle, result))
             self.metrics.inc("requests_served")
         except RpcFault as exc:

@@ -34,6 +34,24 @@ Counter names used by the runtime:
 ``file.torn_tails``       incomplete trailing frames (crash mid-append)
 ``file.recovered_records``  records delivered *after* file damage was seen
                           (what ``recover="skip"`` salvaged over ``"stop"``)
+``fmtserv.*``             format-service counters (:mod:`repro.fmtserv`):
+                          server side ``registered`` / ``reregistered`` /
+                          ``rejected`` / ``quota_rejections`` / ``lookups`` /
+                          ``lookup_hits`` / ``lookup_misses`` / ``purged`` /
+                          ``protocol_errors`` / ``connections_dropped``;
+                          client side ``hits`` / ``misses`` /
+                          ``negative_hits`` / ``server_unreachable`` /
+                          ``server_rejections`` / ``inline_fallbacks`` /
+                          ``warm_started``; cache file ``cache_loaded`` /
+                          ``cache_persisted`` / ``cache_torn`` /
+                          ``cache_corrupt`` / ``cache_expired``; token
+                          negotiation ``tokens_absorbed`` / ``unresolved`` /
+                          ``meta_requests_sent`` / ``meta_requests_served`` /
+                          ``meta_requests_unknown`` / ``messages_held`` /
+                          ``messages_released``
+``relay.unresolved_tokens``  token announcements a relay forwarded without
+                          being able to resolve for its own filter registry
+``relay.requests_dropped``  MSG_FORMAT_REQUEST frames dropped by a one-way hub
 ========================  =====================================================
 
 Stage timings (``decode.parse``, ``decode.resolve``, ``decode.convert``)

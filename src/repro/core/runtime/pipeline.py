@@ -36,7 +36,14 @@ import struct
 
 from .. import encoder as enc
 from ..conversion import InterpretedConverter, build_plan, generate_converter
-from ..errors import ConversionError, FormatError, LimitError, MessageError, PbioError
+from ..errors import (
+    ConversionError,
+    FormatError,
+    LimitError,
+    MessageError,
+    PbioError,
+    TokenResolutionError,
+)
 from ..formats import IOFormat
 from ..matching import match_formats
 from ..registry import FormatRegistry
@@ -70,6 +77,7 @@ class DecodePipeline:
         "metrics",
         "pool",
         "limits",
+        "resolver",
         "_max_msg",
         "_memo",
     )
@@ -101,6 +109,10 @@ class DecodePipeline:
         self.cache = cache
         self.metrics = metrics if metrics is not None else Metrics()
         self.pool = pool if pool is not None else BufferPool()
+        #: Fingerprint resolver for token-only announcements — typically
+        #: a :meth:`repro.fmtserv.FormatService.resolve` bound method.
+        #: ``None`` means this pipeline cannot absorb tokens by itself.
+        self.resolver: Any = None
         # Lock-free per-pipeline front for the (possibly shared, locked)
         # cache: this pipeline's machine and conversion mode are fixed,
         # so (wire, native) fingerprints alone identify an entry.
@@ -187,6 +199,52 @@ class DecodePipeline:
         except PbioError:
             self.metrics.inc("decode.rejected")
             raise
+
+    def absorb_token(self, message) -> None:
+        """Register a token-only announcement, resolving the fingerprint.
+
+        Resolution goes through :attr:`resolver` (a format service's
+        cache ladder).  Failure raises
+        :class:`~repro.core.errors.TokenResolutionError`, counted as
+        ``fmtserv.unresolved`` — deliberately *not* ``decode.rejected``:
+        an unresolvable token is a cache/availability condition, not
+        hostile input, and duplex endpoints recover from it by asking
+        the announcer for inline meta.  Malformed token frames and quota
+        violations are protocol damage as usual.
+        """
+        try:
+            context_id, format_id, fingerprint, _token = enc.parse_token_message(message)
+        except PbioError:
+            self.metrics.inc("decode.rejected")
+            raise
+        if self.registry.knows_remote(context_id, format_id):
+            known = self.registry.remote_format(context_id, format_id)
+            if known.fingerprint == fingerprint:
+                return  # benign re-announcement (replays, reconnects)
+            self.metrics.inc("decode.rejected")
+            raise FormatError(
+                f"context {context_id:#010x} re-announced id {format_id} "
+                f"with a different fingerprint"
+            )
+        fmt = self.resolver(fingerprint) if self.resolver is not None else None
+        if fmt is None or fmt.fingerprint != fingerprint:
+            self.metrics.inc("fmtserv.unresolved")
+            raise TokenResolutionError(context_id, format_id, fingerprint)
+        try:
+            if (
+                self.limits is not None
+                and self.registry.remote_count(context_id)
+                >= self.limits.max_formats_per_peer
+            ):
+                raise LimitError(
+                    f"peer {context_id:#010x} exceeded max_formats_per_peer "
+                    f"({self.limits.max_formats_per_peer})"
+                )
+            self.registry.register_remote(context_id, format_id, fmt)
+        except PbioError:
+            self.metrics.inc("decode.rejected")
+            raise
+        self.metrics.inc("fmtserv.tokens_absorbed")
 
     # -- stage 3: converter resolution --------------------------------------
 
@@ -340,10 +398,19 @@ class DecodePipeline:
         except PbioError:
             self.metrics.inc("decode.rejected")
             raise
+        if msg_type == enc.MSG_DATA:
+            return self.decode(message)
         if msg_type == enc.MSG_FORMAT:
             self.absorb(message, context_id, format_id)
             return None
-        return self.decode(message)
+        if msg_type == enc.MSG_FORMAT_TOKEN:
+            self.absorb_token(message)
+            return None
+        # MSG_FORMAT_REQUEST: requests are addressed to a *sender* and
+        # handled by the negotiation layer; one reaching a bare decode
+        # path is mis-delivery.
+        self.metrics.inc("decode.rejected")
+        raise MessageError("format request outside a negotiated stream")
 
     def _run_converter(self, entry: CacheEntry, wire_fmt: IOFormat, payload, dst=None):
         """Run a cached converter, translating content-level explosions

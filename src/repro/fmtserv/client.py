@@ -1,0 +1,284 @@
+"""Format-service client: publish, resolve, warm-start — never required.
+
+The service wraps the resolution ladder every integration point uses:
+
+1. local :class:`FormatCache` (memory, then the persisted disk layer),
+2. the format server, under a :class:`~repro.net.faults.RetryPolicy`
+   and a server-down holdoff so a dead server costs one timed-out call
+   per holdoff window, not one per message,
+3. nothing — the caller falls back to inline announcements.
+
+Step 3 is load-bearing: the server improves steady-state wire bytes and
+cold-start latency but is *never* a hard dependency.  Every failure in
+steps 1–2 — unreachable server, faulted link, rejected registration —
+degrades to exactly the pre-service behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.abi import MachineDescription
+from repro.abi.machines import X86_64
+from repro.core.errors import PbioError
+from repro.core.formats import IOFormat
+from repro.core.registry import fresh_context_id
+from repro.core.rpc import RpcClient, RpcError
+from repro.core.runtime import Metrics
+from repro.core.safety import DEFAULT_LIMITS, DecodeLimits
+from repro.net.faults import RetryPolicy
+from repro.net.transport import Transport, TransportError
+
+from .cache import FormatCache
+from .protocol import FMTSERV_INTERFACE, FMTSERV_OBJECT, STATUS_OK
+
+
+class FormatService:
+    """One process's handle on the format service.
+
+    ``connect`` is a :class:`~repro.net.transport.Transport`, a
+    zero-argument callable producing one (re-dialled after failures), or
+    ``None`` for *offline mode*: cache-only, every server step skipped.
+    Offline mode is what an unconfigured system gets — it makes the
+    service safe to thread through constructors unconditionally.
+
+    ``server_retry_s`` is the down-holdoff: after a transport failure or
+    timeout the server is not contacted again until that much monotonic
+    time has passed (in between, callers fall straight through to inline
+    fallback).  ``clock``/``sleep`` are injectable for deterministic
+    fault sweeps.
+    """
+
+    def __init__(
+        self,
+        connect: Transport | Callable[[], Transport] | None = None,
+        *,
+        cache: FormatCache | None = None,
+        retry: RetryPolicy | None = None,
+        deadline_s: float = 2.0,
+        server_retry_s: float = 5.0,
+        machine: MachineDescription = X86_64,
+        limits: DecodeLimits | None = DEFAULT_LIMITS,
+        metrics: Metrics | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        client_id: int | None = None,
+    ):
+        self._connect = connect
+        self.cache = cache if cache is not None else FormatCache(limits=limits)
+        self.retry = (
+            retry
+            if retry is not None
+            else RetryPolicy(max_attempts=3, base_delay_s=0.01, max_delay_s=0.1)
+        )
+        self.deadline_s = deadline_s
+        self.server_retry_s = server_retry_s
+        self.limits = limits
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._clock = clock
+        self._sleep = sleep
+        self.client_id = client_id if client_id is not None else fresh_context_id()
+        self._rpc = RpcClient(machine, FMTSERV_INTERFACE, limits=limits)
+        # Anything with a send() is used as the connection directly (duck
+        # typing matches the rest of the net layer); otherwise `connect`
+        # is a dialer invoked lazily and after failures.
+        self._transport: Transport | None = (
+            connect if connect is not None and hasattr(connect, "send") else None
+        )
+        self._down_until: float | None = None
+
+    # -- server plumbing -----------------------------------------------------
+
+    @property
+    def online(self) -> bool:
+        """Whether a server call would be attempted right now."""
+        if self._connect is None:
+            return False
+        if self._down_until is not None and self._clock() < self._down_until:
+            return False
+        return True
+
+    def _transport_for_call(self) -> Transport:
+        if self._transport is None:
+            assert callable(self._connect)
+            self._transport = self._connect()
+        return self._transport
+
+    def _mark_down(self) -> None:
+        self.metrics.inc("fmtserv.server_unreachable")
+        self._down_until = self._clock() + self.server_retry_s
+        # Drop the (possibly wedged) connection; the next attempt after
+        # the holdoff re-dials from scratch.
+        if self._transport is not None and callable(self._connect):
+            try:
+                self._transport.close()
+            except Exception:
+                pass
+            self._transport = None
+
+    def _call(self, operation: str, request: dict) -> dict | None:
+        """One RPC to the server, or ``None`` if offline/down/faulted."""
+        if not self.online:
+            return None
+        try:
+            reply = self._rpc.invoke(
+                self._transport_for_call(),
+                FMTSERV_OBJECT,
+                operation,
+                request,
+                retry=self.retry,
+                deadline_s=self.deadline_s,
+                sleep=self._sleep,
+                clock=self._clock,
+            )
+        except (TransportError, RpcError):
+            # Link dead, retries exhausted, or deadline blown: hold off.
+            self._mark_down()
+            return None
+        except PbioError:
+            # The server (or an interposed fault) spoke garbage.  Treat
+            # like an outage: fall back rather than propagate — the
+            # format service must never take the data plane down.
+            self.metrics.inc("fmtserv.protocol_errors")
+            self._mark_down()
+            return None
+        self._down_until = None
+        return reply
+
+    # -- the client API ------------------------------------------------------
+
+    def publish(self, fmt: IOFormat) -> int | None:
+        """Register ``fmt`` with the server; the token, or ``None``.
+
+        ``None`` means "announce inline": offline, unreachable, or the
+        server rejected the registration (invalid/quota).  The result is
+        cached either way, so a writer asks the network at most once per
+        format per holdoff window.
+        """
+        cached = self.cache.token_for(fmt.fingerprint)
+        if cached is not None:
+            return cached
+        if self.cache.is_negative(fmt.fingerprint) and not self.online:
+            return None
+        meta = fmt.to_meta_bytes()
+        reply = self._call(
+            "register",
+            {
+                "client_id": self.client_id,
+                "fingerprint": fmt.fingerprint.hex(),
+                "meta": meta.hex(),
+            },
+        )
+        if reply is None:
+            return None
+        if reply["status"] != STATUS_OK:
+            self.metrics.inc("fmtserv.server_rejections")
+            self.cache.note_miss(fmt.fingerprint)
+            return None
+        token = reply["token"]
+        self.cache.put(meta, token=token)
+        self.metrics.inc("fmtserv.published")
+        return token
+
+    def resolve(self, fingerprint: bytes) -> IOFormat | None:
+        """Resolve a fingerprint through the cache ladder.
+
+        This is the resolver signature the decode pipeline calls when a
+        token announcement refers to a format the receiver has never
+        seen.  ``None`` tells the caller to use its next recovery step
+        (META_REQUEST back-channel, or surface
+        :class:`~repro.core.errors.TokenResolutionError`).
+        """
+        fingerprint = bytes(fingerprint)
+        fmt = self.cache.format_for(fingerprint)
+        if fmt is not None:
+            self.metrics.inc("fmtserv.hits")
+            return fmt
+        if self.cache.is_negative(fingerprint):
+            self.metrics.inc("fmtserv.negative_hits")
+            return None
+        reply = self._call("lookup", {"fingerprint": fingerprint.hex(), "token": 0})
+        if reply is None:
+            return None
+        if reply["status"] != STATUS_OK or not reply["meta"]:
+            self.cache.note_miss(fingerprint)
+            self.metrics.inc("fmtserv.misses")
+            return None
+        try:
+            meta = bytes.fromhex(reply["meta"])
+            entry = self.cache.put(meta, token=reply["token"] or None)
+        except (ValueError, PbioError):
+            # The server returned bytes that don't validate: treat as a
+            # miss, not an outage (the link works, the answer is bad).
+            self.metrics.inc("fmtserv.protocol_errors")
+            self.cache.note_miss(fingerprint)
+            return None
+        if entry.fingerprint != fingerprint:
+            self.metrics.inc("fmtserv.protocol_errors")
+            self.cache.note_miss(fingerprint)
+            return None
+        self.metrics.inc("fmtserv.misses_filled")
+        return self.cache.format_for(fingerprint)
+
+    def token_for(self, fingerprint: bytes) -> int | None:
+        return self.cache.token_for(bytes(fingerprint))
+
+    def note_inline_fallback(self) -> None:
+        """Count one announcement that went inline instead of by token."""
+        self.metrics.inc("fmtserv.inline_fallbacks")
+
+    # -- warm start ----------------------------------------------------------
+
+    def warm_start(self, ctx) -> int:
+        """Prime ``ctx``'s converter cache from the persisted formats.
+
+        For every cached format whose record name matches one of the
+        context's expected formats, the full decode plan (matching +
+        converter build) runs now, against the disk population — so the
+        first *real* message of a known format decodes on a warm cache
+        even in a freshly restarted process.  Returns the number of
+        converters primed.
+        """
+        expected = getattr(ctx, "_expected", {})
+        primed = 0
+        for fmt in self.cache.formats():
+            native = expected.get(fmt.name)
+            if native is None:
+                continue
+            try:
+                ctx.pipeline.entry_for(fmt, native)
+            except PbioError:
+                continue  # unmatchable pair: a real message would fail too
+            primed += 1
+        if primed:
+            self.metrics.inc("fmtserv.warm_started", primed)
+        return primed
+
+    def pull_all(self) -> int:
+        """Copy the server's whole population into the local cache
+        (the ``pbio-fmtserv prime`` operation).  Returns entries added."""
+        reply = self._call("list", {"max_entries": 0})
+        if reply is None:
+            return 0
+        added = 0
+        for row in reply["listing"].splitlines():
+            fp_hex = row.split(" ", 1)[0]
+            try:
+                fingerprint = bytes.fromhex(fp_hex)
+            except ValueError:
+                continue
+            if self.cache.get(fingerprint) is not None:
+                continue
+            if self.resolve(fingerprint) is not None:
+                added += 1
+        return added
+
+    def close(self) -> None:
+        if self._transport is not None and callable(self._connect):
+            try:
+                self._transport.close()
+            except Exception:
+                pass
+            self._transport = None
+        self.cache.close()

@@ -1,0 +1,93 @@
+"""Wire records of the format-service RPC interface.
+
+Self-hosting is the point: the format server's own request/reply
+records are PBIO formats, marshalled by the exact NDR machinery whose
+meta-information the server distributes.  The bootstrap is an inline
+announcement — the first call on a fresh connection ships these records'
+meta the old way — after which even the control plane could run on
+tokens.
+
+Binary values (fingerprints, meta blocks) ride in ``string`` fields as
+lowercase hex: PBIO strings are NUL-terminated, so raw bytes with
+embedded NULs cannot travel in them, and a fixed ``char`` array cannot
+hold the variable-length meta.  Hex doubles the control-plane bytes but
+the control plane is off the data path by construction.
+"""
+
+from __future__ import annotations
+
+from repro.abi import RecordSchema
+from repro.core.rpc import RpcInterface, RpcOperation
+
+#: Object key the server registers its servants under.
+FMTSERV_OBJECT = b"fmtserv"
+
+# Reply status codes (shared by register and lookup).
+STATUS_OK = 0  #: request satisfied
+STATUS_MISS = 1  #: lookup: no such fingerprint/token registered
+STATUS_INVALID = 2  #: register: meta failed validation (bad hex, bad parse, fingerprint mismatch)
+STATUS_QUOTA = 3  #: register: client exceeded its per-client format quota
+
+REGISTER_REQUEST = RecordSchema.from_pairs(
+    "fmtserv_register_req",
+    [
+        ("client_id", "unsigned int"),
+        ("fingerprint", "string"),  # 40 hex chars
+        ("meta", "string"),  # full meta block, hex
+    ],
+)
+REGISTER_REPLY = RecordSchema.from_pairs(
+    "fmtserv_register_rep",
+    [
+        ("status", "int"),
+        ("token", "unsigned long long"),
+    ],
+)
+
+LOOKUP_REQUEST = RecordSchema.from_pairs(
+    "fmtserv_lookup_req",
+    [
+        ("fingerprint", "string"),  # hex, empty when looking up by token
+        ("token", "unsigned long long"),  # 0 when looking up by fingerprint
+    ],
+)
+LOOKUP_REPLY = RecordSchema.from_pairs(
+    "fmtserv_lookup_rep",
+    [
+        ("status", "int"),
+        ("token", "unsigned long long"),
+        ("meta", "string"),  # hex, empty on miss
+    ],
+)
+
+LIST_REQUEST = RecordSchema.from_pairs(
+    "fmtserv_list_req",
+    [("max_entries", "int")],  # <= 0 means "all"
+)
+LIST_REPLY = RecordSchema.from_pairs(
+    "fmtserv_list_rep",
+    [
+        ("count", "int"),
+        # newline-separated "fingerprint_hex token name record_size" rows
+        ("listing", "string"),
+    ],
+)
+
+PURGE_REQUEST = RecordSchema.from_pairs(
+    "fmtserv_purge_req",
+    [("fingerprint", "string")],  # hex; empty purges everything
+)
+PURGE_REPLY = RecordSchema.from_pairs(
+    "fmtserv_purge_rep",
+    [("removed", "int")],
+)
+
+FMTSERV_INTERFACE = RpcInterface(
+    "FormatService",
+    [
+        RpcOperation("register", REGISTER_REQUEST, REGISTER_REPLY),
+        RpcOperation("lookup", LOOKUP_REQUEST, LOOKUP_REPLY),
+        RpcOperation("list", LIST_REQUEST, LIST_REPLY),
+        RpcOperation("purge", PURGE_REQUEST, PURGE_REPLY),
+    ],
+)

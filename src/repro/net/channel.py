@@ -33,7 +33,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.core.context import FormatHandle, IOContext
-from repro.core.errors import PbioError
+from repro.core.errors import PbioError, TokenResolutionError
 from repro.core.filters import RecordFilter
 from repro.core.runtime import ConverterCache, Metrics, SubscriberStats
 from repro.core import encoder as enc
@@ -78,6 +78,17 @@ class Subscription:
         if msg_type == enc.MSG_FORMAT:
             self.ctx.receive(message)
             return
+        if msg_type == enc.MSG_FORMAT_TOKEN:
+            try:
+                self.ctx.receive(message)
+            except TokenResolutionError:
+                # No service (or a cold one) on this subscriber: the
+                # publisher's fallback re-announces inline channel-wide.
+                self.metrics.inc("unresolved_tokens")
+                raise
+            return
+        if msg_type == enc.MSG_FORMAT_REQUEST:
+            return  # point-to-point recovery traffic; meaningless in-channel
         if self.format_name is not None:
             try:
                 fmt = self.ctx.registry.remote_format(context_id, format_id)
@@ -113,15 +124,26 @@ class EventChannel:
     this channel.
     """
 
-    def __init__(self, *, cache: ConverterCache | None = None) -> None:
+    def __init__(
+        self, *, cache: ConverterCache | None = None, format_service=None
+    ) -> None:
         self._subscribers: list[Subscription] = []
         self._announcements: list[bytes] = []  # replayed to late joiners
         self._cache = cache
+        #: Channel-wide format service: attached to every publisher and
+        #: subscriber context, so token announcements published here are
+        #: always resolvable from the shared cache (the in-process
+        #: analogue of "every peer talks to the same format server").
+        self._format_service = format_service
         self.messages_published = 0
 
     @property
     def cache(self) -> ConverterCache | None:
         return self._cache
+
+    @property
+    def format_service(self):
+        return self._format_service
 
     # -- subscribing ---------------------------------------------------------
 
@@ -145,6 +167,8 @@ class EventChannel:
         """
         if self._cache is not None:
             ctx.use_cache(self._cache)
+        if self._format_service is not None and ctx.format_service is None:
+            ctx.use_format_service(self._format_service)
         sub = Subscription(
             ctx, handler, format_name=format_name, filter_expr=filter_expr, on_error=on_error
         )
@@ -166,7 +190,7 @@ class EventChannel:
         return ChannelPublisher(self, ctx)
 
     def _publish_message(self, message: bytes) -> None:
-        if enc.message_kind(message) == enc.MSG_FORMAT:
+        if enc.message_kind(message) in (enc.MSG_FORMAT, enc.MSG_FORMAT_TOKEN):
             self._announcements.append(message)
         else:
             self.messages_published += 1
@@ -191,18 +215,45 @@ class EventChannel:
 
 
 class ChannelPublisher:
-    """Publishing endpoint bound to one IOContext."""
+    """Publishing endpoint bound to one IOContext.
+
+    On a channel with a format service, announcements go out as tokens;
+    if any ``"raise"``-policy subscriber cannot resolve one (its own
+    service is cold and the server unreachable), the publisher falls
+    back channel-wide: the token message is withdrawn from the replay
+    list and a classic inline announcement is published instead, so
+    both current subscribers and late joiners decode identically.
+    """
 
     def __init__(self, channel: EventChannel, ctx: IOContext):
         self.channel = channel
         self.ctx = ctx
+        if channel._format_service is not None and ctx.format_service is None:
+            ctx.use_format_service(channel._format_service)
         self._announced: set[int] = set()
 
     def publish_native(self, handle: FormatHandle, native) -> None:
         if handle.format_id not in self._announced:
-            self.channel._publish_message(self.ctx.announce(handle))
+            self._announce(handle)
             self._announced.add(handle.format_id)
         self.channel._publish_message(self.ctx.encode_native(handle, native))
+
+    def _announce(self, handle: FormatHandle) -> None:
+        # Token announcements only on a channel-coordinated service:
+        # subscribers share its cache, so resolution is local and cheap.
+        if self.channel._format_service is None or self.ctx.format_service is None:
+            self.channel._publish_message(self.ctx.announce(handle))
+            return
+        message = self.ctx.announce_compact(handle)
+        try:
+            self.channel._publish_message(message)
+        except TokenResolutionError:
+            try:
+                self.channel._announcements.remove(message)
+            except ValueError:
+                pass
+            self.ctx.format_service.note_inline_fallback()
+            self.channel._publish_message(self.ctx.announce(handle))
 
     def publish(self, handle: FormatHandle, record: dict[str, Any]) -> None:
         self.publish_native(handle, handle.codec.encode(record))

@@ -50,6 +50,7 @@ _HEADER_SIZE = enc.HEADER_SIZE
 _MAGIC = enc.MAGIC
 _VERSION = enc.VERSION
 _MSG_FORMAT = enc.MSG_FORMAT
+_MSG_FORMAT_TOKEN = enc.MSG_FORMAT_TOKEN
 
 
 @dataclass(frozen=True)
@@ -317,6 +318,11 @@ class ReconnectingTransport(Transport):
         self.metrics = metrics or Metrics()
         self._announced: list[bytes] = []
         self._announced_set: set[bytes] = set()
+        #: Incarnation counter: bumped on every successful re-dial.
+        #: Protocol layers key per-link state (announcement dedup, RPC
+        #: negotiators) by ``(transport_token, generation)`` so a fresh
+        #: link is never mistaken for the one that died.
+        self.generation = 0
         self._timeout_s: float | None = None
         self._transport = self._checked_dial()
         # Bound-method caches for the happy path (refreshed on reconnect).
@@ -349,6 +355,7 @@ class ReconnectingTransport(Transport):
         self._transport = self._checked_dial()
         self._inner_send = self._transport.send
         self._inner_recv = self._transport.recv
+        self.generation += 1
         self.metrics.inc("reconnects")
         for announcement in self._announced:
             self._transport.send(announcement)
@@ -367,7 +374,7 @@ class ReconnectingTransport(Transport):
         # two checks: byte 2 is MSG_DATA for everything but announcements.
         if (
             len(payload) >= _HEADER_SIZE
-            and payload[2] == _MSG_FORMAT
+            and (payload[2] == _MSG_FORMAT or payload[2] == _MSG_FORMAT_TOKEN)
             and payload[0] == _MAGIC
             and payload[1] == _VERSION
         ):

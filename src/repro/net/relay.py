@@ -29,7 +29,7 @@ from typing import Callable
 from repro.abi import X86_64
 from repro.core import encoder as enc
 from repro.core.context import IOContext
-from repro.core.errors import PbioError
+from repro.core.errors import PbioError, TokenResolutionError
 from repro.core.filters import RecordFilter
 from repro.core.runtime import ConverterCache, DownstreamStats, Metrics
 from repro.core.safety import DEFAULT_LIMITS, DecodeLimits
@@ -72,6 +72,7 @@ class Relay:
         quarantine_after: int = 3,
         on_error: Callable[[_Downstream, TransportError], None] | None = None,
         limits: DecodeLimits | None = DEFAULT_LIMITS,
+        format_service=None,
     ) -> None:
         if quarantine_after < 1:
             raise ValueError("quarantine_after must be >= 1")
@@ -79,7 +80,11 @@ class Relay:
         # filter compilation; records are never decoded to its layouts.
         # A shared cache is accepted anyway so filter-free relays embedded
         # in larger topologies can participate in channel-wide sharing.
-        self.ctx = IOContext(X86_64, cache=cache, limits=limits)
+        # A format service lets the relay resolve token announcements for
+        # its *own* registry (filters); forwarding never needs one.
+        self.ctx = IOContext(
+            X86_64, cache=cache, limits=limits, format_service=format_service
+        )
         self.limits = limits
         self.quarantine_after = quarantine_after
         self.on_error = on_error
@@ -171,6 +176,29 @@ class Relay:
             self._announcements.append(bytes(message))
             for downstream in self._downstreams:
                 self._send(downstream, message, "announcements")
+            return
+        if kind == enc.MSG_FORMAT_TOKEN:
+            # The relay's key property: tokens forward *verbatim* — meta
+            # is never re-expanded in the middle of the network.  The
+            # relay absorbs the token for its own registry if it can
+            # (filters need it); an unresolvable token only degrades
+            # filtering on that format, never forwarding.
+            try:
+                self.ctx.receive(message)
+            except TokenResolutionError:
+                self.metrics.inc("relay.unresolved_tokens")
+            except PbioError:  # malformed/quota-busting token frame
+                self.metrics.inc("relay.rejected")
+                return
+            self._announcements.append(bytes(message))
+            for downstream in self._downstreams:
+                self._send(downstream, message, "announcements")
+            return
+        if kind == enc.MSG_FORMAT_REQUEST:
+            # Meta requests flow toward a *sender*; a one-way fan-out hub
+            # has no route back, so the request is dropped (the requester
+            # recovers by other means or times out holding).
+            self.metrics.inc("relay.requests_dropped")
             return
         if enc.unpack_header(message)[3] != len(message) - enc.HEADER_SIZE:
             self.metrics.inc("relay.rejected")  # torn/padded data frame

@@ -6,10 +6,13 @@
   PBIO file: formats, records, hex payloads.
 * ``pbio-fsck`` (:mod:`repro.tools.fsck_tool`) — verify a PBIO file's
   per-record CRCs, report damage, repair or truncate.
+* ``pbio-fmtserv`` (:mod:`repro.tools.fmtserv_tool`) — run a format
+  server; list, prime and purge format caches.
 """
 
 from .layout_tool import main as layout_main
 from .dump_tool import main as dump_main
 from .fsck_tool import main as fsck_main
+from .fmtserv_tool import main as fmtserv_main
 
-__all__ = ["layout_main", "dump_main", "fsck_main"]
+__all__ = ["layout_main", "dump_main", "fsck_main", "fmtserv_main"]

@@ -69,7 +69,7 @@ class TestRpc:
         for i in range(4):
             client.invoke(transport, b"calc", "add", {"a": float(i), "b": 1.0})
         # one request-format announcement total (per transport)
-        assert len(client._announced) == 1
+        assert len(client._announcer._sent) == 1
         # and the server generated exactly one converter for add_req
         # (cached across calls)
 

@@ -1,0 +1,94 @@
+"""The pbio-fmtserv command-line tool."""
+
+import os
+import re
+import socket
+import subprocess
+import sys
+
+import pytest
+
+from repro.abi import X86_64, RecordSchema, layout_record
+from repro.core import IOFormat
+from repro.fmtserv import FormatCache
+from repro.tools.fmtserv_tool import main
+
+TELEMETRY = RecordSchema.from_pairs(
+    "telemetry", [("unit", "int"), ("temperature", "double")]
+)
+
+
+def make_cache_file(path: str) -> IOFormat:
+    fmt = IOFormat.from_layout(layout_record(TELEMETRY, X86_64))
+    with FormatCache(path) as cache:
+        cache.put(fmt.to_meta_bytes(), token=5)
+    return fmt
+
+
+class TestCacheCommands:
+    def test_ls_cache_file(self, tmp_path, capsys):
+        path = str(tmp_path / "local.pbfc")
+        fmt = make_cache_file(path)
+        assert main(["ls", "--cache", path]) == 0
+        out = capsys.readouterr().out
+        assert fmt.fingerprint.hex() in out
+        assert "telemetry" in out and "1 format(s)" in out
+
+    def test_purge_cache_file(self, tmp_path, capsys):
+        path = str(tmp_path / "local.pbfc")
+        fmt = make_cache_file(path)
+        assert main(["purge", "--cache", path, "--fingerprint", fmt.fingerprint.hex()]) == 0
+        assert "purged 1" in capsys.readouterr().out
+        assert main(["ls", "--cache", path]) == 0
+        assert "0 format(s)" in capsys.readouterr().out
+        # purging a named fingerprint that is absent fails loudly
+        assert main(["purge", "--cache", path, "--fingerprint", "ab" * 20]) == 1
+        assert main(["purge", "--cache", path, "--fingerprint", "not-hex"]) == 2
+
+    def test_unreachable_server_fails_cleanly(self, capsys):
+        # a port nothing listens on: bind-then-close guarantees it is dead
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(["ls", "--server", f"127.0.0.1:{port}"]) in (1, 2)
+
+
+@pytest.mark.integration
+class TestServeOverSockets:
+    def test_serve_prime_ls_round_trip(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        store = str(tmp_path / "server.pbfc")
+        make_cache_file(store)  # pre-populate the server's store
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "from repro.tools.fmtserv_tool import main; import sys;"
+                "sys.exit(main(sys.argv[1:]))",
+                "serve",
+                "--port",
+                "0",
+                "--store",
+                store,
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.match(r"listening on (\S+):(\d+)", line)
+            assert match, f"no listen line: {line!r}"
+            endpoint = f"{match.group(1)}:{match.group(2)}"
+            primed = str(tmp_path / "primed.pbfc")
+            assert main(["prime", "--server", endpoint, "--cache", primed]) == 0
+            with FormatCache(primed) as cache:
+                assert len(cache) == 1
+                assert cache.entries()[0].token == 5  # binding preserved
+            assert main(["ls", "--server", endpoint, "--max", "10"]) == 0
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -644,7 +644,7 @@ class TestRpcRetryAndDedup:
         client.invoke(loop, b"calc", "add", {"a": 1.0, "b": 1.0})
         loop2 = _FlakyLoop(server, seed=CHAOS_SEED, loss_rate=0.0)
         client.invoke(loop2, b"calc", "add", {"a": 2.0, "b": 1.0})
-        assert len(client._announced) == 2  # one announcement per transport
+        assert len(client._announcer._sent) == 2  # one announcement per transport
         tokens = {transport_token(loop), transport_token(loop2)}
         assert len(tokens) == 2
 
