@@ -1,0 +1,142 @@
+"""Record-batch fast path: batched stream throughput vs the per-message loop.
+
+The paper's applications stream *runs* of same-format records
+(monitoring feeds, visualization frames).  The per-message path pays
+fixed costs per record — header parse, registry lookup, converter
+dispatch, one transport call per frame.  The batch path amortizes all
+four: one ``send_many``/``recv_many`` pair per burst and one columnar
+converter call per same-format run (see ``repro.core.conversion.batch``).
+
+Workload: the 32 x 1kb mechanical-record stream of
+``bench_stream_throughput.py``, SPARC -> x86, pre-encoded on the sender
+side (the paper's protocol: data "is assumed to exist in binary format
+prior to transmission") and delivered in the receiver's native layout
+(the paper's receive contract, and what ``measure_decode_ms`` times for
+every other system).
+
+Gates (run in CI bench-smoke):
+
+* the batch path must beat the per-message loop by at least
+  ``PBIO_BENCH_BATCH_MIN`` x (default 2) in records/second;
+* the scalar per-message path must not have regressed vs the seed:
+  the seed's measured ordering (PBIO faster than MPICH on this exact
+  workload, asserted since ``bench_stream_throughput.py`` landed) must
+  still hold for the scalar loop running through the batch-capable
+  pipeline.
+"""
+
+import os
+
+import pytest
+
+import support
+from repro.abi import codec_for, layout_record
+from repro.core import IOContext
+from repro.net import InMemoryPipe, best_of
+from repro.wire import MpiWire
+from repro.workloads import mechanical
+from repro.workloads.generators import record_stream
+
+N_RECORDS = 32
+SIZE = "1kb"
+
+
+def _batch_min() -> float:
+    override = os.environ.get("PBIO_BENCH_BATCH_MIN")
+    return float(override) if override else 2.0
+
+
+def _repeats() -> int:
+    return max(support.default_repeats(), 5)
+
+
+@pytest.fixture(scope="module")
+def batch_setup():
+    schema = mechanical.schema_for_size(SIZE)
+    codec = codec_for(layout_record(schema, support.SPARC))
+    natives = [
+        codec.encode(r) for r in record_stream(schema, count=N_RECORDS, seed=3)
+    ]
+    sender = IOContext(support.SPARC)
+    receiver = IOContext(support.I86, conversion="dcg")
+    handle = sender.register_format(schema)
+    receiver.expect(schema)
+    receiver.receive(sender.announce(handle))
+    frames = [sender.encode_native(handle, native) for native in natives]
+    receiver.pipeline.decode_batch_native(frames)  # warm converters + batch plan
+    return schema, natives, frames, receiver
+
+
+def _loop_pump(frames, receiver):
+    """The seed-era path: one transport call and one decode per record."""
+    pipe = InMemoryPipe()
+    for frame in frames:
+        pipe.a.send(frame)
+    for _ in frames:
+        receiver.pipeline.decode_native(pipe.b.recv())
+
+
+def _batch_pump(frames, receiver):
+    """The fast path: one vectored send, one drain, one batch decode."""
+    pipe = InMemoryPipe()
+    pipe.a.send_many(frames)
+    receiver.pipeline.decode_batch_native(pipe.b.recv_many())
+
+
+def test_per_message_stream(benchmark, batch_setup):
+    _, _, frames, receiver = batch_setup
+    benchmark.group = f"batched stream ({N_RECORDS} x {SIZE})"
+    benchmark(_loop_pump, frames, receiver)
+
+
+def test_batched_stream(benchmark, batch_setup):
+    _, _, frames, receiver = batch_setup
+    benchmark.group = f"batched stream ({N_RECORDS} x {SIZE})"
+    benchmark(_batch_pump, frames, receiver)
+
+
+def test_shape_batch_beats_per_message_loop(batch_setup):
+    """ISSUE 5 acceptance gate: >= 2x records/sec on the 32 x 1kb stream."""
+    _, _, frames, receiver = batch_setup
+    t_loop = best_of(lambda: _loop_pump(frames, receiver), repeats=_repeats())
+    t_batch = best_of(lambda: _batch_pump(frames, receiver), repeats=_repeats())
+    speedup = t_loop / t_batch
+    floor = _batch_min()
+    assert speedup >= floor, (
+        f"batch path only {speedup:.2f}x over the per-message loop "
+        f"(gate: {floor:.1f}x; loop {N_RECORDS / t_loop:,.0f} rec/s, "
+        f"batch {N_RECORDS / t_batch:,.0f} rec/s)"
+    )
+
+
+def test_shape_scalar_path_not_regressed(batch_setup):
+    """The batch machinery must not tax the scalar loop: the seed's
+    throughput ordering (PBIO beats MPICH on this workload) still holds
+    when every record goes through the per-message path one at a time."""
+    schema, natives, frames, receiver = batch_setup
+    src = layout_record(schema, support.SPARC)
+    dst = layout_record(schema, support.I86)
+    mpi = MpiWire().bind(src, dst)
+    mpi_frames = [mpi.encode(native) for native in natives]
+    mpi.decode(mpi_frames[0])  # warm
+
+    def mpi_pump():
+        pipe = InMemoryPipe()
+        for frame in mpi_frames:
+            pipe.a.send(frame)
+        for _ in mpi_frames:
+            mpi.decode(pipe.b.recv())
+
+    t_scalar = best_of(lambda: _loop_pump(frames, receiver), repeats=_repeats())
+    t_mpi = best_of(mpi_pump, repeats=_repeats())
+    assert t_scalar < t_mpi, (
+        f"scalar PBIO loop regressed: {N_RECORDS / t_scalar:,.0f} rec/s vs "
+        f"MPICH {N_RECORDS / t_mpi:,.0f} rec/s (seed ordering: PBIO faster)"
+    )
+
+
+def test_shape_batch_is_byte_identical(batch_setup):
+    """The gate only counts if the fast path returns the same bytes."""
+    _, _, frames, receiver = batch_setup
+    sequential = [receiver.pipeline.decode_native(frame) for frame in frames]
+    assert receiver.pipeline.decode_batch_native(frames) == sequential

@@ -30,6 +30,7 @@ from typing import Any
 
 from repro.net.transport import Transport
 
+from . import encoder as enc
 from .context import FormatHandle, IOContext
 from .negotiation import Announcer, InboundNegotiator
 
@@ -60,6 +61,25 @@ class PbioConnection:
         """Send a value dict (encodes to native form first)."""
         self.send_native(handle, handle.codec.encode(record))
 
+    def send_batch_native(self, handle: FormatHandle, natives) -> None:
+        """Send many native-form records as one vectored transport burst.
+
+        The announcement (when still owed to this link) travels in the
+        same burst, ahead of the data frames; on a socket transport the
+        whole batch is a handful of ``sendmsg`` calls instead of N
+        ``sendall`` round trips through the kernel.
+        """
+        self._negotiator.pump(self.transport)
+        frames = self._announcer.pending_announcements(self.transport, handle)
+        cid, fid = self.ctx.context_id, handle.format_id
+        frames.extend(enc.encode_data_message(cid, fid, n) for n in natives)
+        self.transport.send_many(frames)
+
+    def send_batch(self, handle: FormatHandle, records) -> None:
+        """Send many value dicts as one vectored transport burst."""
+        codec = handle.codec
+        self.send_batch_native(handle, [codec.encode(r) for r in records])
+
     # -- receiving ------------------------------------------------------------
 
     def recv_message(self) -> bytes:
@@ -70,19 +90,56 @@ class PbioConnection:
         whose meta is still in flight are held and returned (in order)
         once it arrives.
         """
-        message = self._negotiator.next_ready()
-        while message is None:
-            message = self._negotiator.filter(self.transport.recv())
+        message, _ = self._recv_parsed()
         return message
+
+    def _recv_parsed(self) -> tuple[bytes, tuple | None]:
+        """Next data message plus its already-parsed header (when the
+        steady-state fast path produced one — threading it into the
+        pipeline makes each frame's header validate exactly once)."""
+        message = self._negotiator.next_ready()
+        header = None
+        while message is None:
+            message, header = self._negotiator.filter_parsed(self.transport.recv())
+        return message, header
 
     def recv(self) -> dict[str, Any]:
         """Receive and decode the next record to a dict."""
-        return self.ctx.decode(self.recv_message())
+        message, header = self._recv_parsed()
+        return self.ctx.pipeline.decode(message, header=header)
 
     def recv_view(self):
         """Receive and decode the next record to a (possibly zero-copy)
         :class:`~repro.abi.views.RecordView`."""
-        return self.ctx.decode_view(self.recv_message())
+        message, header = self._recv_parsed()
+        return self.ctx.pipeline.decode_view(message, header=header)
+
+    def recv_batch(self, max_frames: int = 0, *, on_error: str = "raise") -> list:
+        """Receive a burst of records in one pass.
+
+        Blocks for the first frame, then drains everything the transport
+        already has buffered (``recv_many``), runs announcements through
+        the negotiator, and decodes the resulting data messages with the
+        batch pipeline — consecutive same-format frames share one
+        columnar conversion.  Returns the decoded dicts in arrival order
+        (``on_error="skip"`` leaves a ``None`` per rejected frame).
+        """
+        messages: list[bytes] = []
+
+        def drain_ready() -> None:
+            while max_frames <= 0 or len(messages) < max_frames:
+                m = self._negotiator.next_ready()
+                if m is None:
+                    return
+                messages.append(m)
+
+        drain_ready()
+        while not messages:
+            for frame in self.transport.recv_many(max_frames):
+                self._negotiator.offer(frame)
+            drain_ready()
+        results = self.ctx.pipeline.decode_batch(messages, on_error=on_error)
+        return results
 
     def poll(self) -> None:
         """Drain frames available right now without blocking.

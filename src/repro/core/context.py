@@ -201,6 +201,20 @@ class IOContext:
         in-memory struct) and wrap it in a data message."""
         return self.encode_native(handle, handle.codec.encode(record))
 
+    def write_batch(self, handle: FormatHandle, records) -> list[bytes]:
+        """Encode many value dicts into data messages in one call.
+
+        The encoded frames are what a ``send_many``-capable transport
+        coalesces into one vectored syscall, and what a receiver's
+        :meth:`read_batch` decodes with one batch-converter pass.
+        """
+        cid, fid = self.context_id, handle.format_id
+        codec = handle.codec
+        return [
+            enc.encode_data_message(cid, fid, codec.encode(record))
+            for record in records
+        ]
+
     # -- reader side ----------------------------------------------------------
 
     def expect(self, schema: RecordSchema) -> IOFormat:
@@ -239,6 +253,17 @@ class IOContext:
     def decode(self, message) -> dict[str, Any]:
         """Decode to a value dict (fully materialized)."""
         return self.pipeline.decode(message)
+
+    def read_batch(self, messages, *, on_error: str = "raise") -> list:
+        """Process many incoming messages in one pass.
+
+        Announcements are absorbed in order (their result slots are
+        ``None``); consecutive same-format data messages share one
+        columnar conversion.  Results are identical to looping
+        :meth:`receive`.  ``on_error="skip"`` confines a rejection to its
+        own frame (slot stays ``None``) instead of raising.
+        """
+        return self.pipeline.decode_batch(messages, on_error=on_error)
 
     def converter_sources(self, format_name: str | None = None) -> dict[str, str]:
         """Inspect the conversion code available to this context.

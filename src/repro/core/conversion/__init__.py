@@ -3,6 +3,7 @@ dynamic code generation (Python and vcode backends)."""
 
 from .plan import ConversionPlan, ConvOp, OpKind, build_plan
 from .interpreted import InterpretedConverter
+from .batch import BatchConverter, build_batch_converter
 from .codegen import (
     GeneratedConverter,
     generate_converter,
@@ -17,6 +18,8 @@ __all__ = [
     "OpKind",
     "build_plan",
     "InterpretedConverter",
+    "BatchConverter",
+    "build_batch_converter",
     "GeneratedConverter",
     "generate_converter",
     "generate_python_converter",

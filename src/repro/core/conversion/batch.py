@@ -1,0 +1,168 @@
+"""Columnar batch conversion: N same-format records in one pass.
+
+The scalar DCG converter already amortizes per-*field* dispatch into
+per-*run* operations; a stream of same-format records still pays one
+Python call, one destination allocation and one op-loop per record.
+:class:`BatchConverter` lifts the whole plan one axis higher: the N
+concatenated payloads are viewed as a ``(n, src_size)`` uint8 matrix,
+and every plan op becomes a strided *column* operation — a 2-D slice
+copy for COPY/CHARS, a ``view(dtype).astype(dtype)`` for element runs —
+so the per-record cost is pure C loop, whatever N is.
+
+Byte-identity with the scalar converter is load-bearing (the batch
+decode path must be indistinguishable from a per-message loop), so the
+lifting is deliberately conservative:
+
+* ``STRING`` plans (variable-size output) and VAX float plans are not
+  expressible as fixed-stride columns — :func:`build_batch_converter`
+  returns ``None`` and callers loop the scalar converter;
+* ``CVT_FLOAT_INT`` is excluded even though numpy could express it: the
+  scalar short-run lowering is ``int(v) & mask`` (raises on NaN/inf,
+  truncates toward zero), while ``astype`` semantics for out-of-range
+  floats are platform-defined — close enough to be tempting, different
+  enough to break byte-identity on hostile input;
+* everything else (COPY, CHARS, ZERO, SWAP, CVT_INT, CVT_FLOAT,
+  CVT_INT_FLOAT) has provably identical struct/numpy semantics —
+  ``test_shape_both_lowerings_agree`` in the threshold ablation and the
+  batch property suite pin this down.
+
+Column views are legal because a ``(n, src_size)`` slice ``[:, a:b]``
+keeps the last axis contiguous (stride 1), which is all
+``ndarray.view(dtype)`` requires; ``astype`` then handles the
+byte-order/size/kind change for all rows at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abi import PrimKind
+
+from .plan import ConversionPlan, OpKind
+from .vectorized import np_dtype
+
+_U8 = np.dtype(np.uint8)
+
+#: Op kinds the columnar lifting expresses (see module docstring for
+#: why CVT_FLOAT_INT and STRING are deliberately absent).
+_LIFTABLE = frozenset(
+    {
+        OpKind.COPY,
+        OpKind.CHARS,
+        OpKind.ZERO,
+        OpKind.SWAP,
+        OpKind.CVT_INT,
+        OpKind.CVT_FLOAT,
+        OpKind.CVT_INT_FLOAT,
+    }
+)
+
+
+class BatchConverter:
+    """Converts N concatenated same-format payloads with strided numpy ops.
+
+    Build via :func:`build_batch_converter` (which vets the plan); call
+    :meth:`convert` with the concatenated source payloads.  The result
+    is the concatenation of the N converted records — byte-identical to
+    running the scalar converter N times and joining the outputs.
+    """
+
+    __slots__ = ("src_size", "dst_size", "_copies", "_elems")
+
+    def __init__(self, plan: ConversionPlan, copies, elems):
+        self.src_size = plan.wire.record_size
+        self.dst_size = plan.native.record_size
+        #: byte-column moves: (dst_lo, dst_hi, src_lo, src_hi)
+        self._copies = copies
+        #: element-column converts: (dst_lo, dst_hi, src_lo, src_hi, sdt, ddt)
+        self._elems = elems
+
+    def convert(self, concat, n: int) -> bytes:
+        """Convert ``n`` records packed back to back in ``concat``.
+
+        ``concat`` must be exactly ``n * src_size`` bytes (callers
+        validate frame lengths before concatenating).
+        """
+        if n == 0:
+            return b""
+        src = np.frombuffer(concat, _U8).reshape(n, self.src_size)
+        dst = np.zeros((n, self.dst_size), _U8)
+        for d0, d1, s0, s1 in self._copies:
+            dst[:, d0:d1] = src[:, s0:s1]
+        with np.errstate(over="ignore", invalid="ignore"):
+            for d0, d1, s0, s1, sdt, ddt in self._elems:
+                dst[:, d0:d1] = (
+                    src[:, s0:s1].view(sdt).astype(ddt).view(_U8)
+                )
+        return dst.tobytes()
+
+    def convert_many(self, payloads) -> list[bytes]:
+        """Convenience: convert a list of payloads, one output per input."""
+        blob = self.convert(b"".join(bytes(p) for p in payloads), len(payloads))
+        d = self.dst_size
+        return [blob[i * d : (i + 1) * d] for i in range(len(payloads))]
+
+
+def _op_dtypes(op, plan: ConversionPlan):
+    """(src dtype, dst dtype) for one liftable element op, or None."""
+    se, de = plan.src_endian, plan.dst_endian
+    k = op.kind
+    if k is OpKind.SWAP:
+        # The scalar lowering swaps through unsigned codes whatever the
+        # element kind — raw byte reversal, bit-pattern preserving.
+        return (
+            np_dtype(se, PrimKind.UNSIGNED, op.src_size),
+            np_dtype(de, PrimKind.UNSIGNED, op.dst_size),
+        )
+    if k is OpKind.CVT_INT:
+        kind = PrimKind.INTEGER if op.signed else PrimKind.UNSIGNED
+        return (np_dtype(se, kind, op.src_size), np_dtype(de, kind, op.dst_size))
+    if k is OpKind.CVT_FLOAT:
+        return (
+            np_dtype(se, PrimKind.FLOAT, op.src_size),
+            np_dtype(de, PrimKind.FLOAT, op.dst_size),
+        )
+    if k is OpKind.CVT_INT_FLOAT:
+        kind = PrimKind.INTEGER if op.signed else PrimKind.UNSIGNED
+        return (
+            np_dtype(se, kind, op.src_size),
+            np_dtype(de, PrimKind.FLOAT, op.dst_size),
+        )
+    return None
+
+
+def build_batch_converter(plan: ConversionPlan) -> BatchConverter | None:
+    """A :class:`BatchConverter` for ``plan``, or ``None`` if the plan is
+    not expressible as fixed-stride column operations (strings, VAX
+    floats, float->int casts) — callers then loop the scalar converter."""
+    if plan.has_strings or plan.has_vax_floats:
+        return None
+    copies: list[tuple[int, int, int, int]] = []
+    elems: list[tuple] = []
+    for op in plan.ops:
+        if op.kind not in _LIFTABLE:
+            return None
+        if op.kind is OpKind.ZERO:
+            continue  # destination matrix is freshly zeroed
+        if op.kind is OpKind.COPY:
+            copies.append((op.dst_off, op.dst_off + op.dst_size, op.src_off, op.src_off + op.src_size))
+            continue
+        if op.kind is OpKind.CHARS:
+            m = min(op.src_size, op.dst_size)
+            copies.append((op.dst_off, op.dst_off + m, op.src_off, op.src_off + m))
+            continue
+        dtypes = _op_dtypes(op, plan)
+        if dtypes is None or dtypes[0] is None or dtypes[1] is None:
+            return None
+        sdt, ddt = dtypes
+        elems.append(
+            (
+                op.dst_off,
+                op.dst_off + op.dst_size * op.count,
+                op.src_off,
+                op.src_off + op.src_size * op.count,
+                sdt,
+                ddt,
+            )
+        )
+    return BatchConverter(plan, tuple(copies), tuple(elems))

@@ -94,6 +94,21 @@ def is_pbio_message(message) -> bool:
     return try_message_type(message) is not None
 
 
+def try_unpack_header(message) -> tuple[int, int, int, int] | None:
+    """Full parsed header, or ``None`` for foreign/malformed frames.
+
+    The non-raising twin of :func:`unpack_header`, for paths that sniff
+    *and* need the ids: parsing once here and threading the tuple through
+    (``DecodePipeline.open_data(header=...)``) means a steady-state data
+    frame validates its 16 bytes exactly once end to end.
+    """
+    if len(message) < HEADER_SIZE:
+        return None
+    if message[0] != MAGIC or message[1] != VERSION or message[2] not in _MSG_TYPES:
+        return None
+    return _HEADER.unpack_from(message, 0)[2:]
+
+
 def encode_format_message(context_id: int, format_id: int, fmt: IOFormat) -> bytes:
     """The one-time meta-information announcement for a format."""
     meta = fmt.to_meta_bytes()

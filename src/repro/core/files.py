@@ -49,6 +49,7 @@ a v1 reader would have lost).
 from __future__ import annotations
 
 import io
+import os
 import struct
 import zlib
 from typing import Any, BinaryIO, Callable, Iterator
@@ -202,6 +203,38 @@ class PbioFileWriter:
     def write(self, handle: FormatHandle, record: dict[str, Any]) -> None:
         """Append one record given as a value dict."""
         self.write_native(handle, handle.codec.encode(record))
+
+    def append_batch_native(self, handle: FormatHandle, natives) -> None:
+        """Append many native-form records as one durable region.
+
+        All frames — the announcement included, when this file has not
+        seen the format yet — are joined into a *single* ``write``, then
+        flushed and fsynced, so the batch costs one syscall plus one
+        durability barrier instead of N of each.  A crash mid-batch
+        leaves one contiguous torn region at the tail, which the v2
+        framing detects frame by frame as usual.
+        """
+        frames: list[bytes] = []
+        version = self.version
+        if handle.format_id not in self._announced:
+            frames.append(pack_frame(self.ctx.announce(handle), version=version))
+            self._announced.add(handle.format_id)
+        encode = self.ctx.encode_native
+        frames.extend(
+            pack_frame(encode(handle, native), version=version) for native in natives
+        )
+        self._stream.write(b"".join(frames))
+        self._records_written += len(natives)
+        self._stream.flush()
+        try:
+            os.fsync(self._stream.fileno())
+        except (OSError, AttributeError, io.UnsupportedOperation):
+            pass  # in-memory / pipe-backed streams have no durable backing
+
+    def append_batch(self, handle: FormatHandle, records) -> None:
+        """Append many value-dict records as one durable region."""
+        codec = handle.codec
+        self.append_batch_native(handle, [codec.encode(r) for r in records])
 
     def _emit(self, message: bytes) -> None:
         # One write per frame: an interrupted append tears at most the
@@ -373,6 +406,40 @@ class PbioFileReader:
 
     def read_all(self) -> list[dict[str, Any]]:
         return list(self)
+
+    def read_batch(self, max_records: int | None = None) -> list[dict[str, Any]]:
+        """Read up to ``max_records`` records through the batch pipeline.
+
+        Frames are scanned with the usual crash-safe ladder
+        (:meth:`iter_raw` absorbs announcements and applies the
+        ``recover`` policy to framing damage), then all collected data
+        messages decode in one :meth:`DecodePipeline.decode_batch` pass —
+        consecutive same-format records share a single columnar
+        conversion.  Decode failures follow ``recover`` exactly like
+        ``__iter__``: ``"raise"`` propagates, ``"skip"`` drops the bad
+        record (counted as ``file.corrupt_records``), ``"stop"`` truncates
+        the result at the first bad record.
+        """
+        messages: list[bytes] = []
+        for message in self.iter_raw():
+            messages.append(message)
+            if max_records is not None and len(messages) >= max_records:
+                break
+        if not messages:
+            return []
+        if self._recover == "raise":
+            return self.ctx.pipeline.decode_batch(messages, on_error="raise")
+        results = self.ctx.pipeline.decode_batch(messages, on_error="skip")
+        out: list[dict[str, Any]] = []
+        for value in results:
+            if value is None:
+                self._damaged = True
+                self.ctx.metrics.inc("file.corrupt_records")
+                if self._recover == "stop":
+                    break
+                continue
+            out.append(value)
+        return out
 
     def close(self) -> None:
         self._stream.close()

@@ -70,6 +70,17 @@ class Announcer:
         format service that can vouch for the format, inline otherwise —
         :meth:`IOContext.announce_compact` decides.
         """
+        for frame in self.pending_announcements(transport, handle):
+            (send or transport.send)(frame)
+
+    def pending_announcements(self, transport, handle: FormatHandle) -> list[bytes]:
+        """Announcement frames still owed to this link for ``handle``.
+
+        Empty once the link incarnation has heard the format.  The frames
+        are marked sent on return — the caller *must* put them on the
+        wire (batch senders splice them ahead of the data frames so the
+        whole burst is one vectored send).
+        """
         gen = getattr(transport, "generation", 0)
         memo = self._link_memo
         if memo is not None and memo[0] is transport and memo[1] == gen:
@@ -79,9 +90,9 @@ class Announcer:
             self._link_memo = (transport, gen, prefix)
         key = (prefix[0], prefix[1], handle.format_id)
         if key in self._sent:
-            return
-        (send or transport.send)(self.ctx.announce_compact(handle))
+            return []
         self._sent.add(key)
+        return [self.ctx.announce_compact(handle)]
 
 
 class InboundNegotiator:
@@ -127,41 +138,60 @@ class InboundNegotiator:
         path and whatever is ready next comes back (``None`` if the
         frame was absorbed by the negotiation).
         """
+        return self.filter_parsed(frame)[0]
+
+    def filter_parsed(self, frame) -> tuple[bytes | None, tuple | None]:
+        """:meth:`filter`, also returning the parsed header tuple.
+
+        Steady-state data frames come back as ``(frame, header)`` where
+        ``header`` is the validated ``(msg_type, context_id, format_id,
+        payload_len)`` — callers hand it to
+        ``DecodePipeline.decode(message, header=...)`` so those 16 bytes
+        are parsed exactly once per message, not once in the negotiation
+        sniff and again in the pipeline.  Foreign frames return
+        ``(frame, None)``; everything else takes the :meth:`offer` path
+        and returns ``(next_ready(), None)``.
+        """
         if not self._ready and not self._pending:
-            # Inlined try_message_type: anything that is not a PBIO
-            # control message (format, token, request) passes through.
-            if (
-                len(frame) < enc.HEADER_SIZE
-                or frame[0] != enc.MAGIC
-                or frame[1] != enc.VERSION
-                or frame[2] == enc.MSG_DATA
-                or frame[2] not in enc._MSG_TYPES
-            ):
-                return frame if isinstance(frame, bytes) else bytes(frame)
+            header = enc.try_unpack_header(frame)
+            if header is None or header[0] == enc.MSG_DATA:
+                return (frame if isinstance(frame, bytes) else bytes(frame), header)
+            self.offer(frame, header=header)
+            return (self.next_ready(), None)
         self.offer(frame)
-        return self.next_ready()
+        return (self.next_ready(), None)
 
     @property
     def unresolved(self) -> int:
         """Formats currently awaiting an inline re-announcement."""
         return len(self._pending)
 
-    def offer(self, frame) -> None:
-        """Process one inbound frame (absorb, hold, request, or enqueue)."""
-        kind = enc.try_message_type(frame)
+    def offer(self, frame, *, header: tuple | None = None) -> None:
+        """Process one inbound frame (absorb, hold, request, or enqueue).
+
+        ``header`` may carry the already-parsed tuple from
+        :func:`~repro.core.encoder.try_unpack_header`; the frame is then
+        never re-parsed here (one validation per frame, end to end).
+        """
+        if header is None:
+            header = enc.try_unpack_header(frame)
+        if header is None:
+            # A foreign frame (RPC call header, fault text): the caller's
+            # business.
+            self._ready.append(frame if isinstance(frame, bytes) else bytes(frame))
+            return
+        kind = header[0]
         if kind == enc.MSG_DATA:
-            # Hot path: with nothing unresolved (the steady state) a data
-            # message passes straight through — no header unpack, no key.
             if self._pending:
-                key = self._key_of(frame)
+                key = (header[1], header[2])
                 if key in self._pending:
                     self._hold(key, frame)
                     return
             self._ready.append(frame if isinstance(frame, bytes) else bytes(frame))
             return
         if kind == enc.MSG_FORMAT:
-            self.ctx.receive(frame)
-            self._release(self._key_of(frame))
+            self.ctx.pipeline.absorb(frame, header[1], header[2])
+            self._release((header[1], header[2]))
             return
         if kind == enc.MSG_FORMAT_TOKEN:
             try:
@@ -171,14 +201,9 @@ class InboundNegotiator:
             else:
                 # A re-announcement that resolves now (service recovered):
                 # anything held from the earlier failure is decodable.
-                self._release(self._key_of(frame))
+                self._release((header[1], header[2]))
             return
-        if kind == enc.MSG_FORMAT_REQUEST:
-            self._serve_meta(enc.parse_format_request(frame))
-            return
-        # A foreign frame (RPC call header, fault text): the caller's
-        # business.
-        self._ready.append(frame if isinstance(frame, bytes) else bytes(frame))
+        self._serve_meta(enc.parse_format_request(frame))
 
     def _hold(self, key: tuple[int, int], frame) -> None:
         held = self._held.setdefault(key, [])
@@ -204,11 +229,6 @@ class InboundNegotiator:
             self.offer(transport.recv())
 
     # -- internals -----------------------------------------------------------
-
-    @staticmethod
-    def _key_of(frame) -> tuple[int, int]:
-        _, context_id, format_id, _ = enc.unpack_header(frame)
-        return (context_id, format_id)
 
     def _release(self, key: tuple[int, int]) -> None:
         self._pending.pop(key, None)

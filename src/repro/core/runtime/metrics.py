@@ -52,6 +52,14 @@ Counter names used by the runtime:
 ``relay.unresolved_tokens``  token announcements a relay forwarded without
                           being able to resolve for its own filter registry
 ``relay.requests_dropped``  MSG_FORMAT_REQUEST frames dropped by a one-way hub
+``decode.batch.calls``    ``decode_batch`` invocations
+``decode.batch.messages``  frames handed to ``decode_batch`` (all types)
+``decode.batch.groups``   consecutive same-format data runs dispatched
+``decode.batch.converted``  records converted by the columnar batch converter
+``decode.batch.fallback``  records that looped the scalar converter instead
+                          (strings, VAX floats, non-DCG modes)
+``decode.batch.rejected``  frames rejected inside a batch (each also counts
+                          ``decode.rejected`` as usual)
 ========================  =====================================================
 
 Stage timings (``decode.parse``, ``decode.resolve``, ``decode.convert``)

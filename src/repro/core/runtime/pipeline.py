@@ -35,7 +35,12 @@ from repro.abi import MachineDescription, RecordView, StructLayout
 import struct
 
 from .. import encoder as enc
-from ..conversion import InterpretedConverter, build_plan, generate_converter
+from ..conversion import (
+    InterpretedConverter,
+    build_batch_converter,
+    build_plan,
+    generate_converter,
+)
 from ..errors import (
     ConversionError,
     FormatError,
@@ -120,7 +125,7 @@ class DecodePipeline:
 
     # -- stage 1+2: parse and resolve ---------------------------------------
 
-    def open_data(self, message) -> tuple[IOFormat, memoryview]:
+    def open_data(self, message, *, header=None) -> tuple[IOFormat, memoryview]:
         """Validate a data message; return its wire format and payload.
 
         The first stop for untrusted bytes on every decode path: the
@@ -130,6 +135,11 @@ class DecodePipeline:
         formats carry a variable region after the fixed record, so they
         may be longer — never shorter).  Failures raise the PbioError
         taxonomy and count as ``decode.rejected``.
+
+        ``header`` may carry the already-parsed
+        ``(msg_type, context_id, format_id, payload_len)`` tuple when an
+        upstream stage (negotiation, :meth:`ingest`) validated the header
+        — steady-state data frames then parse exactly once.
         """
         try:
             if self._max_msg is not None and len(message) > self._max_msg:
@@ -137,7 +147,9 @@ class DecodePipeline:
                     f"message of {len(message)} bytes exceeds max_message_size "
                     f"({self._max_msg})"
                 )
-            msg_type, context_id, format_id, payload_len = enc.unpack_header(message)
+            msg_type, context_id, format_id, payload_len = (
+                enc.unpack_header(message) if header is None else header
+            )
             if msg_type != enc.MSG_DATA:
                 raise MessageError("expected a data message")
             payload = memoryview(message)[enc.HEADER_SIZE :]
@@ -303,6 +315,7 @@ class DecodePipeline:
                 supports_dst=False,
             )
         plan = build_plan(wire_fmt, native, match)
+        batch = None
         if self.conversion == "interpreted":
             converter = InterpretedConverter(plan)
             source = plan.describe()
@@ -314,6 +327,12 @@ class DecodePipeline:
             converter = generated.convert
             source = generated.source
             generation_time_s = generated.generation_time_s
+            if self.conversion == "dcg":
+                # Columnar N-records-at-once form, cached alongside the
+                # scalar converter.  DCG only: the interpreter and vcode
+                # modes exist to measure *their* per-record mechanism, so
+                # batch decodes loop their scalar converters instead.
+                batch = build_batch_converter(plan)
         return CacheEntry(
             zero_copy=False,
             converter=converter,
@@ -323,15 +342,16 @@ class DecodePipeline:
             native_size=native.record_size,
             supports_dst=not plan.has_strings,
             generation_time_s=generation_time_s,
+            batch=batch,
         )
 
     # -- public decode entry points -----------------------------------------
 
-    def decode_native(self, message) -> bytes:
+    def decode_native(self, message, *, header=None) -> bytes:
         """Decode to record bytes in the pipeline's native layout."""
         if self.metrics.timing_enabled:
             return self._decode_native_timed(message)
-        wire_fmt, payload = self.open_data(message)
+        wire_fmt, payload = self.open_data(message, header=header)
         try:
             entry = self.entry_for(wire_fmt, self.native_for(wire_fmt))
             if entry.zero_copy:
@@ -343,7 +363,7 @@ class DecodePipeline:
             self.metrics.inc("decode.rejected")
             raise
 
-    def decode_view(self, message) -> RecordView:
+    def decode_view(self, message, *, header=None) -> RecordView:
         """Decode to a :class:`RecordView`.
 
         Zero-copy pairs view the *message buffer itself*; converted pairs
@@ -352,7 +372,7 @@ class DecodePipeline:
         """
         if self.metrics.timing_enabled:
             return self._decode_view_timed(message)
-        wire_fmt, payload = self.open_data(message)
+        wire_fmt, payload = self.open_data(message, header=header)
         try:
             native = self.native_for(wire_fmt)
             entry = self.entry_for(wire_fmt, native)
@@ -371,9 +391,9 @@ class DecodePipeline:
             self.metrics.inc("decode.rejected")
             raise
 
-    def decode(self, message) -> dict[str, Any]:
+    def decode(self, message, *, header=None) -> dict[str, Any]:
         """Decode to a fully materialized value dict."""
-        view = self.decode_view(message)
+        view = self.decode_view(message, header=header)
         try:
             return view.to_dict()
         except _LEAKY_ERRORS as exc:
@@ -394,12 +414,15 @@ class DecodePipeline:
                     f"message of {len(message)} bytes exceeds max_message_size "
                     f"({self._max_msg})"
                 )
-            msg_type, context_id, format_id, _ = enc.unpack_header(message)
+            header = enc.unpack_header(message)
         except PbioError:
             self.metrics.inc("decode.rejected")
             raise
+        msg_type, context_id, format_id, _ = header
         if msg_type == enc.MSG_DATA:
-            return self.decode(message)
+            # Thread the parsed header through: steady-state data frames
+            # validate the 16 bytes exactly once end to end.
+            return self.decode(message, header=header)
         if msg_type == enc.MSG_FORMAT:
             self.absorb(message, context_id, format_id)
             return None
@@ -411,6 +434,195 @@ class DecodePipeline:
         # path is mis-delivery.
         self.metrics.inc("decode.rejected")
         raise MessageError("format request outside a negotiated stream")
+
+    # -- batch decode ---------------------------------------------------------
+
+    def decode_batch(self, messages, *, on_error: str = "raise") -> list:
+        """Decode a list of frames in one pass; one result slot per frame.
+
+        Frames are parsed once each, announcements are absorbed in
+        arrival order (their slots are ``None``), and consecutive data
+        frames of the same (context id, format id) form a *group* that
+        dispatches one batch-converter call instead of N scalar ones.
+        Results are byte-for-byte what a sequential
+        :meth:`ingest`/:meth:`decode` loop would produce, under the same
+        :class:`DecodeLimits`.
+
+        ``on_error`` selects the failure granularity: ``"raise"``
+        (default) propagates the first rejection, exactly like the
+        sequential loop; ``"skip"`` confines each rejection to its own
+        frame — the bad frame's slot stays ``None``, it is counted in
+        ``decode.rejected``/``decode.batch.rejected``, and every other
+        frame still decodes.
+        """
+        return self._decode_batch(messages, on_error, native_out=False)
+
+    def decode_batch_native(self, messages, *, on_error: str = "raise") -> list:
+        """:meth:`decode_batch` returning native record bytes per frame
+        (the batch analogue of :meth:`decode_native`)."""
+        return self._decode_batch(messages, on_error, native_out=True)
+
+    def _decode_batch(self, messages, on_error: str, native_out: bool) -> list:
+        if on_error not in ("raise", "skip"):
+            raise ValueError(f'on_error must be "raise" or "skip", not {on_error!r}')
+        out: list = [None] * len(messages)
+        self.metrics.inc("decode.batch.calls")
+        self.metrics.inc("decode.batch.messages", len(messages))
+        strict = on_error == "raise"
+        group: list[tuple[int, int]] = []  # (frame index, declared payload len)
+        gkey: tuple[int, int] | None = None
+
+        def flush() -> None:
+            nonlocal group, gkey
+            if group:
+                self._decode_group(messages, group, gkey, out, strict, native_out)
+                group = []
+            gkey = None
+
+        max_msg = self._max_msg
+        for i, message in enumerate(messages):
+            try:
+                if max_msg is not None and len(message) > max_msg:
+                    raise LimitError(
+                        f"message of {len(message)} bytes exceeds max_message_size "
+                        f"({max_msg})"
+                    )
+                msg_type, context_id, format_id, payload_len = enc.unpack_header(message)
+            except PbioError:
+                flush()
+                self.metrics.inc("decode.rejected")
+                self.metrics.inc("decode.batch.rejected")
+                if strict:
+                    raise
+                continue
+            if msg_type == enc.MSG_DATA:
+                key = (context_id, format_id)
+                if key != gkey:
+                    flush()
+                    gkey = key
+                group.append((i, payload_len))
+                continue
+            # Control frames break the run and are absorbed in order, so
+            # a format (re-)announcement takes effect before the data
+            # frames behind it — same semantics as the sequential loop.
+            flush()
+            if msg_type == enc.MSG_FORMAT:
+                try:
+                    self.absorb(message, context_id, format_id)
+                except PbioError:  # absorb counted decode.rejected already
+                    self.metrics.inc("decode.batch.rejected")
+                    if strict:
+                        raise
+            elif msg_type == enc.MSG_FORMAT_TOKEN:
+                try:
+                    self.absorb_token(message)
+                except TokenResolutionError:
+                    if strict:
+                        raise
+                except PbioError:
+                    self.metrics.inc("decode.batch.rejected")
+                    if strict:
+                        raise
+            else:  # MSG_FORMAT_REQUEST: mis-delivery, as in ingest()
+                self.metrics.inc("decode.rejected")
+                self.metrics.inc("decode.batch.rejected")
+                if strict:
+                    raise MessageError("format request outside a negotiated stream")
+        flush()
+        return out
+
+    def _decode_group(
+        self, messages, group, key, out, strict: bool, native_out: bool
+    ) -> None:
+        """Decode one run of same-format data frames into ``out`` slots."""
+        self.metrics.inc("decode.batch.groups")
+        context_id, format_id = key
+
+        def reject(exc: PbioError) -> None:
+            self.metrics.inc("decode.rejected")
+            self.metrics.inc("decode.batch.rejected")
+            if strict:
+                raise exc
+
+        try:
+            wire_fmt = self.registry.remote_format(context_id, format_id)
+            native = self.native_for(wire_fmt)
+            entry = self.entry_for(wire_fmt, native)
+            layout = None if native_out else self._layout_of(native)
+        except PbioError as exc:
+            for _ in group:  # unresolvable format rejects every frame of the run
+                reject(exc)
+            return
+
+        def materialize(i: int, buf) -> None:
+            if native_out:
+                out[i] = bytes(buf) if not isinstance(buf, bytes) else buf
+                return
+            try:
+                out[i] = RecordView(layout, buf).to_dict()
+            except _LEAKY_ERRORS as exc:
+                reject(ConversionError(f"malformed record content: {exc}"))
+
+        rec_size = wire_fmt.record_size
+        has_strings = wire_fmt.has_strings
+        valid: list[tuple[int, memoryview]] = []
+        for i, declared in group:
+            payload = memoryview(messages[i])[enc.HEADER_SIZE :]
+            if len(payload) != declared:
+                reject(
+                    MessageError(
+                        f"payload length mismatch: header says {declared}, "
+                        f"got {len(payload)}"
+                    )
+                )
+                continue
+            if declared != rec_size and (declared < rec_size or not has_strings):
+                reject(
+                    MessageError(
+                        f"payload of {declared} bytes does not cover a "
+                        f"{rec_size}-byte {wire_fmt.name!r} record"
+                    )
+                )
+                continue
+            valid.append((i, payload))
+        if not valid:
+            return
+
+        n = len(valid)
+        if entry.zero_copy:
+            self.metrics.inc("zero_copy_decodes", n)
+            for i, payload in valid:
+                materialize(i, payload)
+            return
+
+        batch = entry.batch
+        if batch is not None and not has_strings:
+            # Fixed-size frames only reach here (declared == rec_size was
+            # enforced above), so the concatenation is exactly n strides.
+            try:
+                blob = batch.convert(b"".join(valid_p for _, valid_p in valid), n)
+            except _LEAKY_ERRORS:
+                pass  # fall through to the scalar loop to isolate the culprit
+            else:
+                self.metrics.inc("converted_decodes", n)
+                self.metrics.inc("decode.batch.converted", n)
+                d = entry.native_size
+                for j, (i, _) in enumerate(valid):
+                    materialize(i, blob[j * d : (j + 1) * d])
+                return
+
+        # Fallback ladder: plans numpy cannot express (strings, VAX
+        # floats, float->int), non-DCG modes, or a batch call that blew
+        # up — loop the scalar converter, isolating failures per frame.
+        self.metrics.inc("decode.batch.fallback", n)
+        for i, payload in valid:
+            self.metrics.inc("converted_decodes")
+            try:
+                data = self._run_converter(entry, wire_fmt, payload)
+            except PbioError as exc:
+                reject(exc)
+                continue
+            materialize(i, data)
 
     def _run_converter(self, entry: CacheEntry, wire_fmt: IOFormat, payload, dst=None):
         """Run a cached converter, translating content-level explosions

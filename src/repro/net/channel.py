@@ -113,6 +113,73 @@ class Subscription:
             self.metrics.inc("handler_errors")
             raise
 
+    def _offer_batch(self, messages: list[bytes], suppress: bool) -> None:
+        """Offer a burst of messages, batching consecutive data frames.
+
+        Mirrors a sequential :meth:`_offer` loop message for message —
+        same screening order, same counters.  With ``suppress`` each
+        failure is counted and the rest of the burst still delivers;
+        otherwise the first failure propagates (the caller applies the
+        raise/detach policy), leaving later messages unoffered exactly
+        like the scalar loop.
+        """
+        run: list[tuple[bytes, int, int]] = []  # (message, cid, fid)
+        for message in messages:
+            header = enc.try_unpack_header(message)
+            if header is not None and header[0] == enc.MSG_DATA:
+                run.append((message, header[1], header[2]))
+                continue
+            if run:
+                self._flush_run(run, suppress)
+                run = []
+            try:
+                self._offer(message)  # control / malformed: scalar path
+            except Exception:
+                if not suppress:
+                    raise
+        if run:
+            self._flush_run(run, suppress)
+
+    def _flush_run(self, run: list[tuple[bytes, int, int]], suppress: bool) -> None:
+        """Screen one run of data frames, then decode it in one batch."""
+        deliverable: list[bytes] = []
+        for message, context_id, format_id in run:
+            if self.format_name is not None:
+                try:
+                    fmt = self.ctx.registry.remote_format(context_id, format_id)
+                except PbioError:
+                    self.metrics.inc("decode_errors")
+                    if suppress:
+                        continue
+                    raise
+                if fmt.name != self.format_name:
+                    self.metrics.inc("wrong_type")
+                    continue
+            if self._filter is not None and not self._filter.matches(message):
+                self.metrics.inc("filtered_out")
+                continue
+            self.metrics.inc("delivered")
+            deliverable.append(message)
+        if not deliverable:
+            return
+        try:
+            decoded = self.ctx.pipeline.decode_batch(
+                deliverable, on_error="skip" if suppress else "raise"
+            )
+        except PbioError:
+            self.metrics.inc("decode_errors")
+            raise
+        for value in decoded:
+            if value is None:  # rejected under "skip": counted here too
+                self.metrics.inc("decode_errors")
+                continue
+            try:
+                self.handler(value)
+            except Exception:
+                self.metrics.inc("handler_errors")
+                if not suppress:
+                    raise
+
 
 class EventChannel:
     """An in-process record distribution hub with late-join support.
@@ -209,6 +276,21 @@ class EventChannel:
                 if sub in self._subscribers:
                     self._subscribers.remove(sub)
 
+    def _publish_batch(self, batch: list[bytes]) -> None:
+        """Fan a burst of data messages to every subscriber, one batch
+        decode per subscriber per run instead of one per message."""
+        self.messages_published += len(batch)
+        for sub in list(self._subscribers):
+            try:
+                sub._offer_batch(batch, suppress=sub.error_policy == "suppress")
+            except Exception:
+                if sub.error_policy == "raise":
+                    raise
+                # detach: same first-failure semantics as the scalar loop
+                sub.metrics.inc("detached")
+                if sub in self._subscribers:
+                    self._subscribers.remove(sub)
+
     @property
     def subscriber_count(self) -> int:
         return len(self._subscribers)
@@ -257,3 +339,18 @@ class ChannelPublisher:
 
     def publish(self, handle: FormatHandle, record: dict[str, Any]) -> None:
         self.publish_native(handle, handle.codec.encode(record))
+
+    def publish_native_batch(self, handle: FormatHandle, natives) -> None:
+        """Publish many native-form records as one burst: the channel
+        fans the whole batch to each subscriber, whose consecutive-frame
+        runs decode through one columnar converter call."""
+        if handle.format_id not in self._announced:
+            self._announce(handle)
+            self._announced.add(handle.format_id)
+        encode = self.ctx.encode_native
+        self.channel._publish_batch([encode(handle, n) for n in natives])
+
+    def publish_batch(self, handle: FormatHandle, records) -> None:
+        """Publish many value dicts as one burst."""
+        codec = handle.codec
+        self.publish_native_batch(handle, [codec.encode(r) for r in records])

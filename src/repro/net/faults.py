@@ -122,8 +122,16 @@ class FaultInjectingTransport(Transport):
         self._broken = False
         if not self._active:
             # Zero-cost happy path: bypass the wrapper methods entirely.
+            # (getattr: duck-typed links predating the batch API still work
+            # — the base-class loops over the aliased send/recv cover them.)
             self.send = inner.send  # type: ignore[method-assign]
             self.recv = inner.recv  # type: ignore[method-assign]
+            inner_send_many = getattr(inner, "send_many", None)
+            if inner_send_many is not None:
+                self.send_many = inner_send_many  # type: ignore[method-assign]
+            inner_recv_many = getattr(inner, "recv_many", None)
+            if inner_recv_many is not None:
+                self.recv_many = inner_recv_many  # type: ignore[method-assign]
 
     @property
     def inner(self) -> Transport:
@@ -200,12 +208,28 @@ class FaultInjectingTransport(Transport):
             if not self._broken:
                 self._inner.send(message)
 
+    def send_many(self, frames) -> None:
+        """Faults apply per *logical frame*, not per syscall: a batch of N
+        frames draws N decision vectors, so a chaos schedule is identical
+        whether the sender batched or looped ``send`` — the byte-identity
+        property tests rely on this."""
+        for payload in frames:
+            self.send(payload)
+
     # -- pass-through --------------------------------------------------------
 
     def recv(self) -> bytes:
         if self._broken:
             raise TransportError("recv on disconnected transport (injected)")
         return self._inner.recv()
+
+    def recv_many(self, max_frames: int = 0) -> list[bytes]:
+        if self._broken:
+            raise TransportError("recv on disconnected transport (injected)")
+        inner_recv_many = getattr(self._inner, "recv_many", None)
+        if inner_recv_many is None:
+            return [self._inner.recv()]
+        return inner_recv_many(max_frames)
 
     def set_timeout(self, timeout_s: float | None) -> None:
         self._inner.set_timeout(timeout_s)
@@ -405,6 +429,27 @@ class ReconnectingTransport(Transport):
             return self._transport.recv()
 
         return self.policy.run(redial_and_recv, sleep=self._sleep)
+
+    # send_many inherits the base per-frame loop deliberately: each frame
+    # must pass the announcement sniff above so replay stays complete.
+
+    def recv_many(self, max_frames: int = 0) -> list[bytes]:
+        def recv_many_once():
+            inner = getattr(self._transport, "recv_many", None)
+            if inner is None:
+                return [self._transport.recv()]
+            return inner(max_frames)
+
+        try:
+            return recv_many_once()
+        except TransportError:
+            pass
+
+        def redial_and_recv_many():
+            self._reconnect()
+            return recv_many_once()
+
+        return self.policy.run(redial_and_recv_many, sleep=self._sleep)
 
     def set_timeout(self, timeout_s: float | None) -> None:
         self._timeout_s = timeout_s

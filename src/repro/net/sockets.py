@@ -3,6 +3,14 @@
 Integration tests use this to prove every wire format survives an actual
 kernel socket (framing, partial reads, large messages), not just the
 in-memory pipe.
+
+The send side is vectored: ``sendmsg`` takes the length prefix, the
+header segment and the application payload as separate iovecs, so neither
+:meth:`SocketTransport.send_segments` nor :meth:`send_many` ever builds a
+contiguous copy of the burst.  The receive side runs a buffered framer —
+one ``recv_into`` per syscall into a reusable buffer, from which every
+*complete* frame already received is sliced without further kernel
+crossings (:meth:`recv_many`).
 """
 
 from __future__ import annotations
@@ -11,7 +19,22 @@ import socket
 import threading
 from typing import Callable
 
-from .transport import Transport, TransportError, TransportTimeout, frame, read_frame
+from .transport import (
+    MAX_FRAME,
+    Transport,
+    TransportError,
+    TransportTimeout,
+    _LEN,
+)
+
+#: iovecs per sendmsg call.  Linux caps a single call at ``UIO_MAXIOV``
+#: (1024); staying well under it keeps one burst = few syscalls without
+#: ever tripping EMSGSIZE on smaller platforms.
+_IOV_MAX = 512
+
+#: Initial receive-buffer capacity.  Grows (doubling) when a single frame
+#: exceeds it; typical PBIO records never force a grow.
+_RECV_BUF = 64 * 1024
 
 
 class SocketTransport(Transport):
@@ -20,37 +43,131 @@ class SocketTransport(Transport):
     def __init__(self, sock: socket.socket):
         self._sock = sock
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rbuf = bytearray(_RECV_BUF)
+        self._rview = memoryview(self._rbuf)
+        self._rstart = 0  # first unconsumed byte
+        self._rend = 0  # one past the last filled byte
 
     def set_timeout(self, timeout_s: float | None) -> None:
         """Bound blocking send/recv; exceeded → :class:`TransportTimeout`."""
         self._sock.settimeout(timeout_s)
 
-    def send(self, payload) -> None:
+    # -- vectored send ------------------------------------------------------
+
+    def _sendv(self, bufs: list) -> None:
+        """sendall for an iovec list: one ``sendmsg`` per <=512 buffers,
+        resuming mid-buffer on partial sends."""
+        idx = 0
         try:
-            self._sock.sendall(frame(payload))
+            while idx < len(bufs):
+                sent = self._sock.sendmsg(bufs[idx : idx + _IOV_MAX])
+                while sent:
+                    buf = bufs[idx]
+                    if sent >= len(buf):
+                        sent -= len(buf)
+                        idx += 1
+                    else:
+                        bufs[idx] = memoryview(buf)[sent:]
+                        sent = 0
         except TimeoutError as exc:
             raise TransportTimeout(f"send timed out: {exc}") from exc
         except OSError as exc:
             raise TransportError(f"send failed: {exc}") from exc
 
-    def recv(self) -> bytes:
-        return read_frame(self._read_exact)
+    def send(self, payload) -> None:
+        n = len(payload)
+        if n > MAX_FRAME:
+            raise TransportError(f"frame too large: {n}")
+        self._sendv([_LEN.pack(n), payload])
 
-    def _read_exact(self, n: int) -> bytes:
-        chunks = []
-        remaining = n
-        while remaining:
-            try:
-                chunk = self._sock.recv(remaining)
-            except TimeoutError as exc:
-                raise TransportTimeout(f"recv timed out: {exc}") from exc
-            except OSError as exc:
-                raise TransportError(f"recv failed: {exc}") from exc
-            if not chunk:
-                raise TransportError("connection closed mid-frame")
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+    def send_segments(self, segments) -> None:
+        """One logical message from many buffers, zero-copy: the length
+        prefix and each segment go to the kernel as separate iovecs."""
+        total = sum(len(s) for s in segments)
+        if total > MAX_FRAME:
+            raise TransportError(f"frame too large: {total}")
+        self._sendv([_LEN.pack(total), *segments])
+
+    def send_many(self, frames) -> None:
+        """Many length-prefixed messages in one vectored burst."""
+        bufs = []
+        for payload in frames:
+            n = len(payload)
+            if n > MAX_FRAME:
+                raise TransportError(f"frame too large: {n}")
+            bufs.append(_LEN.pack(n))
+            bufs.append(payload)
+        if bufs:
+            self._sendv(bufs)
+
+    # -- buffered receive framer --------------------------------------------
+
+    def _buffered_frame(self) -> bytes | None:
+        """Slice one complete frame out of the receive buffer, or None."""
+        avail = self._rend - self._rstart
+        if avail < 4:
+            return None
+        (n,) = _LEN.unpack_from(self._rbuf, self._rstart)
+        if n > MAX_FRAME:
+            raise TransportError(f"frame too large: {n}")
+        if avail < 4 + n:
+            return None
+        start = self._rstart + 4
+        data = bytes(self._rview[start : start + n])
+        self._rstart = start + n
+        if self._rstart == self._rend:
+            self._rstart = self._rend = 0  # drained: make compaction rare
+        return data
+
+    def _fill(self, needed: int) -> None:
+        """Grow/compact so ``needed`` more bytes fit, then recv_into once."""
+        cap = len(self._rbuf)
+        if self._rend + needed > cap:
+            pending = bytes(self._rview[self._rstart : self._rend])
+            if len(pending) + needed > cap:
+                cap = max(cap * 2, len(pending) + needed)
+                self._rview.release()
+                self._rbuf = bytearray(cap)
+                self._rview = memoryview(self._rbuf)
+            # copy via bytes above: overlapping memoryview assignment is
+            # undefined, and the slice is tiny (a partial frame)
+            self._rbuf[: len(pending)] = pending
+            self._rstart, self._rend = 0, len(pending)
+        try:
+            got = self._sock.recv_into(self._rview[self._rend :])
+        except TimeoutError as exc:
+            raise TransportTimeout(f"recv timed out: {exc}") from exc
+        except OSError as exc:
+            raise TransportError(f"recv failed: {exc}") from exc
+        if not got:
+            raise TransportError("connection closed mid-frame")
+        self._rend += got
+
+    def _next_frame(self) -> bytes:
+        while True:
+            data = self._buffered_frame()
+            if data is not None:
+                return data
+            avail = self._rend - self._rstart
+            if avail >= 4:
+                (n,) = _LEN.unpack_from(self._rbuf, self._rstart)
+                self._fill(4 + n - avail)
+            else:
+                self._fill(4 - avail)
+
+    def recv(self) -> bytes:
+        return self._next_frame()
+
+    def recv_many(self, max_frames: int = 0) -> list[bytes]:
+        """One blocking frame plus every further complete frame already
+        sitting in the receive buffer — no extra syscalls."""
+        out = [self._next_frame()]
+        while max_frames <= 0 or len(out) < max_frames:
+            data = self._buffered_frame()
+            if data is None:
+                break
+            out.append(data)
+        return out
 
     def close(self) -> None:
         try:

@@ -95,6 +95,24 @@ class Transport(ABC):
     def send_segments(self, segments: list[bytes | bytearray | memoryview]) -> None:
         self.send(b"".join(bytes(s) for s in segments))
 
+    # Batch framing: one call per *burst* instead of one per message.
+    # The base implementations preserve per-message semantics exactly;
+    # vectored transports (sockets) override them to coalesce syscalls.
+    def send_many(self, frames: list) -> None:
+        """Send many messages; equivalent to ``for f in frames: send(f)``."""
+        for payload in frames:
+            self.send(payload)
+
+    def recv_many(self, max_frames: int = 0) -> list[bytes]:
+        """Receive at least one message, plus any more already available.
+
+        ``max_frames`` bounds the drain (0 = no bound).  The first message
+        blocks exactly like :meth:`recv`; the rest are only taken if they
+        cost no further blocking.  Base implementation returns a single
+        message — buffered transports override to drain their backlog.
+        """
+        return [self.recv()]
+
 
 def frame(payload: bytes | bytearray | memoryview) -> bytes:
     n = len(payload)
@@ -161,6 +179,25 @@ class _PipeEnd(Transport):
         data = self._inbox.popleft()
         self.bytes_received += len(data)
         return data
+
+    def send_many(self, frames) -> None:
+        if self._closed:
+            raise TransportError("send on closed transport")
+        if self._peer is not None and self._peer._closed:
+            raise PeerClosedError("send failed: peer transport is closed")
+        for payload in frames:
+            data = bytes(payload)
+            self._outbox.append(data)
+            self.bytes_sent += len(data)
+            self.messages_sent += 1
+
+    def recv_many(self, max_frames: int = 0) -> list[bytes]:
+        out = [self.recv()]  # same empty/PeerClosed semantics as recv
+        while self._inbox and (max_frames <= 0 or len(out) < max_frames):
+            data = self._inbox.popleft()
+            self.bytes_received += len(data)
+            out.append(data)
+        return out
 
     def pending(self) -> int:
         return len(self._inbox)

@@ -5,7 +5,9 @@ from repro.core import IOContext
 
 
 def schema(name="t"):
-    return RecordSchema.from_pairs(name, [("i", "int"), ("d", "double[20]")])
+    # The double array must sit above conversion.NUMPY_THRESHOLD so the
+    # DCG source test keeps seeing the numpy lowering.
+    return RecordSchema.from_pairs(name, [("i", "int"), ("d", "double[40]")])
 
 
 def exchange(receiver):
@@ -13,7 +15,7 @@ def exchange(receiver):
     h = sender.register_format(schema())
     receiver.expect(schema())
     receiver.receive(sender.announce(h))
-    receiver.receive(sender.encode(h, {"i": 1, "d": tuple(float(x) for x in range(20))}))
+    receiver.receive(sender.encode(h, {"i": 1, "d": tuple(float(x) for x in range(40))}))
 
 
 class TestConverterSources:
