@@ -36,13 +36,19 @@ retry logic can be mechanical:
 from __future__ import annotations
 
 import struct
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.abi import MachineDescription, RecordSchema
-from repro.net.transport import Transport, TransportError, transport_token
+from repro.net.transport import (
+    Transport,
+    TransportError,
+    TransportTimeout,
+    transport_token,
+)
 
 from . import encoder as enc
 from .context import FormatHandle, IOContext
@@ -344,8 +350,25 @@ class RpcServer:
         self._neg_memo: tuple | None = None
         self._dedup_window = dedup_window
         self._replies: dict[int, OrderedDict[int, list[bytes]]] = {}
+        self._stop = threading.Event()
         for op in interface.operations.values():
             self.ctx.expect(op.request_schema)
+
+    # -- shutdown ------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Ask every :meth:`serve` loop (and the async handler adapters)
+        to exit after the in-flight call instead of serving forever.
+        Thread-safe; sticky until :meth:`restart`."""
+        self._stop.set()
+
+    def restart(self) -> None:
+        """Clear a previous :meth:`stop` so new serve loops run again."""
+        self._stop.clear()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop.is_set()
 
     def register(self, object_key: bytes, operations: dict[str, Callable[[dict], dict]]) -> None:
         for name in operations:
@@ -377,17 +400,59 @@ class RpcServer:
         ask the client for inline meta and hold the request body until
         it lands, so no call is lost to a format-server outage.
         """
+        gen = self.serve_steps(transport)
+        try:
+            next(gen)
+            while True:
+                gen.send(transport.recv())
+        except StopIteration:
+            return
+
+    def serve(self, transport: Transport, *, poll_s: float | None = None) -> None:
+        """Serve calls on one connection until the peer goes away or
+        :meth:`stop` is called.
+
+        Without ``poll_s`` a blocked ``recv`` only notices a stop once
+        the next frame (or a transport error) arrives; with ``poll_s``
+        the transport timeout is set so the loop re-checks the stop flag
+        at least that often — prompt shutdown for threaded servers.
+        (The poll assumes quiescent gaps *between* calls, which
+        request/reply traffic guarantees.)  Protocol damage
+        (:class:`~repro.core.errors.PbioError`) propagates to the
+        caller; a broken link returns quietly.
+        """
+        if poll_s is not None:
+            transport.set_timeout(poll_s)
+        while not self._stop.is_set():
+            try:
+                self.serve_one(transport)
+            except TransportTimeout:
+                continue  # poll tick: re-check the stop flag
+            except TransportError:  # includes PeerClosedError
+                return
+
+    def serve_steps(self, transport: Transport):
+        """The sans-io core of :meth:`serve_one`: a generator that yields
+        each time it needs another inbound frame and is resumed with it
+        (``gen.send(frame)``).
+
+        Replies go out through ``transport.send`` directly — on an
+        :class:`~repro.net.aio.AsyncSocketTransport` that is a
+        synchronous bounded-queue enqueue, which is why one protocol
+        implementation serves both the blocking driver (:meth:`serve_one`)
+        and the async driver (:func:`repro.net.aio.serve_rpc_call`).
+        """
         neg = self._neg(transport)
-        recv, filt = transport.recv, neg.filter
+        filt = neg.filter
         message = neg.next_ready()
         while message is None:
-            message = filt(recv())
+            message = filt((yield))
         request_id, is_reply, _fault, operation, key = _parse_call_header(message)
         if is_reply:
             raise PbioError("protocol error: server received a reply header")
         body = neg.next_ready()
         while body is None:
-            body = filt(recv())
+            body = filt((yield))
         if not enc.is_pbio_message(body):
             raise PbioError("protocol error: expected a PBIO data message")
         request = self.ctx.receive(body)

@@ -25,7 +25,7 @@ from repro.core.formats import IOFormat
 from repro.core.rpc import RpcServer
 from repro.core.runtime import Metrics
 from repro.core.safety import DEFAULT_LIMITS, DecodeLimits, LimitError
-from repro.net.transport import Transport, TransportError
+from repro.net.transport import Transport, TransportError, TransportTimeout
 
 from .cache import FormatCache
 from .protocol import (
@@ -194,20 +194,43 @@ class FormatServer:
         """Handle exactly one RPC call on ``transport``."""
         self._rpc.serve_one(transport)
 
-    def serve(self, transport: Transport) -> None:
-        """Serve calls on one connection until the peer goes away.
+    def stop(self) -> None:
+        """Ask every :meth:`serve` loop to exit (sticky; thread-safe).
+
+        Loops blocked in ``recv`` notice once their transport next
+        delivers a frame, errors, or — with ``poll_s`` — times out.
+        """
+        self._rpc.stop()
+
+    def restart(self) -> None:
+        """Clear a previous :meth:`stop` so new serve loops run."""
+        self._rpc.restart()
+
+    @property
+    def stopped(self) -> bool:
+        return self._rpc.stopped
+
+    def serve(self, transport: Transport, *, poll_s: float | None = None) -> None:
+        """Serve calls on one connection until the peer goes away or
+        :meth:`stop` is called.
 
         Link failure ends the connection quietly (clients fall back to
         inline announcements; a format server outage is never fatal to
         the data plane).  Protocol damage is counted and survived, up to
         a cap of consecutive errors, after which the connection is
-        dropped rather than parsed forever.
+        dropped rather than parsed forever.  ``poll_s`` sets the
+        transport timeout so a quiet connection re-checks the stop flag
+        at least that often.
         """
+        if poll_s is not None:
+            transport.set_timeout(poll_s)
         consecutive_errors = 0
-        while True:
+        while not self._rpc.stopped:
             try:
                 self._rpc.serve_one(transport)
                 consecutive_errors = 0
+            except TransportTimeout:
+                continue  # poll tick: re-check the stop flag
             except TransportError:  # includes PeerClosedError
                 return
             except PbioError:

@@ -1,15 +1,29 @@
 """Network substrate: transports, the paper-calibrated network model, real
-loopback sockets, and round-trip cost accounting."""
+loopback sockets, the async event-loop serving core, and round-trip cost
+accounting."""
 
 from .transport import (
+    FrameBuffer,
     InMemoryPipe,
     PeerClosedError,
     Transport,
     TransportError,
     TransportTimeout,
+    WriteQueueFull,
     frame,
     read_frame,
     transport_token,
+)
+from .aio import (
+    AsyncServer,
+    AsyncSocketTransport,
+    channel_handler,
+    drain,
+    echo_handler,
+    fmtserv_handler,
+    relay_handler,
+    rpc_handler,
+    serve_rpc_call,
 )
 from .faults import (
     FaultInjectingTransport,
@@ -25,7 +39,7 @@ from .simulated import (
 )
 from .sockets import EchoServer, SocketTransport, loopback_pair
 from .timing import LegCost, RoundTripCost, TimingTable, best_of, calibrated_inner
-from .channel import ChannelPublisher, EventChannel, SubscriberStats, Subscription
+from .channel import ChannelPublisher, EventChannel, SubscriberStats, Subscription, WireTap
 from .relay import Relay
 
 __all__ = [
@@ -33,10 +47,21 @@ __all__ = [
     "TransportError",
     "TransportTimeout",
     "PeerClosedError",
+    "WriteQueueFull",
+    "FrameBuffer",
     "InMemoryPipe",
     "frame",
     "read_frame",
     "transport_token",
+    "AsyncServer",
+    "AsyncSocketTransport",
+    "serve_rpc_call",
+    "drain",
+    "rpc_handler",
+    "fmtserv_handler",
+    "relay_handler",
+    "channel_handler",
+    "echo_handler",
     "FaultPlan",
     "FaultInjectingTransport",
     "RetryPolicy",
@@ -57,5 +82,6 @@ __all__ = [
     "ChannelPublisher",
     "Subscription",
     "SubscriberStats",
+    "WireTap",
     "Relay",
 ]

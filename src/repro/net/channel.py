@@ -38,6 +38,8 @@ from repro.core.filters import RecordFilter
 from repro.core.runtime import ConverterCache, Metrics, SubscriberStats
 from repro.core import encoder as enc
 
+from .transport import TransportError
+
 #: Per-subscriber error policies: propagate (pre-existing behaviour),
 #: count-and-continue, or count-and-unsubscribe.
 ERROR_POLICIES = ("raise", "suppress", "detach")
@@ -181,6 +183,23 @@ class Subscription:
                     raise
 
 
+class WireTap:
+    """One wire-attached remote peer of an :class:`EventChannel`.
+
+    ``send`` is the peer's frame sink — typically
+    ``AsyncSocketTransport.send``, a synchronous bounded-queue enqueue,
+    so fanning a message to hundreds of taps never blocks the
+    publisher.  Per-tap counters: ``forwarded``, ``send_errors``,
+    ``detached``.
+    """
+
+    __slots__ = ("send", "metrics")
+
+    def __init__(self, send: Callable[[bytes], None]):
+        self.send = send
+        self.metrics = Metrics()
+
+
 class EventChannel:
     """An in-process record distribution hub with late-join support.
 
@@ -189,12 +208,21 @@ class EventChannel:
     subscribers; pass :func:`repro.core.runtime.shared_cache()` for the
     process-global cache or a fresh :class:`ConverterCache` scoped to
     this channel.
+
+    Besides in-process :class:`Subscription` handlers, remote peers can
+    attach *over the wire* (:meth:`attach_wire`): every published frame
+    — announcements and data alike — is forwarded to their transport,
+    and frames they send in arrive through :meth:`ingest`.  A tap whose
+    transport fails (including a full bounded write queue on an async
+    transport: the slow-consumer signal) is detached, never retried —
+    the same failure isolation subscribers get.
     """
 
     def __init__(
         self, *, cache: ConverterCache | None = None, format_service=None
     ) -> None:
         self._subscribers: list[Subscription] = []
+        self._taps: list[WireTap] = []
         self._announcements: list[bytes] = []  # replayed to late joiners
         self._cache = cache
         #: Channel-wide format service: attached to every publisher and
@@ -203,6 +231,7 @@ class EventChannel:
         #: analogue of "every peer talks to the same format server").
         self._format_service = format_service
         self.messages_published = 0
+        self.metrics = Metrics()  # channel-level: channel.frames_rejected
 
     @property
     def cache(self) -> ConverterCache | None:
@@ -251,18 +280,73 @@ class EventChannel:
     def unsubscribe(self, sub: Subscription) -> None:
         self._subscribers.remove(sub)
 
+    # -- wire attachment -------------------------------------------------------
+
+    def attach_wire(self, send: Callable[[bytes], None]) -> WireTap:
+        """Attach a remote peer by its frame sink; replays the
+        announcement backlog first so the peer can decode the ongoing
+        stream immediately (the wire analogue of :meth:`subscribe`'s
+        late-join replay).  A replay failure propagates — don't
+        half-join a broken transport."""
+        tap = WireTap(send)
+        for announcement in self._announcements:
+            tap.send(announcement)
+            tap.metrics.inc("forwarded")
+        self._taps.append(tap)
+        return tap
+
+    def detach_wire(self, tap: WireTap) -> None:
+        if tap in self._taps:
+            self._taps.remove(tap)
+
+    @property
+    def tap_count(self) -> int:
+        return len(self._taps)
+
+    def ingest(self, message: bytes, *, exclude: WireTap | None = None) -> None:
+        """Feed one frame arriving from the wire into the channel.
+
+        Wire ingress is hostile-input territory: frames that are not
+        PBIO messages are counted (``channel.frames_rejected``) and
+        dropped rather than crashing delivery, and point-to-point
+        recovery traffic (``MSG_FORMAT_REQUEST``) is meaningless
+        in-channel so it is dropped silently.  ``exclude`` names the
+        originating tap, which must not be echoed its own frame.
+        """
+        header = enc.try_unpack_header(message)
+        if header is None:
+            self.metrics.inc("channel.frames_rejected")
+            return
+        if header[0] == enc.MSG_FORMAT_REQUEST:
+            return
+        self._publish_message(bytes(message), exclude=exclude)
+
+    def _fan_to_wire(self, message: bytes, exclude: WireTap | None) -> None:
+        for tap in list(self._taps):
+            if tap is exclude:
+                continue
+            try:
+                tap.send(message)
+            except TransportError:  # includes WriteQueueFull: slow consumer
+                tap.metrics.inc("send_errors")
+                tap.metrics.inc("detached")
+                self.detach_wire(tap)
+            else:
+                tap.metrics.inc("forwarded")
+
     # -- publishing ------------------------------------------------------------
 
     def publisher(self, ctx: IOContext) -> "ChannelPublisher":
         return ChannelPublisher(self, ctx)
 
-    def _publish_message(self, message: bytes) -> None:
+    def _publish_message(self, message: bytes, *, exclude: WireTap | None = None) -> None:
         if enc.message_kind(message) in (enc.MSG_FORMAT, enc.MSG_FORMAT_TOKEN):
             self._announcements.append(message)
         else:
             self.messages_published += 1
         for sub in list(self._subscribers):
             self._deliver(sub, message)
+        self._fan_to_wire(message, exclude)
 
     def _deliver(self, sub: Subscription, message: bytes) -> None:
         """Offer a message to one subscriber under its error policy."""
@@ -276,7 +360,7 @@ class EventChannel:
                 if sub in self._subscribers:
                     self._subscribers.remove(sub)
 
-    def _publish_batch(self, batch: list[bytes]) -> None:
+    def _publish_batch(self, batch: list[bytes], *, exclude: WireTap | None = None) -> None:
         """Fan a burst of data messages to every subscriber, one batch
         decode per subscriber per run instead of one per message."""
         self.messages_published += len(batch)
@@ -290,6 +374,8 @@ class EventChannel:
                 sub.metrics.inc("detached")
                 if sub in self._subscribers:
                     self._subscribers.remove(sub)
+        for message in batch:
+            self._fan_to_wire(message, exclude)
 
     @property
     def subscriber_count(self) -> int:

@@ -101,6 +101,15 @@ class FaultInjectingTransport(Transport):
     ``faults.dropped``, ``faults.truncated``, ``faults.corrupted``,
     ``faults.duplicated``, ``faults.delayed`` and ``faults.disconnects``;
     ``messages`` counts every attempted send (active plans only).
+
+    The wrapper composes with :class:`repro.net.aio.AsyncSocketTransport`
+    unchanged — and with the *same* seeded per-message plans: faults are
+    injected on the send path, and an async transport's sends are
+    synchronous bounded-queue enqueues, so every draw lands exactly as
+    it would on a blocking socket.  ``recv`` aliasing/delegation returns
+    the inner coroutine for async inners (callers ``await`` it);
+    :meth:`drain` and :attr:`write_queue_depth` delegate so async
+    handlers can apply backpressure through the wrapper.
     """
 
     def __init__(
@@ -233,6 +242,17 @@ class FaultInjectingTransport(Transport):
 
     def set_timeout(self, timeout_s: float | None) -> None:
         self._inner.set_timeout(timeout_s)
+
+    @property
+    def write_queue_depth(self) -> int:
+        """Bytes queued in the inner transport (0 for unqueued inners)."""
+        return getattr(self._inner, "write_queue_depth", 0)
+
+    async def drain(self) -> None:
+        """Await the inner transport's write queue (no-op for sync inners)."""
+        inner_drain = getattr(self._inner, "drain", None)
+        if inner_drain is not None:
+            await inner_drain()
 
     def close(self) -> None:
         if not self._broken:

@@ -20,6 +20,16 @@ its siblings.  Errors are counted per downstream (``send_errors``) and
 after ``quarantine_after`` *consecutive* failures the downstream is
 quarantined — skipped until :meth:`Relay.reactivate` brings it back with
 a fresh announcement replay (``detached`` marks the transition).
+
+Async downstreams compose directly: an
+:class:`~repro.net.aio.AsyncSocketTransport`'s ``send``/``send_many``
+are synchronous bounded-queue enqueues, so the fan-out loop never
+blocks on one peer, and a queue at capacity raises
+:class:`~repro.net.transport.WriteQueueFull` — a ``TransportError`` —
+so the *same* consecutive-failure quarantine that handles broken links
+doubles as slow-consumer eviction (the paper's co-processor must shed,
+not stall).  :attr:`_Downstream.write_queue_depth` exposes the live
+queue depth for monitoring.
 """
 
 from __future__ import annotations
@@ -44,6 +54,12 @@ class _Downstream:
         self.stats = DownstreamStats(self.metrics)
         self.consecutive_errors = 0
         self.quarantined = False
+
+    @property
+    def write_queue_depth(self) -> int:
+        """Bytes queued toward this downstream (async transports only;
+        0 for blocking links, which have no queue to measure)."""
+        return getattr(self.transport, "write_queue_depth", 0)
 
 
 class Relay:

@@ -21,6 +21,7 @@ from typing import Callable
 
 from .transport import (
     MAX_FRAME,
+    FrameBuffer,
     Transport,
     TransportError,
     TransportTimeout,
@@ -32,10 +33,6 @@ from .transport import (
 #: ever tripping EMSGSIZE on smaller platforms.
 _IOV_MAX = 512
 
-#: Initial receive-buffer capacity.  Grows (doubling) when a single frame
-#: exceeds it; typical PBIO records never force a grow.
-_RECV_BUF = 64 * 1024
-
 
 class SocketTransport(Transport):
     """Length-prefix framed messages over a connected TCP socket."""
@@ -43,10 +40,7 @@ class SocketTransport(Transport):
     def __init__(self, sock: socket.socket):
         self._sock = sock
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._rbuf = bytearray(_RECV_BUF)
-        self._rview = memoryview(self._rbuf)
-        self._rstart = 0  # first unconsumed byte
-        self._rend = 0  # one past the last filled byte
+        self._framer = FrameBuffer()
 
     def set_timeout(self, timeout_s: float | None) -> None:
         """Bound blocking send/recv; exceeded → :class:`TransportTimeout`."""
@@ -101,59 +95,29 @@ class SocketTransport(Transport):
             self._sendv(bufs)
 
     # -- buffered receive framer --------------------------------------------
+    #
+    # The buffer and slicing discipline live in FrameBuffer (shared with
+    # the async transport); this class only supplies the blocking fill.
 
-    def _buffered_frame(self) -> bytes | None:
-        """Slice one complete frame out of the receive buffer, or None."""
-        avail = self._rend - self._rstart
-        if avail < 4:
-            return None
-        (n,) = _LEN.unpack_from(self._rbuf, self._rstart)
-        if n > MAX_FRAME:
-            raise TransportError(f"frame too large: {n}")
-        if avail < 4 + n:
-            return None
-        start = self._rstart + 4
-        data = bytes(self._rview[start : start + n])
-        self._rstart = start + n
-        if self._rstart == self._rend:
-            self._rstart = self._rend = 0  # drained: make compaction rare
-        return data
-
-    def _fill(self, needed: int) -> None:
-        """Grow/compact so ``needed`` more bytes fit, then recv_into once."""
-        cap = len(self._rbuf)
-        if self._rend + needed > cap:
-            pending = bytes(self._rview[self._rstart : self._rend])
-            if len(pending) + needed > cap:
-                cap = max(cap * 2, len(pending) + needed)
-                self._rview.release()
-                self._rbuf = bytearray(cap)
-                self._rview = memoryview(self._rbuf)
-            # copy via bytes above: overlapping memoryview assignment is
-            # undefined, and the slice is tiny (a partial frame)
-            self._rbuf[: len(pending)] = pending
-            self._rstart, self._rend = 0, len(pending)
+    def _fill(self) -> None:
+        """Make writable space, then recv_into once."""
+        view = self._framer.writable(self._framer.needed())
         try:
-            got = self._sock.recv_into(self._rview[self._rend :])
+            got = self._sock.recv_into(view)
         except TimeoutError as exc:
             raise TransportTimeout(f"recv timed out: {exc}") from exc
         except OSError as exc:
             raise TransportError(f"recv failed: {exc}") from exc
         if not got:
             raise TransportError("connection closed mid-frame")
-        self._rend += got
+        self._framer.advance(got)
 
     def _next_frame(self) -> bytes:
         while True:
-            data = self._buffered_frame()
+            data = self._framer.next_frame()
             if data is not None:
                 return data
-            avail = self._rend - self._rstart
-            if avail >= 4:
-                (n,) = _LEN.unpack_from(self._rbuf, self._rstart)
-                self._fill(4 + n - avail)
-            else:
-                self._fill(4 - avail)
+            self._fill()
 
     def recv(self) -> bytes:
         return self._next_frame()
@@ -163,7 +127,7 @@ class SocketTransport(Transport):
         sitting in the receive buffer — no extra syscalls."""
         out = [self._next_frame()]
         while max_frames <= 0 or len(out) < max_frames:
-            data = self._buffered_frame()
+            data = self._framer.next_frame()
             if data is None:
                 break
             out.append(data)
@@ -203,11 +167,20 @@ class EchoServer:
     records the exception, closes its socket deliberately — the client's
     pending ``recv`` fails fast with a :class:`TransportError` — and
     re-raises the original exception from :meth:`close`.
+
+    ``timeout_s`` bounds every blocking operation on both ends (default
+    10 s, the historical constant); slow-CI chaos runs pass a larger
+    budget instead of editing the source.
     """
 
-    def __init__(self, handler: Callable[[bytes], bytes] | None = None):
+    def __init__(
+        self,
+        handler: Callable[[bytes], bytes] | None = None,
+        *,
+        timeout_s: float = 10.0,
+    ):
         self._handler = handler or (lambda data: data)
-        self._local, remote = loopback_pair()
+        self._local, remote = loopback_pair(timeout_s)
         self._remote = remote
         self._thread = threading.Thread(target=self._serve, daemon=True)
         self._stopping = False

@@ -40,6 +40,17 @@ class TransportTimeout(TransportError):
     """A blocking send/recv exceeded the configured timeout."""
 
 
+class WriteQueueFull(TransportError):
+    """A bounded send queue rejected a frame: the peer is not draining.
+
+    Raised by queueing transports (:class:`repro.net.aio.AsyncSocketTransport`)
+    whose per-connection write queue is at capacity.  It is a
+    :class:`TransportError` deliberately: fan-out layers (the relay) treat a
+    persistently-full queue exactly like a broken link — count, report,
+    quarantine — which is the slow-consumer eviction policy.
+    """
+
+
 #: Monotonic ids for :func:`transport_token` (never recycled, unlike ``id()``).
 _token_counter = itertools.count(1)
 
@@ -128,6 +139,88 @@ def read_frame(read_exact) -> bytes:
     if n > MAX_FRAME:
         raise TransportError(f"frame too large: {n}")
     return read_exact(n)
+
+
+#: Initial receive-buffer capacity.  Grows (doubling) when a single frame
+#: exceeds it; typical PBIO records never force a grow.
+RECV_BUF = 64 * 1024
+
+
+class FrameBuffer:
+    """The buffered receive framer, shared by every socket transport.
+
+    Owns a reusable receive buffer from which complete length-prefixed
+    frames are sliced without further kernel crossings; the transport
+    supplies bytes by asking for :meth:`writable` space, filling it with
+    one ``recv_into`` (blocking or readiness-driven), and reporting the
+    count via :meth:`advance`.  Factoring the buffer out of
+    :class:`~repro.net.sockets.SocketTransport` lets the async transport
+    (:mod:`repro.net.aio`) reuse the exact same framing discipline.
+    """
+
+    __slots__ = ("_buf", "_view", "_start", "_end")
+
+    def __init__(self, capacity: int = RECV_BUF):
+        self._buf = bytearray(capacity)
+        self._view = memoryview(self._buf)
+        self._start = 0  # first unconsumed byte
+        self._end = 0  # one past the last filled byte
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered but not yet sliced into frames."""
+        return self._end - self._start
+
+    def next_frame(self) -> bytes | None:
+        """Slice one complete frame out of the buffer, or None."""
+        avail = self._end - self._start
+        if avail < 4:
+            return None
+        (n,) = _LEN.unpack_from(self._buf, self._start)
+        if n > MAX_FRAME:
+            raise TransportError(f"frame too large: {n}")
+        if avail < 4 + n:
+            return None
+        start = self._start + 4
+        data = bytes(self._view[start : start + n])
+        self._start = start + n
+        if self._start == self._end:
+            self._start = self._end = 0  # drained: make compaction rare
+        return data
+
+    def needed(self) -> int:
+        """Bytes still missing before the current frame is complete.
+
+        Only meaningful after :meth:`next_frame` returned None (there is
+        always at least one byte missing then).
+        """
+        avail = self._end - self._start
+        if avail >= 4:
+            (n,) = _LEN.unpack_from(self._buf, self._start)
+            return 4 + n - avail
+        return 4 - avail
+
+    def writable(self, needed: int) -> memoryview:
+        """Grow/compact so ``needed`` more bytes fit; return the tail to
+        fill.  The view covers *all* free space, not just ``needed``
+        bytes, so one kernel read can deliver many frames."""
+        cap = len(self._buf)
+        if self._end + needed > cap:
+            pending = bytes(self._view[self._start : self._end])
+            if len(pending) + needed > cap:
+                cap = max(cap * 2, len(pending) + needed)
+                self._view.release()
+                self._buf = bytearray(cap)
+                self._view = memoryview(self._buf)
+            # copy via bytes above: overlapping memoryview assignment is
+            # undefined, and the slice is tiny (a partial frame)
+            self._buf[: len(pending)] = pending
+            self._start, self._end = 0, len(pending)
+        return self._view[self._end :]
+
+    def advance(self, count: int) -> None:
+        """Record ``count`` bytes written into the :meth:`writable` view."""
+        self._end += count
 
 
 class InMemoryPipe:

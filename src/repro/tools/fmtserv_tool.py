@@ -10,12 +10,15 @@ Usage::
     pbio-fmtserv purge --server 127.0.0.1:7788 [--fingerprint HEX]
     pbio-fmtserv purge --cache local.pbfc [--fingerprint HEX]
 
-``serve`` accepts loopback-or-anywhere TCP connections and runs each on
-its own thread until the peer disconnects; ``--store`` makes the
-population (and its token bindings) survive restarts.  With ``--port 0``
-the kernel picks a free port, printed as ``listening on HOST:PORT``
-before the first accept — scripts can parse it.  ``--once`` serves a
-single connection and exits (smoke tests); the default serves forever.
+``serve`` accepts loopback-or-anywhere TCP connections, multiplexed on
+one :class:`~repro.net.aio.AsyncServer` event loop — one process, no
+per-connection threads; ``--store`` makes the population (and its token
+bindings) survive restarts.  With ``--port 0`` the kernel picks a free
+port, printed as ``listening on HOST:PORT`` before the first accept —
+scripts can parse it.  ``--once`` serves a single connection and exits
+(smoke tests); ``--max-clients`` sheds connections beyond the bound at
+accept time (an orderly close, never a hung socket); the default serves
+forever.
 
 ``prime`` is the warm-start half of the design: it copies the server's
 whole format population into a local cache file, so a process restarted
@@ -30,9 +33,9 @@ from __future__ import annotations
 import argparse
 import socket
 import sys
-import threading
 
 from repro.fmtserv import FormatCache, FormatServer, FormatService
+from repro.net.aio import AsyncServer, fmtserv_handler
 from repro.net.sockets import SocketTransport
 from repro.net.transport import TransportError
 
@@ -68,34 +71,27 @@ def _service_for(args) -> FormatService:
 
 def _serve(args) -> int:
     store = FormatCache(args.store) if args.store else None
-    server = FormatServer(store=store)
-    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    fserver = FormatServer(store=store)
+    server = AsyncServer(
+        fmtserv_handler(fserver),
+        host=args.host,
+        port=args.port,
+        max_clients=args.max_clients,
+        once=args.once,
+    )
     try:
-        listener.bind((args.host, args.port))
+        host, port = server.bind()
     except OSError as exc:
         print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 1
-    listener.listen(16)
-    host, port = listener.getsockname()[:2]
     print(f"listening on {host}:{port}", flush=True)
     try:
-        while True:
-            conn, peer = listener.accept()
-            transport = SocketTransport(conn)
-            if args.once:
-                server.serve(transport)
-                transport.close()
-                break
-            thread = threading.Thread(
-                target=server.serve, args=(transport,), daemon=True
-            )
-            thread.start()
+        server.run()
     except KeyboardInterrupt:
         pass
     finally:
-        listener.close()
-        counters = server.metrics.counters()
+        counters = dict(fserver.metrics.counters())
+        counters.update(server.metrics.counters())
         if counters:
             summary = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
             print(f"served: {summary}", flush=True)
@@ -202,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store", default=None, help="persist formats to this file")
     serve.add_argument(
         "--once", action="store_true", help="serve one connection, then exit"
+    )
+    serve.add_argument(
+        "--max-clients",
+        type=int,
+        default=None,
+        help="shed connections beyond this many concurrent clients",
     )
     serve.set_defaults(func=_serve)
 

@@ -223,3 +223,85 @@ class TestPipeCloseSemantics:
         with pytest.raises(TransportError) as excinfo:
             a.recv()
         assert not isinstance(excinfo.value, PeerClosedError)
+
+
+def _small_buffer_pair(sndbuf=4096, rcvbuf=4096, timeout_s=10.0):
+    """A loopback TCP pair with deliberately tiny kernel buffers, so
+    vectored sends go partial and the framer sees fragmented reads."""
+    import socket
+
+    from repro.net import SocketTransport
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    client = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    client.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, sndbuf)
+    client.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+    client.settimeout(timeout_s)
+    client.connect(listener.getsockname())
+    server, _ = listener.accept()
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, sndbuf)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+    server.settimeout(timeout_s)
+    listener.close()
+    return SocketTransport(client), SocketTransport(server)
+
+
+class TestSmallKernelBuffers:
+    """send_segments partial-send resume and the buffered framer under
+    real nonblocking-kernel conditions, not just InMemoryPipe."""
+
+    def test_send_segments_partial_send_resume(self):
+        import threading
+
+        c, s = _small_buffer_pair()
+        try:
+            # 64 segments x 8 KiB = 512 KiB, far beyond both kernel
+            # buffers: sendmsg must go partial and resume mid-iovec.
+            segments = [bytes([i]) * 8192 for i in range(64)]
+            sender = threading.Thread(target=c.send_segments, args=(segments,))
+            sender.start()
+            received = s.recv()
+            sender.join(timeout=10)
+            assert not sender.is_alive()
+            assert received == b"".join(segments)
+        finally:
+            c.close()
+            s.close()
+
+    def test_send_many_burst_survives_fragmentation(self):
+        import threading
+
+        c, s = _small_buffer_pair()
+        try:
+            frames = [bytes([i % 256]) * (1 + 977 * i % 4096) for i in range(128)]
+            sender = threading.Thread(target=c.send_many, args=(frames,))
+            sender.start()
+            received = []
+            while len(received) < len(frames):
+                received.extend(s.recv_many())
+            sender.join(timeout=10)
+            assert not sender.is_alive()
+            assert received == frames
+        finally:
+            c.close()
+            s.close()
+
+    def test_echo_server_timeout_parameter(self):
+        from repro.net import TransportTimeout
+
+        with EchoServer(timeout_s=0.1) as server:
+            with pytest.raises(TransportTimeout):
+                server.client.recv()  # nothing inbound: bounded wait
+
+    def test_loopback_pair_timeout_parameter(self):
+        from repro.net import TransportTimeout
+
+        c, s = loopback_pair(timeout_s=0.1)
+        try:
+            with pytest.raises(TransportTimeout):
+                c.recv()
+        finally:
+            c.close()
+            s.close()
