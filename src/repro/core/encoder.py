@@ -19,6 +19,11 @@ Message types:
 * ``MSG_FORMAT_REQUEST`` — a receiver that cannot resolve a fingerprint
   (format server down, cold cache) asks the sender to re-announce the
   format inline; the payload is the fingerprint being requested.
+* ``MSG_PING`` / ``MSG_PONG`` — link-liveness probes (docs/robustness.md
+  §9): 16 bytes of payload carrying a monotonic nonce plus the sender's
+  current write-queue depth.  A nonce of 0 is reserved for the *goodbye*
+  ping a draining endpoint emits so peers reconnect promptly instead of
+  waiting out a timeout.
 """
 
 from __future__ import annotations
@@ -34,8 +39,10 @@ MSG_FORMAT = 1
 MSG_DATA = 2
 MSG_FORMAT_TOKEN = 3
 MSG_FORMAT_REQUEST = 4
+MSG_PING = 5
+MSG_PONG = 6
 
-_MSG_TYPES = (MSG_FORMAT, MSG_DATA, MSG_FORMAT_TOKEN, MSG_FORMAT_REQUEST)
+_MSG_TYPES = (MSG_FORMAT, MSG_DATA, MSG_FORMAT_TOKEN, MSG_FORMAT_REQUEST, MSG_PING, MSG_PONG)
 
 # magic, version, msg type, pad, context id, format id, payload length
 _HEADER = struct.Struct(">BBBxIII")
@@ -193,3 +200,50 @@ def parse_format_request(message) -> bytes:
             f"header says {payload_len}, got {len(payload)}"
         )
     return payload
+
+
+_HEARTBEAT_PAYLOAD = struct.Struct(">QQ")  # nonce, sender write-queue depth
+HEARTBEAT_PAYLOAD_SIZE = _HEARTBEAT_PAYLOAD.size
+GOODBYE_NONCE = 0  # reserved: "I am draining, reconnect elsewhere"
+
+
+def encode_ping(nonce: int, queue_depth: int = 0) -> bytes:
+    """A liveness probe: ``(nonce, queue_depth)``, 32 bytes total.
+
+    ``nonce`` echoes back in the matching pong so a monitor can tell a
+    fresh answer from a stale one; ``queue_depth`` piggybacks the
+    sender's write-queue occupancy so peers see backpressure building
+    before it turns into :class:`WriteQueueFull`.  Nonce 0 is the
+    goodbye ping (:data:`GOODBYE_NONCE`) — no pong is expected.
+    """
+    payload = _HEARTBEAT_PAYLOAD.pack(nonce, queue_depth)
+    return pack_header(MSG_PING, 0, 0, len(payload)) + payload
+
+
+def encode_pong(nonce: int, queue_depth: int = 0) -> bytes:
+    """The answer to a ping, echoing its nonce."""
+    payload = _HEARTBEAT_PAYLOAD.pack(nonce, queue_depth)
+    return pack_header(MSG_PONG, 0, 0, len(payload)) + payload
+
+
+def _parse_heartbeat(message, expected_type: int, what: str) -> tuple[int, int]:
+    msg_type, _context_id, _format_id, payload_len = unpack_header(message)
+    if msg_type != expected_type:
+        raise MessageError(f"expected a {what}, got type {msg_type}")
+    payload = bytes(message[HEADER_SIZE:])
+    if payload_len != HEARTBEAT_PAYLOAD_SIZE or len(payload) != HEARTBEAT_PAYLOAD_SIZE:
+        raise MessageError(
+            f"{what} payload must be {HEARTBEAT_PAYLOAD_SIZE} bytes, "
+            f"header says {payload_len}, got {len(payload)}"
+        )
+    return _HEARTBEAT_PAYLOAD.unpack(payload)
+
+
+def parse_ping(message) -> tuple[int, int]:
+    """Returns ``(nonce, queue_depth)``; strict-size like the other control frames."""
+    return _parse_heartbeat(message, MSG_PING, "ping")
+
+
+def parse_pong(message) -> tuple[int, int]:
+    """Returns ``(nonce, queue_depth)`` from a pong."""
+    return _parse_heartbeat(message, MSG_PONG, "pong")

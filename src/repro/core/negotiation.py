@@ -124,6 +124,8 @@ class InboundNegotiator:
         self._pending: dict[tuple[int, int], bytes] = {}  # (cid, fid) -> fingerprint
         self._held: dict[tuple[int, int], list[bytes]] = {}
         self._ready: deque[bytes] = deque()
+        #: Set when the peer sent a goodbye ping (it is draining).
+        self.peer_goodbye = False
 
     def next_ready(self) -> bytes | None:
         """The next frame ready for the caller, if any."""
@@ -202,6 +204,17 @@ class InboundNegotiator:
                 # A re-announcement that resolves now (service recovered):
                 # anything held from the earlier failure is decodable.
                 self._release((header[1], header[2]))
+            return
+        if kind == enc.MSG_PING:
+            nonce, _depth = enc.parse_ping(frame)
+            if nonce == enc.GOODBYE_NONCE:
+                self.peer_goodbye = True  # peer is draining; no pong expected
+            else:
+                self._send(enc.encode_pong(nonce))
+            return
+        if kind == enc.MSG_PONG:
+            # A pong reaching the negotiator means no HeartbeatMonitor
+            # polled it first; it carries no format state — drop it.
             return
         self._serve_meta(enc.parse_format_request(frame))
 

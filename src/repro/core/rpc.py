@@ -370,6 +370,27 @@ class RpcServer:
     def stopped(self) -> bool:
         return self._stop.is_set()
 
+    def drain_and_stop(self, deadline_s: float = 5.0) -> None:
+        """:meth:`stop`, preceded by a goodbye ping on every known link.
+
+        The goodbye (``MSG_PING`` with nonce 0) tells clients the server
+        is draining so they re-dial a replica immediately instead of
+        timing out a dead call.  Synchronous transports have no queued
+        sends to flush, so ``deadline_s`` exists for signature parity
+        with the async servers (where
+        :meth:`repro.net.aio.AsyncServer.drain_and_stop` owns the queue
+        flush); links that fail the goodbye are skipped — they were
+        already gone.
+        """
+        for neg in list(self._negotiators.values()):
+            try:
+                neg._send(enc.encode_ping(enc.GOODBYE_NONCE))
+            except TransportError:
+                continue
+            self.metrics.inc("rpc.goodbyes_sent")
+        self.stop()
+        self.metrics.inc("rpc.drained")
+
     def register(self, object_key: bytes, operations: dict[str, Callable[[dict], dict]]) -> None:
         for name in operations:
             self.interface[name]  # validate

@@ -252,4 +252,11 @@ class DownstreamStats(_MetricsView):
         "announcements",
         "send_errors",
         "detached",
+        "reactivated",
+        "evicted",
+        "probes_sent",
+        "overflow_queued",
+        "overflow_dropped",
+        "overflow_flushed",
+        "goodbyes_sent",
     )

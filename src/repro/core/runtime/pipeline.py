@@ -429,11 +429,13 @@ class DecodePipeline:
         if msg_type == enc.MSG_FORMAT_TOKEN:
             self.absorb_token(message)
             return None
-        # MSG_FORMAT_REQUEST: requests are addressed to a *sender* and
-        # handled by the negotiation layer; one reaching a bare decode
-        # path is mis-delivery.
+        # MSG_FORMAT_REQUEST / MSG_PING / MSG_PONG: link-level control
+        # addressed to a *peer endpoint* and handled by the negotiation or
+        # health layer; one reaching a bare decode path is mis-delivery.
         self.metrics.inc("decode.rejected")
-        raise MessageError("format request outside a negotiated stream")
+        raise MessageError(
+            f"link control message (type {msg_type}) outside a negotiated stream"
+        )
 
     # -- batch decode ---------------------------------------------------------
 
@@ -523,11 +525,13 @@ class DecodePipeline:
                     self.metrics.inc("decode.batch.rejected")
                     if strict:
                         raise
-            else:  # MSG_FORMAT_REQUEST: mis-delivery, as in ingest()
+            else:  # request/ping/pong: mis-delivery, as in ingest()
                 self.metrics.inc("decode.rejected")
                 self.metrics.inc("decode.batch.rejected")
                 if strict:
-                    raise MessageError("format request outside a negotiated stream")
+                    raise MessageError(
+                        f"link control message (type {msg_type}) outside a negotiated stream"
+                    )
         flush()
         return out
 

@@ -3,15 +3,18 @@
 The service wraps the resolution ladder every integration point uses:
 
 1. local :class:`FormatCache` (memory, then the persisted disk layer),
-2. the format server, under a :class:`~repro.net.faults.RetryPolicy`
-   and a server-down holdoff so a dead server costs one timed-out call
-   per holdoff window, not one per message,
+2. the format servers — an *ordered replica list*, each behind its own
+   :class:`~repro.net.health.CircuitBreaker` (the open/half-open/closed
+   generalisation of the original flat server-down holdoff), tried in
+   order under a :class:`~repro.net.faults.RetryPolicy`; a replica that
+   fails (:class:`~repro.net.transport.PeerUnresponsive`, timeout, dead
+   link) opens its breaker and the call fails over to the next,
 3. nothing — the caller falls back to inline announcements.
 
-Step 3 is load-bearing: the server improves steady-state wire bytes and
-cold-start latency but is *never* a hard dependency.  Every failure in
-steps 1–2 — unreachable server, faulted link, rejected registration —
-degrades to exactly the pre-service behaviour.
+Step 3 is load-bearing: the servers improve steady-state wire bytes and
+cold-start latency but are *never* a hard dependency.  Every failure in
+steps 1–2 — all replicas unreachable, faulted links, rejected
+registration — degrades to exactly the pre-service behaviour.
 """
 
 from __future__ import annotations
@@ -28,26 +31,61 @@ from repro.core.rpc import RpcClient, RpcError
 from repro.core.runtime import Metrics
 from repro.core.safety import DEFAULT_LIMITS, DecodeLimits
 from repro.net.faults import RetryPolicy
+from repro.net.health import CircuitBreaker
 from repro.net.transport import Transport, TransportError
 
 from .cache import FormatCache
 from .protocol import FMTSERV_INTERFACE, FMTSERV_OBJECT, STATUS_OK
 
 
+class _ReplicaSlot:
+    """One server in the ordered failover list: its dialer, its live
+    transport (if any), and its circuit breaker."""
+
+    __slots__ = ("connect", "transport", "breaker")
+
+    def __init__(self, connect, breaker: CircuitBreaker):
+        self.connect = connect
+        # Anything with a send() is used as the connection directly (duck
+        # typing matches the rest of the net layer); otherwise `connect`
+        # is a dialer invoked lazily and after failures.
+        self.transport: Transport | None = (
+            connect if hasattr(connect, "send") else None
+        )
+        self.breaker = breaker
+
+    def transport_for_call(self) -> Transport:
+        if self.transport is None:
+            self.transport = self.connect()
+        return self.transport
+
+    def drop_transport(self) -> None:
+        """Close a (possibly wedged) dialled connection; the next attempt
+        after the holdoff re-dials from scratch."""
+        if self.transport is not None and callable(self.connect):
+            try:
+                self.transport.close()
+            except Exception:
+                pass
+            self.transport = None
+
+
 class FormatService:
     """One process's handle on the format service.
 
     ``connect`` is a :class:`~repro.net.transport.Transport`, a
-    zero-argument callable producing one (re-dialled after failures), or
+    zero-argument callable producing one (re-dialled after failures), an
+    ordered *list* of either (replicas, tried first-to-last), or
     ``None`` for *offline mode*: cache-only, every server step skipped.
     Offline mode is what an unconfigured system gets — it makes the
     service safe to thread through constructors unconditionally.
 
-    ``server_retry_s`` is the down-holdoff: after a transport failure or
-    timeout the server is not contacted again until that much monotonic
-    time has passed (in between, callers fall straight through to inline
-    fallback).  ``clock``/``sleep`` are injectable for deterministic
-    fault sweeps.
+    ``server_retry_s`` seeds each replica's circuit breaker: after a
+    transport failure or timeout that replica is not contacted again
+    until the holdoff passes (doubling per consecutive failure), and
+    calls fail over to the next replica in order.  Only when every
+    breaker is open do callers fall straight through to inline fallback.
+    ``clock``/``sleep`` are injectable for deterministic fault sweeps.
     """
 
     def __init__(
@@ -80,71 +118,87 @@ class FormatService:
         self._sleep = sleep
         self.client_id = client_id if client_id is not None else fresh_context_id()
         self._rpc = RpcClient(machine, FMTSERV_INTERFACE, limits=limits)
-        # Anything with a send() is used as the connection directly (duck
-        # typing matches the rest of the net layer); otherwise `connect`
-        # is a dialer invoked lazily and after failures.
-        self._transport: Transport | None = (
-            connect if connect is not None and hasattr(connect, "send") else None
-        )
-        self._down_until: float | None = None
+        if connect is None:
+            targets: list = []
+        elif isinstance(connect, (list, tuple)):
+            targets = list(connect)
+        else:
+            targets = [connect]
+        self._slots = [
+            _ReplicaSlot(
+                target,
+                CircuitBreaker(server_retry_s, clock=clock),
+            )
+            for target in targets
+        ]
 
     # -- server plumbing -----------------------------------------------------
 
     @property
     def online(self) -> bool:
-        """Whether a server call would be attempted right now."""
-        if self._connect is None:
-            return False
-        if self._down_until is not None and self._clock() < self._down_until:
-            return False
-        return True
+        """Whether a server call would be attempted right now (some
+        replica's breaker is not open)."""
+        return any(slot.breaker.state != "open" for slot in self._slots)
 
-    def _transport_for_call(self) -> Transport:
-        if self._transport is None:
-            assert callable(self._connect)
-            self._transport = self._connect()
-        return self._transport
+    @property
+    def replica_states(self) -> list[str]:
+        """Breaker state per configured replica, in failover order."""
+        return [slot.breaker.state for slot in self._slots]
 
-    def _mark_down(self) -> None:
-        self.metrics.inc("fmtserv.server_unreachable")
-        self._down_until = self._clock() + self.server_retry_s
-        # Drop the (possibly wedged) connection; the next attempt after
-        # the holdoff re-dials from scratch.
-        if self._transport is not None and callable(self._connect):
-            try:
-                self._transport.close()
-            except Exception:
-                pass
-            self._transport = None
+    def _invoke_slot(self, slot: _ReplicaSlot, operation: str, request: dict) -> dict:
+        return self._rpc.invoke(
+            slot.transport_for_call(),
+            FMTSERV_OBJECT,
+            operation,
+            request,
+            retry=self.retry,
+            deadline_s=self.deadline_s,
+            sleep=self._sleep,
+            clock=self._clock,
+        )
 
     def _call(self, operation: str, request: dict) -> dict | None:
-        """One RPC to the server, or ``None`` if offline/down/faulted."""
-        if not self.online:
-            return None
-        try:
-            reply = self._rpc.invoke(
-                self._transport_for_call(),
-                FMTSERV_OBJECT,
-                operation,
-                request,
-                retry=self.retry,
-                deadline_s=self.deadline_s,
-                sleep=self._sleep,
-                clock=self._clock,
-            )
-        except (TransportError, RpcError):
-            # Link dead, retries exhausted, or deadline blown: hold off.
-            self._mark_down()
-            return None
-        except PbioError:
-            # The server (or an interposed fault) spoke garbage.  Treat
-            # like an outage: fall back rather than propagate — the
-            # format service must never take the data plane down.
-            self.metrics.inc("fmtserv.protocol_errors")
-            self._mark_down()
-            return None
-        self._down_until = None
-        return reply
+        """One RPC, walking the replica list; ``None`` if all are down.
+
+        Replicas are tried in order, skipping open breakers.  A failure
+        (dead link, :class:`~repro.net.transport.PeerUnresponsive`,
+        retries exhausted, deadline blown) opens that replica's breaker
+        and the call *fails over* to the next; a success closes the
+        breaker.  Only when every replica has been skipped or failed does
+        the caller see ``None`` — the inline-fallback signal.
+        """
+        attempted = 0
+        for index, slot in enumerate(self._slots):
+            if not slot.breaker.allow():
+                continue
+            attempted += 1
+            try:
+                reply = self._invoke_slot(slot, operation, request)
+            except (TransportError, RpcError):
+                # Link dead, retries exhausted, or deadline blown: open
+                # the breaker and move down the list.
+                slot.breaker.record_failure()
+                slot.drop_transport()
+                self.metrics.inc("fmtserv.replica_failures")
+                continue
+            except PbioError:
+                # The replica (or an interposed fault) spoke garbage.
+                # Treat like an outage: fail over rather than propagate —
+                # the format service must never take the data plane down.
+                self.metrics.inc("fmtserv.protocol_errors")
+                slot.breaker.record_failure()
+                slot.drop_transport()
+                continue
+            slot.breaker.record_success()
+            if index > 0:
+                self.metrics.inc("fmtserv.failovers")
+            return reply
+        if attempted:
+            # At least one replica was tried and all tried replicas
+            # failed.  Holdoff passes (every breaker open) stay silent,
+            # matching the original single-server behaviour.
+            self.metrics.inc("fmtserv.server_unreachable")
+        return None
 
     # -- the client API ------------------------------------------------------
 
@@ -275,10 +329,6 @@ class FormatService:
         return added
 
     def close(self) -> None:
-        if self._transport is not None and callable(self._connect):
-            try:
-                self._transport.close()
-            except Exception:
-                pass
-            self._transport = None
+        for slot in self._slots:
+            slot.drop_transport()
         self.cache.close()

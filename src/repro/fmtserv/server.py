@@ -210,6 +210,16 @@ class FormatServer:
     def stopped(self) -> bool:
         return self._rpc.stopped
 
+    def drain_and_stop(self, deadline_s: float = 5.0) -> None:
+        """Goodbye every known client link, then :meth:`stop`.
+
+        Clients holding a :class:`~repro.fmtserv.client.FormatService`
+        see the goodbye (or the subsequent closed link) as a replica
+        failure and move down their server list — exactly the failover
+        the drain wants to trigger promptly.
+        """
+        self._rpc.drain_and_stop(deadline_s)
+
     def serve(self, transport: Transport, *, poll_s: float | None = None) -> None:
         """Serve calls on one connection until the peer goes away or
         :meth:`stop` is called.

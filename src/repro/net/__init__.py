@@ -6,6 +6,7 @@ from .transport import (
     FrameBuffer,
     InMemoryPipe,
     PeerClosedError,
+    PeerUnresponsive,
     Transport,
     TransportError,
     TransportTimeout,
@@ -13,6 +14,14 @@ from .transport import (
     frame,
     read_frame,
     transport_token,
+)
+from .health import (
+    OVERFLOW_POLICIES,
+    BoundedSendQueue,
+    CircuitBreaker,
+    HeartbeatMonitor,
+    ProbePolicy,
+    send_goodbye,
 )
 from .aio import (
     AsyncServer,
@@ -38,16 +47,23 @@ from .simulated import (
     paper_network_times_ms,
 )
 from .sockets import EchoServer, SocketTransport, loopback_pair
-from .timing import LegCost, RoundTripCost, TimingTable, best_of, calibrated_inner
+from .timing import LegCost, RoundTripCost, TimingTable, VirtualClock, best_of, calibrated_inner
 from .channel import ChannelPublisher, EventChannel, SubscriberStats, Subscription, WireTap
-from .relay import Relay
+from .relay import Downstream, Relay
 
 __all__ = [
     "Transport",
     "TransportError",
     "TransportTimeout",
     "PeerClosedError",
+    "PeerUnresponsive",
     "WriteQueueFull",
+    "HeartbeatMonitor",
+    "ProbePolicy",
+    "BoundedSendQueue",
+    "CircuitBreaker",
+    "OVERFLOW_POLICIES",
+    "send_goodbye",
     "FrameBuffer",
     "InMemoryPipe",
     "frame",
@@ -76,6 +92,7 @@ __all__ = [
     "LegCost",
     "RoundTripCost",
     "TimingTable",
+    "VirtualClock",
     "best_of",
     "calibrated_inner",
     "EventChannel",
@@ -84,4 +101,5 @@ __all__ = [
     "SubscriberStats",
     "WireTap",
     "Relay",
+    "Downstream",
 ]

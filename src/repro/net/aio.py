@@ -55,6 +55,7 @@ from typing import Awaitable, Callable
 from repro.core.errors import PbioError
 from repro.core.runtime import Metrics
 
+from .health import BoundedSendQueue, send_goodbye
 from .sockets import _IOV_MAX
 from .transport import (
     MAX_FRAME,
@@ -114,6 +115,7 @@ class AsyncSocketTransport:
         *,
         max_write_queue: int = DEFAULT_MAX_WRITE_QUEUE,
         max_read_buffer: int = DEFAULT_MAX_READ_BUFFER,
+        overflow: str = "block",
         metrics: Metrics | None = None,
     ):
         self._sock = sock
@@ -125,6 +127,13 @@ class AsyncSocketTransport:
         self._loop = asyncio.get_running_loop()
         self.max_write_queue = max_write_queue
         self.max_read_buffer = max_read_buffer
+        if overflow != "block":
+            # A full write queue spills frames into a BoundedSendQueue
+            # under the chosen policy instead of raising WriteQueueFull;
+            # spilled frames are promoted back as the kernel drains.
+            self._wover = BoundedSendQueue(max_write_queue, overflow)
+        else:
+            self._wover = None
         self.metrics = metrics if metrics is not None else Metrics()
         self._framer = FrameBuffer()
         self._frames: deque[bytes] = deque()  # parsed, not yet delivered
@@ -147,22 +156,40 @@ class AsyncSocketTransport:
 
     @property
     def write_queue_depth(self) -> int:
-        """Bytes enqueued but not yet accepted by the kernel."""
-        return self._wbytes
+        """Bytes enqueued but not yet accepted by the kernel (including
+        frames spilled to the overflow queue, when one is configured)."""
+        depth = self._wbytes
+        if self._wover is not None:
+            depth += self._wover.queued_bytes
+        return depth
 
-    def _enqueue(self, bufs: list, nbytes: int) -> None:
+    def _enqueue(self, bufs: list, nbytes: int, frames: list[bytes] | None = None) -> None:
+        """Queue ``bufs`` (totalling ``nbytes``); ``frames`` lists the raw
+        message payloads they carry, for overflow-policy accounting."""
         if self._closing:
             raise TransportError("send on closed transport")
         if self._werror is not None:
             raise TransportError(
                 f"send failed: {self._werror}"
             ) from self._werror
+        over = self._wover
         with self._wlock:
+            if over is not None and len(over) and frames is not None:
+                # A spill backlog exists: everything routes behind it so
+                # frame order survives the overflow episode.
+                full = False
+                for payload in frames:
+                    self._spill_locked(payload)
             # A single burst larger than the bound is allowed on an *empty*
             # queue (it could never be sent otherwise); anything else over
             # the bound is a slow consumer and must surface, not accumulate.
-            if self._wbytes and self._wbytes + nbytes > self.max_write_queue:
-                full = True
+            elif self._wbytes and self._wbytes + nbytes > self.max_write_queue:
+                if over is not None and frames is not None:
+                    full = False
+                    for payload in frames:
+                        self._spill_locked(payload)
+                else:
+                    full = True
             else:
                 full = False
                 self._wbufs.extend(bufs)
@@ -222,6 +249,31 @@ class AsyncSocketTransport:
                 return
             self._consume(sent, window)
 
+    def _spill_locked(self, payload: bytes) -> None:
+        """Push one frame into the overflow queue (``_wlock`` held)."""
+        if self._wover.push(payload):
+            self.metrics.inc("aio.overflow_queued")
+        else:
+            self.metrics.inc("aio.overflow_dropped")
+
+    def _promote_locked(self) -> None:
+        """Move spilled frames back into the live queue (``_wlock`` held)
+        once the kernel has drained it to half capacity."""
+        over = self._wover
+        if over is None or not len(over):
+            return
+        low_water = self.max_write_queue // 2
+        if self._wbytes > low_water:
+            return
+        while self._wbytes <= low_water:
+            payload = over.pop()
+            if payload is None:
+                break
+            self._wbufs.append(_LEN.pack(len(payload)))
+            self._wbufs.append(payload)
+            self._wbytes += 4 + len(payload)
+            self.metrics.inc("aio.overflow_promoted")
+
     def _consume(self, sent: int, window: list) -> None:
         """Account ``sent`` bytes against the queue head (partial-send
         resume via memoryview re-slicing, as in ``SocketTransport``)."""
@@ -240,27 +292,37 @@ class AsyncSocketTransport:
                     self._wbufs[idx] = memoryview(buf)[sent:]
                     sent = 0
             del self._wbufs[:idx]
+            if self._wover is not None:
+                self._promote_locked()
 
     def send(self, payload) -> None:
         """Queue one framed message (synchronous, never blocks)."""
         n = len(payload)
         if n > MAX_FRAME:
             raise TransportError(f"frame too large: {n}")
-        self._enqueue([_LEN.pack(n), _pin(payload)], 4 + n)
+        pinned = _pin(payload)
+        self._enqueue(
+            [_LEN.pack(n), pinned],
+            4 + n,
+            [pinned] if self._wover is not None else None,
+        )
 
     def send_many(self, frames) -> None:
         """Queue many framed messages as one all-or-nothing burst."""
         bufs: list[bytes] = []
+        pinned: list[bytes] = []
         total = 0
         for payload in frames:
             n = len(payload)
             if n > MAX_FRAME:
                 raise TransportError(f"frame too large: {n}")
+            data = _pin(payload)
             bufs.append(_LEN.pack(n))
-            bufs.append(_pin(payload))
+            bufs.append(data)
+            pinned.append(data)
             total += 4 + n
         if bufs:
-            self._enqueue(bufs, total)
+            self._enqueue(bufs, total, pinned if self._wover is not None else None)
 
     def send_segments(self, segments) -> None:
         """Queue one logical message from many buffers, zero-copy: the
@@ -269,12 +331,22 @@ class AsyncSocketTransport:
         total = sum(len(s) for s in bufs)
         if total > MAX_FRAME:
             raise TransportError(f"frame too large: {total}")
-        self._enqueue([_LEN.pack(total), *bufs], 4 + total)
+        # The overflow queue needs whole frames to apply its policy, so
+        # spilling joins the segments; the zero-copy fast path is intact.
+        self._enqueue(
+            [_LEN.pack(total), *bufs],
+            4 + total,
+            [b"".join(bytes(s) for s in bufs)] if self._wover is not None else None,
+        )
 
     async def drain(self) -> None:
         """Wait until the write queue is empty (explicit backpressure:
         a handler awaiting this has paused its reads)."""
-        while self._wbytes and self._werror is None and not self._closing:
+        while (
+            (self._wbytes or (self._wover is not None and len(self._wover)))
+            and self._werror is None
+            and not self._closing
+        ):
             await self._wdrained.wait()
         if self._werror is not None:
             raise TransportError(f"send failed: {self._werror}") from self._werror
@@ -318,6 +390,8 @@ class AsyncSocketTransport:
         with self._wlock:
             self._wbufs.clear()
             self._wbytes = 0
+            if self._wover is not None:
+                self._wover.clear()
         self._wdrained.set()  # wake drainers so they observe the error
 
     # -- persistent reader pump ---------------------------------------------
@@ -422,6 +496,29 @@ class AsyncSocketTransport:
         except asyncio.TimeoutError as exc:
             raise TransportTimeout(f"recv timed out after {self._timeout_s}s") from exc
 
+    def poll_recv(self) -> bytes | None:
+        """One already-parsed frame, or ``None`` — never blocks.
+
+        Loop-thread only (like every other asyncio touchpoint): the
+        health plane calls this from handlers to harvest pongs between
+        awaits without committing the coroutine to a blocking ``recv``.
+        """
+        if self._frames:
+            data = self._pop_frame()
+            if not self._reading and self._rbuffered <= self.max_read_buffer // 2:
+                self._resume_reading()
+            return data
+        if self._rexc is not None:
+            raise self._rexc
+        if self._reof:
+            if self._framer.pending:
+                raise TransportError("connection closed mid-frame")
+            raise PeerClosedError("peer closed the connection")
+        if self._closing:
+            raise TransportError("recv on closed transport")
+        self._resume_reading()
+        return None
+
     async def recv_many(self, max_frames: int = 0) -> list[bytes]:
         """One awaited frame plus every further complete frame the pump
         has already parsed — no extra syscalls, no extra wake-ups."""
@@ -522,6 +619,7 @@ class AsyncServer:
         backlog: int = 128,
         max_clients: int | None = None,
         max_write_queue: int = DEFAULT_MAX_WRITE_QUEUE,
+        overflow: str = "block",
         once: bool = False,
         metrics: Metrics | None = None,
     ):
@@ -533,6 +631,7 @@ class AsyncServer:
         self._backlog = backlog
         self.max_clients = max_clients
         self.max_write_queue = max_write_queue
+        self.overflow = overflow
         self._once = once
         self.metrics = metrics if metrics is not None else Metrics()
         self._listener: socket.socket | None = None
@@ -540,6 +639,7 @@ class AsyncServer:
         self._stop_event: asyncio.Event | None = None
         self._stop_requested = False
         self._conn_tasks: set[asyncio.Task] = set()
+        self._conn_transports: set[AsyncSocketTransport] = set()
         self._serve_task: asyncio.Task | None = None
 
     # -- lifecycle -----------------------------------------------------------
@@ -642,7 +742,10 @@ class AsyncServer:
             conn.close()
             return None
         transport = AsyncSocketTransport(
-            conn, max_write_queue=self.max_write_queue, metrics=self.metrics
+            conn,
+            max_write_queue=self.max_write_queue,
+            overflow=self.overflow,
+            metrics=self.metrics,
         )
         task = self._loop.create_task(self._run_handler(transport))
         self._conn_tasks.add(task)
@@ -650,6 +753,7 @@ class AsyncServer:
         return task
 
     async def _run_handler(self, transport: AsyncSocketTransport) -> None:
+        self._conn_transports.add(transport)
         try:
             await self._handler(transport)
             await transport.drain()
@@ -658,7 +762,32 @@ class AsyncServer:
         except Exception:
             self.metrics.inc("aio.handler_errors")
         finally:
+            self._conn_transports.discard(transport)
             transport.close()
+
+    async def drain_and_stop(self, deadline_s: float = 5.0) -> None:
+        """Graceful shutdown: goodbye every peer, flush queues, then stop.
+
+        Each live connection gets a goodbye ping (nonce 0 — "I am
+        draining, re-dial elsewhere"), queued sends are given
+        ``deadline_s`` to reach the kernel, and only then does the
+        accept loop stop and cancel what remains.  Unlike bare
+        :meth:`stop`, peers learn about the shutdown from the protocol
+        rather than from a reset connection.
+        """
+        transports = list(self._conn_transports)
+        for transport in transports:
+            send_goodbye(transport)
+        if transports:
+            flush = asyncio.gather(
+                *(drain(t) for t in transports), return_exceptions=True
+            )
+            try:
+                await asyncio.wait_for(flush, deadline_s)
+            except asyncio.TimeoutError:
+                self.metrics.inc("aio.drain_timeouts")
+        self.metrics.inc("aio.drained")
+        self.stop()
 
 
 # -- per-connection handler adapters ----------------------------------------

@@ -89,8 +89,8 @@ class Subscription:
                 self.metrics.inc("unresolved_tokens")
                 raise
             return
-        if msg_type == enc.MSG_FORMAT_REQUEST:
-            return  # point-to-point recovery traffic; meaningless in-channel
+        if msg_type in (enc.MSG_FORMAT_REQUEST, enc.MSG_PING, enc.MSG_PONG):
+            return  # point-to-point recovery/liveness traffic; meaningless in-channel
         if self.format_name is not None:
             try:
                 fmt = self.ctx.registry.remote_format(context_id, format_id)
@@ -317,7 +317,7 @@ class EventChannel:
         if header is None:
             self.metrics.inc("channel.frames_rejected")
             return
-        if header[0] == enc.MSG_FORMAT_REQUEST:
+        if header[0] in (enc.MSG_FORMAT_REQUEST, enc.MSG_PING, enc.MSG_PONG):
             return
         self._publish_message(bytes(message), exclude=exclude)
 

@@ -51,6 +51,13 @@ _MAGIC = enc.MAGIC
 _VERSION = enc.VERSION
 _MSG_FORMAT = enc.MSG_FORMAT
 _MSG_FORMAT_TOKEN = enc.MSG_FORMAT_TOKEN
+_MSG_PING = enc.MSG_PING
+_MSG_PONG = enc.MSG_PONG
+
+#: Frame-class-targeted drops (drawn after the main vector, and only
+#: when their probability is non-zero, so plans that don't use them
+#: replay byte-identically against older recorded chaos schedules).
+_CLASSIFIED = ("drop_heartbeats", "drop_payload")
 
 
 @dataclass(frozen=True)
@@ -60,6 +67,13 @@ class FaultPlan:
     ``max_delay_messages`` bounds how many *subsequent* sends a delayed
     message may slip past before it is released (virtual time measured
     in messages, so delay is deterministic and sleep-free).
+
+    ``drop_heartbeats`` and ``drop_payload`` are *frame-class-targeted*
+    drops for exercising the liveness plane (docs/robustness.md §9):
+    the first swallows only ``MSG_PING``/``MSG_PONG`` control frames (a
+    peer that computes but never answers probes), the second only
+    everything else (a link that carries heartbeats yet loses data — the
+    failure mode a naive "is the ping answered?" check misses).
     """
 
     drop: float = 0.0
@@ -68,10 +82,12 @@ class FaultPlan:
     duplicate: float = 0.0
     delay: float = 0.0
     disconnect: float = 0.0
+    drop_heartbeats: float = 0.0
+    drop_payload: float = 0.0
     max_delay_messages: int = 4
 
     def __post_init__(self) -> None:
-        for name in _FAULTS:
+        for name in _FAULTS + _CLASSIFIED:
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"fault probability {name}={p} outside [0, 1]")
@@ -80,12 +96,22 @@ class FaultPlan:
 
     @property
     def active(self) -> bool:
-        return any(getattr(self, name) > 0.0 for name in _FAULTS)
+        return any(getattr(self, name) > 0.0 for name in _FAULTS + _CLASSIFIED)
 
     @classmethod
     def lossy(cls, p: float) -> "FaultPlan":
         """Loss-only preset: drop/duplicate/delay, no byte damage."""
         return cls(drop=p, duplicate=p, delay=p)
+
+    @classmethod
+    def mute_heartbeats(cls, p: float = 1.0) -> "FaultPlan":
+        """Swallow pings/pongs but deliver data untouched."""
+        return cls(drop_heartbeats=p)
+
+    @classmethod
+    def mute_payload(cls, p: float = 1.0) -> "FaultPlan":
+        """Deliver heartbeats but lose data frames."""
+        return cls(drop_payload=p)
 
 
 class FaultInjectingTransport(Transport):
@@ -108,8 +134,9 @@ class FaultInjectingTransport(Transport):
     synchronous bounded-queue enqueues, so every draw lands exactly as
     it would on a blocking socket.  ``recv`` aliasing/delegation returns
     the inner coroutine for async inners (callers ``await`` it);
-    :meth:`drain` and :attr:`write_queue_depth` delegate so async
-    handlers can apply backpressure through the wrapper.
+    :meth:`drain`, :attr:`write_queue_depth` and :meth:`poll_recv`
+    delegate so async handlers can apply backpressure — and the health
+    plane its liveness probes — through the wrapper.
     """
 
     def __init__(
@@ -141,6 +168,9 @@ class FaultInjectingTransport(Transport):
             inner_recv_many = getattr(inner, "recv_many", None)
             if inner_recv_many is not None:
                 self.recv_many = inner_recv_many  # type: ignore[method-assign]
+            inner_poll_recv = getattr(inner, "poll_recv", None)
+            if inner_poll_recv is not None:
+                self.poll_recv = inner_poll_recv  # type: ignore[method-assign]
 
     @property
     def inner(self) -> Transport:
@@ -167,6 +197,23 @@ class FaultInjectingTransport(Transport):
         # enabled: the decision sequence for a seed is stable under plan
         # changes, so a chaos failure can be replayed with more faults off.
         draw = self._rng.random(len(_FAULTS))
+        # Classified draws happen *after* the main vector and only when
+        # enabled, per message (not per matching frame), so the stream
+        # layout for a given plan is independent of the frame mix.
+        hb_draw = float(self._rng.random()) if self.plan.drop_heartbeats > 0.0 else 1.0
+        pl_draw = float(self._rng.random()) if self.plan.drop_payload > 0.0 else 1.0
+        is_heartbeat = (
+            len(data) >= _HEADER_SIZE
+            and (data[2] == _MSG_PING or data[2] == _MSG_PONG)
+            and data[0] == _MAGIC
+            and data[1] == _VERSION
+        )
+        if is_heartbeat and hb_draw < self.plan.drop_heartbeats:
+            self.metrics.inc("faults.heartbeats_dropped")
+            return
+        if not is_heartbeat and pl_draw < self.plan.drop_payload:
+            self.metrics.inc("faults.payload_dropped")
+            return
         if draw[0] < self.plan.disconnect:
             self.metrics.inc("faults.disconnects")
             self._broken = True
@@ -239,6 +286,16 @@ class FaultInjectingTransport(Transport):
         if inner_recv_many is None:
             return [self._inner.recv()]
         return inner_recv_many(max_frames)
+
+    def poll_recv(self) -> bytes | None:
+        """Delegate the health plane's non-blocking probe to the inner
+        link (faults here are send-side; the receive path is honest)."""
+        if self._broken:
+            raise TransportError("recv on disconnected transport (injected)")
+        inner_poll_recv = getattr(self._inner, "poll_recv", None)
+        if inner_poll_recv is None:
+            return None
+        return inner_poll_recv()
 
     def set_timeout(self, timeout_s: float | None) -> None:
         self._inner.set_timeout(timeout_s)

@@ -1,0 +1,420 @@
+"""Liveness and self-healing primitives: the health plane.
+
+The paper's wire-format wins assume long-lived peers; this module is what
+lets the services carrying PBIO traffic *keep* peers long-lived without an
+operator in the loop (docs/robustness.md §9):
+
+* :class:`HeartbeatMonitor` — wears any :class:`~repro.net.transport.Transport`
+  and exchanges the strict-size ``MSG_PING``/``MSG_PONG`` control frames
+  (wire types 5/6).  Misses accumulate only when the link is otherwise
+  silent; ``miss_threshold`` unanswered probes → :class:`PeerUnresponsive`.
+* :class:`ProbePolicy` — the exponential-backoff schedule a
+  :class:`~repro.net.relay.Relay` uses to probe quarantined downstreams,
+  plus the eviction deadline after which a silent peer is dropped for good.
+* :class:`BoundedSendQueue` — a per-peer overflow buffer with the four
+  policies the ROADMAP's relay-fabric item calls for
+  (``block | drop_new | drop_old | coalesce``), shared between the sync
+  relay send path and the async writer queue.
+* :class:`CircuitBreaker` — the open/half-open/closed generalisation of
+  :class:`~repro.fmtserv.client.FormatService`'s flat server-down holdoff,
+  one per replica so the client can fail over down an ordered server list.
+
+Everything takes an injectable ``clock`` (``time.monotonic`` by default);
+:class:`repro.net.timing.VirtualClock` runs the whole plane in virtual
+time for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core import encoder as enc
+from .transport import PeerUnresponsive, Transport, TransportError
+
+#: The overflow policies a bounded send queue supports.
+OVERFLOW_POLICIES = ("block", "drop_new", "drop_old", "coalesce")
+
+
+def _queue_depth_of(transport) -> int:
+    """The transport's write-queue occupancy, if it exposes one (aio does)."""
+    depth = getattr(transport, "write_queue_depth", 0)
+    return depth if isinstance(depth, int) else 0
+
+
+class HeartbeatMonitor:
+    """Liveness verdicts for one transport, driven by explicit ticks.
+
+    The monitor never owns a thread: callers pump it by calling
+    :meth:`tick` from whatever loop already services the link.  Each tick
+
+    1. drains immediately-available inbound frames via ``poll_recv`` and
+       feeds heartbeat control frames to :meth:`observe` (data frames are
+       queued for the caller on :attr:`inbox` — the monitor never eats
+       application traffic);
+    2. sends a fresh ping once ``interval_s`` has elapsed, counting the
+       previous ping as *missed* if nothing proved the peer alive since;
+    3. raises :class:`PeerUnresponsive` while ``misses >= miss_threshold``.
+
+    *Any* inbound frame counts as proof of life (a peer streaming data at
+    full rate may reasonably starve its pong writes), so heartbeats add
+    zero false positives on busy links and only arbitrate silent ones.
+
+    Pings carry a monotonic nonce (starting at 1; 0 is the goodbye nonce)
+    and the local send-queue depth; inbound pings are answered with a pong
+    automatically.  A goodbye ping from the peer sets :attr:`peer_goodbye`
+    so callers can re-dial proactively instead of waiting out a timeout.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        interval_s: float = 1.0,
+        miss_threshold: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+        on_state_change: Callable[[bool], None] | None = None,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self.transport = transport
+        self.interval_s = interval_s
+        self.miss_threshold = miss_threshold
+        self._clock = clock
+        self._on_state_change = on_state_change
+        self._nonce = 0
+        self._last_ping_at: float | None = None
+        self._alive_since_ping = True  # no probe outstanding yet
+        self.misses = 0
+        self.peer_goodbye = False
+        self.peer_queue_depth = 0
+        self.pings_sent = 0
+        self.pongs_received = 0
+        #: Non-heartbeat frames harvested while polling, oldest first.
+        self.inbox: deque[bytes] = deque()
+
+    @property
+    def responsive(self) -> bool:
+        return self.misses < self.miss_threshold
+
+    def observe(self, frame) -> bool:
+        """Account one inbound frame; True if it was heartbeat control.
+
+        Callers that run their own receive loop (the relay, the async
+        reader pump) push every frame through here; heartbeat frames are
+        consumed, everything else returns ``False`` untouched and counts
+        as proof of life.
+        """
+        was_responsive = self.responsive
+        self._alive_since_ping = True
+        if self.misses:
+            self.misses = 0
+            if not was_responsive and self._on_state_change is not None:
+                self._on_state_change(True)
+        header = enc.try_unpack_header(frame)
+        if header is None:
+            return False
+        msg_type = header[0]
+        if msg_type == enc.MSG_PONG:
+            nonce, depth = enc.parse_pong(frame)
+            self.pongs_received += 1
+            self.peer_queue_depth = depth
+            return True
+        if msg_type == enc.MSG_PING:
+            nonce, depth = enc.parse_ping(frame)
+            self.peer_queue_depth = depth
+            if nonce == enc.GOODBYE_NONCE:
+                self.peer_goodbye = True
+            else:
+                try:
+                    self.transport.send(
+                        enc.encode_pong(nonce, _queue_depth_of(self.transport))
+                    )
+                except TransportError:
+                    pass  # the tick's own ping will discover a dead link
+            return True
+        return False
+
+    def _poll(self) -> None:
+        while True:
+            try:
+                frame = self.transport.poll_recv()
+            except TransportError:
+                return  # a dead link shows up as silence → misses
+            if frame is None:
+                return
+            if not self.observe(frame):
+                self.inbox.append(frame)
+
+    def tick(self, now: float | None = None) -> bool:
+        """Pump the monitor once; returns the current liveness verdict.
+
+        Raises :class:`PeerUnresponsive` when the verdict is (still)
+        negative, *after* updating state — callers that prefer a boolean
+        can catch it or read :attr:`responsive`.
+        """
+        if now is None:
+            now = self._clock()
+        self._poll()
+        if self._last_ping_at is None or now - self._last_ping_at >= self.interval_s:
+            was_responsive = self.responsive
+            if self._last_ping_at is not None and not self._alive_since_ping:
+                self.misses += 1
+                if was_responsive and not self.responsive and self._on_state_change is not None:
+                    self._on_state_change(False)
+            self._send_ping(now)
+        if not self.responsive:
+            raise PeerUnresponsive(
+                f"peer missed {self.misses} consecutive heartbeats "
+                f"(threshold {self.miss_threshold}, interval {self.interval_s}s)"
+            )
+        return True
+
+    def _send_ping(self, now: float) -> None:
+        self._nonce += 1
+        self._last_ping_at = now
+        self._alive_since_ping = False
+        try:
+            self.transport.send(enc.encode_ping(self._nonce, _queue_depth_of(self.transport)))
+            self.pings_sent += 1
+        except TransportError:
+            pass  # an unsendable ping is an unanswerable ping: counts as a miss
+
+    def goodbye(self) -> None:
+        """Emit the drain goodbye (nonce 0); best-effort, never raises."""
+        try:
+            self.transport.send(enc.encode_ping(enc.GOODBYE_NONCE, _queue_depth_of(self.transport)))
+        except TransportError:
+            pass
+
+
+def send_goodbye(transport) -> bool:
+    """Best-effort goodbye ping on a bare transport; True if it went out."""
+    try:
+        transport.send(enc.encode_ping(enc.GOODBYE_NONCE, _queue_depth_of(transport)))
+        return True
+    except TransportError:
+        return False
+
+
+@dataclass(frozen=True)
+class ProbePolicy:
+    """Backoff schedule for probing a quarantined peer, plus its eviction.
+
+    Attempt *n* (0-based) waits ``min(base_delay_s * multiplier**n,
+    max_delay_s)`` after quarantine entry (cumulatively); a peer that has
+    not answered any probe ``eviction_deadline_s`` after entering
+    quarantine is evicted.  Deterministic on purpose — no jitter — so
+    virtual-time tests replay exactly.
+    """
+
+    base_delay_s: float = 0.5
+    multiplier: float = 2.0
+    max_delay_s: float = 8.0
+    eviction_deadline_s: float = 60.0
+
+    def __post_init__(self):
+        if self.base_delay_s <= 0:
+            raise ValueError("base_delay_s must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+        if self.eviction_deadline_s <= 0:
+            raise ValueError("eviction_deadline_s must be positive")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before probe ``attempt`` (0-based)."""
+        return min(self.base_delay_s * (self.multiplier**attempt), self.max_delay_s)
+
+
+class BoundedSendQueue:
+    """A byte-bounded per-peer frame queue with an overflow policy.
+
+    Shared by the sync relay (one per downstream, absorbing frames the
+    transport would block on) and the async writer queue.  Policies:
+
+    * ``block``    — admit nothing over budget; the caller sees the
+      rejection (:class:`WriteQueueFull` semantics) and applies its own
+      backpressure.  The seed behaviour.
+    * ``drop_new`` — reject the incoming frame, keep the queue.
+    * ``drop_old`` — evict oldest queued *data* frames until the new one
+      fits (freshness beats completeness — telemetry-style streams).
+    * ``coalesce`` — like ``drop_old``, but first try to replace a queued
+      data frame of the same ``(context, format)`` stream, so each stream
+      keeps exactly its newest record.
+
+    Control frames (announcements, tokens, heartbeats — anything that is
+    not ``MSG_DATA``) are never dropped or coalesced and are admitted even
+    over budget: losing an announcement would corrupt the peer's format
+    state forever, while losing a data record only loses that record.
+    """
+
+    __slots__ = (
+        "policy",
+        "max_bytes",
+        "_frames",
+        "_bytes",
+        "dropped_new",
+        "dropped_old",
+        "coalesced",
+    )
+
+    def __init__(self, max_bytes: int, policy: str = "block"):
+        if policy not in OVERFLOW_POLICIES:
+            raise ValueError(f"unknown overflow policy {policy!r}; pick one of {OVERFLOW_POLICIES}")
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.policy = policy
+        self.max_bytes = max_bytes
+        self._frames: deque[tuple[bytes, tuple[int, int] | None]] = deque()
+        self._bytes = 0
+        self.dropped_new = 0
+        self.dropped_old = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._bytes
+
+    @staticmethod
+    def _stream_key(frame) -> tuple[int, int] | None:
+        """(context, format) for data frames; None marks control frames."""
+        header = enc.try_unpack_header(frame)
+        if header is not None and header[0] == enc.MSG_DATA:
+            return header[1], header[2]
+        return None
+
+    def push(self, frame) -> bool:
+        """Queue one frame; False if the policy rejected it."""
+        data = bytes(frame)
+        key = self._stream_key(data)
+        n = len(data)
+        if key is None or self._bytes + n <= self.max_bytes:
+            self._frames.append((data, key))
+            self._bytes += n
+            return True
+        if self.policy == "coalesce":
+            for i, (queued, queued_key) in enumerate(self._frames):
+                if queued_key == key:
+                    self._bytes += n - len(queued)
+                    self._frames[i] = (data, key)
+                    self.coalesced += 1
+                    return True
+            # no same-stream frame to replace: fall through to drop_old
+        if self.policy in ("coalesce", "drop_old"):
+            kept: list[tuple[bytes, tuple[int, int] | None]] = []
+            while self._frames and self._bytes + n > self.max_bytes:
+                old, old_key = self._frames.popleft()
+                if old_key is None:
+                    kept.append((old, old_key))  # control frames survive
+                else:
+                    self._bytes -= len(old)
+                    self.dropped_old += 1
+            for item in reversed(kept):
+                self._frames.appendleft(item)
+            if self._bytes + n <= self.max_bytes:
+                self._frames.append((data, key))
+                self._bytes += n
+                return True
+        # block and drop_new reject the newcomer (and coalesce/drop_old
+        # when even an emptied queue cannot fit it)
+        if self.policy != "block":
+            self.dropped_new += 1
+        return False
+
+    def pop(self) -> bytes | None:
+        if not self._frames:
+            return None
+        data, _key = self._frames.popleft()
+        self._bytes -= len(data)
+        return data
+
+    def flush(self, transport, *, max_frames: int = 0) -> int:
+        """Send queued frames in order; stops at the first send failure.
+
+        Returns the number of frames delivered.  A failure leaves the
+        unsent frames queued (the frame that failed is re-queued at the
+        front) and re-raises, so callers can retry after the link heals.
+        """
+        sent = 0
+        while self._frames and (max_frames <= 0 or sent < max_frames):
+            data, _key = self._frames[0]
+            transport.send(data)  # TransportError propagates; frame stays queued
+            self._frames.popleft()
+            self._bytes -= len(data)
+            sent += 1
+        return sent
+
+    def clear(self) -> None:
+        self._frames.clear()
+        self._bytes = 0
+
+
+class CircuitBreaker:
+    """Closed / open / half-open failure gate for one remote replica.
+
+    Generalises the flat "server down until T" holdoff the format-service
+    client shipped with: failures open the breaker for ``holdoff_s``
+    (growing by ``multiplier`` per consecutive open, capped at
+    ``max_holdoff_s``); once the holdoff expires the breaker goes
+    *half-open* and :meth:`allow` admits a single trial call; the trial's
+    outcome either closes the breaker (and resets the holdoff) or
+    re-opens it for longer.
+    """
+
+    __slots__ = ("holdoff_s", "multiplier", "max_holdoff_s", "_clock", "_state", "_until", "_opens")
+
+    def __init__(
+        self,
+        holdoff_s: float = 30.0,
+        *,
+        multiplier: float = 2.0,
+        max_holdoff_s: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if holdoff_s <= 0:
+            raise ValueError("holdoff_s must be positive")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        self.holdoff_s = holdoff_s
+        self.multiplier = multiplier
+        self.max_holdoff_s = max_holdoff_s
+        self._clock = clock
+        self._state = "closed"
+        self._until = 0.0
+        self._opens = 0  # consecutive opens since the last success
+
+    @property
+    def state(self) -> str:
+        if self._state == "open" and self._clock() >= self._until:
+            return "half_open"
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call go to this replica right now?"""
+        if self._state == "closed":
+            return True
+        if self._clock() >= self._until:
+            self._state = "half_open"
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._state = "closed"
+        self._opens = 0
+
+    def record_failure(self) -> None:
+        self._opens += 1
+        holdoff = min(
+            self.holdoff_s * (self.multiplier ** (self._opens - 1)), self.max_holdoff_s
+        )
+        self._state = "open"
+        self._until = self._clock() + holdoff

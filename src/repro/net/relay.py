@@ -18,8 +18,26 @@ Fan-out is failure-isolated: a downstream whose transport raises
 :class:`~repro.net.transport.TransportError` never stalls the stream for
 its siblings.  Errors are counted per downstream (``send_errors``) and
 after ``quarantine_after`` *consecutive* failures the downstream is
-quarantined — skipped until :meth:`Relay.reactivate` brings it back with
-a fresh announcement replay (``detached`` marks the transition).
+quarantined.  With a :class:`~repro.net.health.ProbePolicy` the
+quarantine is a *self-healing* state machine —
+
+    attached → active ⇄ quarantined → probing → active | evicted
+
+— driven by :meth:`Relay.heal`: quarantined downstreams are probed with
+exponential-backoff ``MSG_PING`` frames; a pong reactivates them (with
+the full announcement replay, so no format state is ever lost) and a
+peer silent past the eviction deadline is removed for good
+(``relay.reactivated`` / ``relay.evicted`` in :attr:`Relay.metrics`).
+Without a policy, recovery stays manual via :meth:`Relay.reactivate`,
+which also still works as an operator override.
+
+Each downstream may also carry a bounded overflow queue
+(:class:`~repro.net.health.BoundedSendQueue`) selected by the relay's
+``overflow`` policy — ``block`` (the seed behaviour: a full peer queue
+counts toward quarantine), ``drop_new``, ``drop_old`` or ``coalesce``
+(keep the newest record per ``(context, format)`` stream) — so a slow
+consumer degrades the way the operator chose instead of only the one
+way the transport knows.
 
 Async downstreams compose directly: an
 :class:`~repro.net.aio.AsyncSocketTransport`'s ``send``/``send_many``
@@ -34,6 +52,7 @@ queue depth for monitoring.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.abi import X86_64
@@ -43,23 +62,59 @@ from repro.core.errors import PbioError, TokenResolutionError
 from repro.core.filters import RecordFilter
 from repro.core.runtime import ConverterCache, DownstreamStats, Metrics
 from repro.core.safety import DEFAULT_LIMITS, DecodeLimits
-from repro.net.transport import Transport, TransportError
+from repro.net.health import OVERFLOW_POLICIES, BoundedSendQueue, ProbePolicy, send_goodbye
+from repro.net.transport import Transport, TransportError, WriteQueueFull
+
+#: Downstream lifecycle states (the quarantine state machine).
+ACTIVE = "active"
+QUARANTINED = "quarantined"
+PROBING = "probing"
+EVICTED = "evicted"
 
 
-class _Downstream:
-    def __init__(self, transport: Transport, flt: RecordFilter | None):
+class Downstream:
+    """The opaque handle :meth:`Relay.attach` returns.
+
+    Callers read :attr:`stats` / :attr:`state` / :attr:`quarantined` and
+    hand the object back to :meth:`Relay.detach` / :meth:`Relay.reactivate`;
+    the mutable machinery inside is the relay's business.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        flt: RecordFilter | None,
+        queue: BoundedSendQueue | None = None,
+    ):
         self.transport = transport
         self.filter = flt
         self.metrics = Metrics()
         self.stats = DownstreamStats(self.metrics)
         self.consecutive_errors = 0
-        self.quarantined = False
+        self.state = ACTIVE
+        self.send_queue = queue
+        self.quarantined_at: float | None = None
+        self.probe_attempts = 0
+        self.next_probe_at: float | None = None
+
+    @property
+    def quarantined(self) -> bool:
+        """True while the downstream is out of the fan-out (quarantined
+        or probing).  Read-only — state changes go through the relay."""
+        return self.state in (QUARANTINED, PROBING)
 
     @property
     def write_queue_depth(self) -> int:
-        """Bytes queued toward this downstream (async transports only;
-        0 for blocking links, which have no queue to measure)."""
-        return getattr(self.transport, "write_queue_depth", 0)
+        """Bytes queued toward this downstream: the transport's own
+        queue (async transports) plus the relay-side overflow queue."""
+        depth = getattr(self.transport, "write_queue_depth", 0)
+        if self.send_queue is not None:
+            depth += self.send_queue.queued_bytes
+        return depth
+
+
+#: Back-compat alias: pre-PR 7 code (and its tests) knew the private name.
+_Downstream = Downstream
 
 
 class Relay:
@@ -79,6 +134,18 @@ class Relay:
     that detaches a downstream (any success resets the count);
     ``on_error`` is called as ``on_error(downstream, exc)`` after each
     failed send, before any quarantine decision.
+
+    ``probe_policy`` arms automatic quarantine recovery: call
+    :meth:`heal` periodically (e.g. once per pump iteration) and
+    quarantined downstreams are probed, reactivated on a pong with the
+    announcements they missed, or evicted at the policy's deadline.
+    ``overflow`` selects the slow-consumer policy (one of
+    ``block | drop_new | drop_old | coalesce``); anything but ``block``
+    gives each downstream a :class:`BoundedSendQueue` of
+    ``max_queue_bytes`` that absorbs :class:`WriteQueueFull` rejections
+    instead of counting them toward quarantine.  ``clock`` is injectable
+    (:class:`repro.net.timing.VirtualClock`) so the whole state machine
+    can run in virtual time.
     """
 
     def __init__(
@@ -86,12 +153,20 @@ class Relay:
         *,
         cache: ConverterCache | None = None,
         quarantine_after: int = 3,
-        on_error: Callable[[_Downstream, TransportError], None] | None = None,
+        on_error: Callable[[Downstream, TransportError], None] | None = None,
         limits: DecodeLimits | None = DEFAULT_LIMITS,
         format_service=None,
+        probe_policy: ProbePolicy | None = None,
+        overflow: str = "block",
+        max_queue_bytes: int = 1 << 20,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if quarantine_after < 1:
             raise ValueError("quarantine_after must be >= 1")
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {overflow!r}; pick one of {OVERFLOW_POLICIES}"
+            )
         # The relay's context exists only to hold the format registry for
         # filter compilation; records are never decoded to its layouts.
         # A shared cache is accepted anyway so filter-free relays embedded
@@ -104,10 +179,16 @@ class Relay:
         self.limits = limits
         self.quarantine_after = quarantine_after
         self.on_error = on_error
+        self.probe_policy = probe_policy
+        self.overflow = overflow
+        self.max_queue_bytes = max_queue_bytes
+        self._clock = clock
         self.metrics = Metrics()
-        self._downstreams: list[_Downstream] = []
+        self._downstreams: list[Downstream] = []
         self._announcements: list[bytes] = []
         self.messages_seen = 0
+        self._ping_nonce = 0
+        self._stopped = False
 
     def attach(
         self,
@@ -115,54 +196,130 @@ class Relay:
         *,
         format_name: str | None = None,
         filter_expr: str | None = None,
-    ) -> _Downstream:
-        """Add a downstream link, replaying announcements it missed."""
+    ) -> Downstream:
+        """Add a downstream link, replaying announcements it missed.
+
+        Returns the opaque :class:`Downstream` handle accepted by
+        :meth:`detach` and :meth:`reactivate`.
+        """
         flt = None
         if filter_expr is not None:
             if format_name is None:
                 raise ValueError("a filter requires format_name")
             flt = RecordFilter(self.ctx, format_name, filter_expr)
-        downstream = _Downstream(transport, flt)
+        queue = None
+        if self.overflow != "block":
+            queue = BoundedSendQueue(self.max_queue_bytes, self.overflow)
+        downstream = Downstream(transport, flt, queue)
         self._downstreams.append(downstream)
         for announcement in self._announcements:
             self._send(downstream, announcement, "announcements")
         return downstream
 
-    def detach(self, downstream: _Downstream) -> None:
+    def detach(self, downstream: Downstream) -> None:
         """Remove a downstream entirely (it will not be forwarded again)."""
         self._downstreams.remove(downstream)
+        downstream.state = EVICTED
 
-    def reactivate(self, downstream: _Downstream) -> None:
+    def reactivate(self, downstream: Downstream) -> None:
         """Clear a quarantine (e.g. after the link reconnected) and replay
-        the announcements the downstream missed while detached."""
-        downstream.quarantined = False
+        the announcements the downstream missed while detached.
+
+        This is the manual override; with a ``probe_policy`` configured,
+        :meth:`heal` calls the same transition automatically on a pong.
+        """
+        self._reactivate(downstream)
+
+    def _reactivate(self, downstream: Downstream) -> None:
+        downstream.state = ACTIVE
         downstream.consecutive_errors = 0
+        downstream.quarantined_at = None
+        downstream.probe_attempts = 0
+        downstream.next_probe_at = None
+        downstream.metrics.inc("reactivated")
+        self.metrics.inc("relay.reactivated")
         for announcement in self._announcements:
             self._send(downstream, announcement, "announcements")
 
     @property
-    def active_downstreams(self) -> list[_Downstream]:
-        return [d for d in self._downstreams if not d.quarantined]
+    def active_downstreams(self) -> list[Downstream]:
+        return [d for d in self._downstreams if d.state == ACTIVE]
 
-    def _send(self, downstream: _Downstream, message: bytes, counter: str) -> None:
+    def _quarantine(self, downstream: Downstream) -> None:
+        downstream.state = QUARANTINED
+        downstream.metrics.inc("detached")
+        now = self._clock()
+        downstream.quarantined_at = now
+        downstream.probe_attempts = 0
+        if self.probe_policy is not None:
+            downstream.next_probe_at = now + self.probe_policy.delay(0)
+        self.metrics.inc("relay.quarantined")
+
+    def _count_failure(self, downstream: Downstream, exc: TransportError) -> None:
+        downstream.metrics.inc("send_errors")
+        downstream.consecutive_errors += 1
+        if self.on_error is not None:
+            self.on_error(downstream, exc)
+        if downstream.consecutive_errors >= self.quarantine_after:
+            self._quarantine(downstream)
+
+    def _spill(self, downstream: Downstream, message: bytes, counter: str) -> None:
+        """Queue a frame the transport would not take right now."""
+        queue = downstream.send_queue
+        if queue.push(message):
+            downstream.metrics.inc("overflow_queued")
+            downstream.metrics.inc(counter)
+        else:
+            downstream.metrics.inc("overflow_dropped")
+            self.metrics.inc("relay.overflow_dropped")
+        # The policy absorbed the pressure: a full-but-draining peer is a
+        # slow consumer being managed, not a broken link.
+        downstream.consecutive_errors = 0
+
+    def _try_flush(self, downstream: Downstream) -> None:
+        """Move queued overflow frames to the transport, best-effort."""
+        queue = downstream.send_queue
+        if queue is None or not len(queue):
+            return
+        try:
+            flushed = queue.flush(downstream.transport)
+        except WriteQueueFull:
+            return  # peer still slow; frames stay queued
+        except TransportError as exc:
+            self._count_failure(downstream, exc)
+            return
+        if flushed:
+            downstream.metrics.inc("overflow_flushed", flushed)
+            downstream.consecutive_errors = 0
+
+    def _send(self, downstream: Downstream, message: bytes, counter: str) -> None:
         """Send to one downstream, absorbing transport failures.
 
         One dead peer must never abort the fan-out loop: the error is
         counted, reported to ``on_error``, and — after ``quarantine_after``
-        consecutive failures — the downstream is quarantined.
+        consecutive failures — the downstream is quarantined.  With a
+        non-``block`` overflow policy, :class:`WriteQueueFull` spills the
+        frame into the downstream's bounded queue instead (flushed as the
+        peer drains); only genuine link failures count toward quarantine.
         """
-        if downstream.quarantined:
+        if downstream.state != ACTIVE:
+            return
+        queue = downstream.send_queue
+        if queue is not None and len(queue):
+            # A backlog exists: preserve order by queueing behind it,
+            # then try to move the whole backlog forward.
+            self._spill(downstream, message, counter)
+            self._try_flush(downstream)
             return
         try:
             downstream.transport.send(message)
+        except WriteQueueFull as exc:
+            if queue is not None:
+                self._spill(downstream, message, counter)
+            else:
+                self._count_failure(downstream, exc)
         except TransportError as exc:
-            downstream.metrics.inc("send_errors")
-            downstream.consecutive_errors += 1
-            if self.on_error is not None:
-                self.on_error(downstream, exc)
-            if downstream.consecutive_errors >= self.quarantine_after:
-                downstream.quarantined = True
-                downstream.metrics.inc("detached")
+            self._count_failure(downstream, exc)
         else:
             downstream.consecutive_errors = 0
             downstream.metrics.inc(counter)
@@ -176,6 +333,9 @@ class Relay:
         ``relay.rejected`` in :attr:`metrics`) rather than fanned out:
         an intermediary must not amplify damage to every downstream.
         """
+        if self._stopped:
+            self.metrics.inc("relay.dropped_after_stop")
+            return
         header = enc.try_unpack_header(message)
         if header is None:
             self.metrics.inc("relay.rejected")
@@ -183,6 +343,12 @@ class Relay:
         kind = header[0]
         if self.limits is not None and len(message) > self.limits.max_message_size:
             self.metrics.inc("relay.rejected")
+            return
+        if kind in (enc.MSG_PING, enc.MSG_PONG):
+            # Link-level liveness frames are point-to-point: a one-way
+            # fan-out hub neither answers nor propagates them (its own
+            # downstream probing runs in heal(), on the back-channel).
+            self.metrics.inc("relay.heartbeats_dropped")
             return
         if kind == enc.MSG_FORMAT:
             try:
@@ -247,6 +413,9 @@ class Relay:
         rejects take the scalar :meth:`forward` path in arrival order,
         so announcement-before-data ordering is preserved exactly.
         """
+        if self._stopped:
+            self.metrics.inc("relay.dropped_after_stop", len(list(messages)))
+            return
         run: list[bytes] = []
         for message in messages:
             header = enc.try_unpack_header(message)
@@ -289,10 +458,15 @@ class Relay:
             if batch:
                 self._send_many(downstream, batch, "forwarded")
 
-    def _send_many(self, downstream: _Downstream, batch: list[bytes], counter: str) -> None:
+    def _send_many(self, downstream: Downstream, batch: list[bytes], counter: str) -> None:
         """:meth:`_send` for a whole run: one vectored transport call,
         same failure counting and quarantine policy."""
-        if downstream.quarantined:
+        if downstream.state != ACTIVE:
+            return
+        queue = downstream.send_queue
+        if queue is not None and len(queue):
+            for message in batch:  # backlog: keep order through the queue
+                self._send(downstream, message, counter)
             return
         send_many = getattr(downstream.transport, "send_many", None)
         try:
@@ -301,14 +475,16 @@ class Relay:
             else:  # duck-typed link predating the batch API
                 for message in batch:
                     downstream.transport.send(message)
+        except WriteQueueFull as exc:
+            if queue is not None:
+                # The async queue admits bursts all-or-nothing, so the
+                # whole batch is still ours to spill, frame by frame.
+                for message in batch:
+                    self._spill(downstream, message, counter)
+            else:
+                self._count_failure(downstream, exc)
         except TransportError as exc:
-            downstream.metrics.inc("send_errors")
-            downstream.consecutive_errors += 1
-            if self.on_error is not None:
-                self.on_error(downstream, exc)
-            if downstream.consecutive_errors >= self.quarantine_after:
-                downstream.quarantined = True
-                downstream.metrics.inc("detached")
+            self._count_failure(downstream, exc)
         else:
             downstream.consecutive_errors = 0
             downstream.metrics.inc(counter, len(batch))
@@ -325,3 +501,108 @@ class Relay:
         frames = recv_many(max_frames) if recv_many is not None else [upstream.recv()]
         self.forward_batch(frames)
         return len(frames)
+
+    # -- self-healing ---------------------------------------------------------
+
+    def heal(self, now: float | None = None) -> None:
+        """Drive the quarantine-recovery state machine one step.
+
+        Cheap enough to call once per pump iteration: flushes overflow
+        backlogs on active downstreams, then — when a ``probe_policy``
+        is armed — harvests probe answers from quarantined downstreams
+        (a ``MSG_PONG`` reactivates, with the full announcement replay),
+        sends the next backoff-scheduled probe where due, and evicts
+        peers silent past the policy's deadline.
+        """
+        if now is None:
+            now = self._clock()
+        policy = self.probe_policy
+        for downstream in list(self._downstreams):
+            if downstream.state == ACTIVE:
+                self._try_flush(downstream)
+                continue
+            if policy is None or downstream.state == EVICTED:
+                continue
+            if self._harvest_pong(downstream):
+                self._reactivate(downstream)
+                self._try_flush(downstream)
+                continue
+            entered = downstream.quarantined_at
+            if entered is not None and now - entered >= policy.eviction_deadline_s:
+                self._evict(downstream)
+                continue
+            if downstream.next_probe_at is not None and now >= downstream.next_probe_at:
+                self._probe(downstream, now)
+
+    def _harvest_pong(self, downstream: Downstream) -> bool:
+        """Drain the downstream's back-channel; True on proof of life."""
+        alive = False
+        while True:
+            try:
+                frame = downstream.transport.poll_recv()
+            except TransportError:
+                return alive  # a torn back-channel is just more silence
+            if frame is None:
+                return alive
+            header = enc.try_unpack_header(frame)
+            if header is not None and header[0] == enc.MSG_PONG:
+                alive = True
+            # Anything else a subscriber sends while quarantined (stray
+            # requests, garbage) is not proof it can *receive* — only a
+            # pong answers the probe.
+
+    def _probe(self, downstream: Downstream, now: float) -> None:
+        self._ping_nonce += 1
+        downstream.state = PROBING
+        try:
+            downstream.transport.send(enc.encode_ping(self._ping_nonce))
+        except TransportError:
+            pass  # an unsendable probe is an unanswered probe
+        downstream.metrics.inc("probes_sent")
+        self.metrics.inc("relay.probes_sent")
+        downstream.probe_attempts += 1
+        downstream.next_probe_at = now + self.probe_policy.delay(downstream.probe_attempts)
+
+    def _evict(self, downstream: Downstream) -> None:
+        downstream.state = EVICTED
+        self._downstreams.remove(downstream)
+        downstream.metrics.inc("evicted")
+        self.metrics.inc("relay.evicted")
+
+    # -- graceful drain -------------------------------------------------------
+
+    def drain_and_stop(self, deadline_s: float = 5.0) -> bool:
+        """Stop forwarding, flush overflow backlogs, say goodbye.
+
+        New upstream messages are dropped (counted as
+        ``relay.dropped_after_stop``) from the moment this is called.
+        Overflow queues are flushed until empty or ``deadline_s`` of
+        virtual/wall time passes; every still-attached downstream then
+        gets a goodbye ping (nonce 0) so peers re-dial promptly instead
+        of timing out.  Returns True when every queue flushed fully.
+        """
+        self._stopped = True
+        deadline = self._clock() + deadline_s
+        flushed_all = False
+        while self._clock() <= deadline:
+            progress = 0
+            remaining = 0
+            for downstream in self._downstreams:
+                queue = downstream.send_queue
+                if downstream.state != ACTIVE or queue is None:
+                    continue
+                before = len(queue)
+                self._try_flush(downstream)
+                progress += before - len(queue)
+                if downstream.state == ACTIVE:
+                    remaining += len(queue)
+            if remaining == 0:
+                flushed_all = True
+                break
+            if progress == 0:
+                break  # nothing is draining; waiting longer cannot help
+        for downstream in self._downstreams:
+            if downstream.state != EVICTED and send_goodbye(downstream.transport):
+                downstream.metrics.inc("goodbyes_sent")
+        self.metrics.inc("relay.drained")
+        return flushed_all

@@ -133,6 +133,28 @@ class SocketTransport(Transport):
             out.append(data)
         return out
 
+    def poll_recv(self) -> bytes | None:
+        """A complete frame if one is buffered or readable *now*, else None.
+
+        Drains the kernel buffer with ``MSG_DONTWAIT`` reads until either
+        a frame completes or the socket has nothing more to give — never
+        blocks, regardless of the configured timeout.
+        """
+        while True:
+            data = self._framer.next_frame()
+            if data is not None:
+                return data
+            view = self._framer.writable(self._framer.needed())
+            try:
+                got = self._sock.recv_into(view, 0, socket.MSG_DONTWAIT)
+            except (BlockingIOError, InterruptedError):
+                return None
+            except OSError as exc:
+                raise TransportError(f"recv failed: {exc}") from exc
+            if not got:
+                raise TransportError("connection closed mid-frame")
+            self._framer.advance(got)
+
     def close(self) -> None:
         try:
             self._sock.shutdown(socket.SHUT_RDWR)

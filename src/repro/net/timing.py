@@ -41,6 +41,43 @@ def calibrated_inner(fn: Callable[[], object], *, target_s: float = 5e-3, max_in
     return max(1, min(max_inner, int(target_s / once)))
 
 
+class VirtualClock:
+    """A manually-advanced monotonic clock for deterministic time-based tests.
+
+    Every time-aware component in the net layer (``RetryPolicy``,
+    :class:`repro.net.health.HeartbeatMonitor`, the relay's probe state
+    machine) takes an injectable ``clock`` callable defaulting to
+    ``time.monotonic``; handing them a ``VirtualClock`` instance runs the
+    whole timeline in virtual time — a 60 s eviction deadline takes
+    microseconds of wall time and is perfectly reproducible.
+
+    The instance is callable (``clock()`` → current virtual seconds) so it
+    drops into any ``clock=time.monotonic`` parameter unchanged, and
+    :meth:`sleep` advances time instead of blocking, so it also satisfies
+    ``sleep=`` parameters.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(max(0.0, seconds))
+
+
 @dataclass(frozen=True)
 class LegCost:
     """One direction of an exchange: sender encode, wire, receiver decode."""

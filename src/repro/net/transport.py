@@ -13,6 +13,9 @@ keys retry decisions off it):
   more messages will ever arrive.  Retryable only by re-dialling.
 * :class:`TransportTimeout` — a blocking operation exceeded the
   transport's configured timeout.  Retryable.
+* :class:`PeerUnresponsive` — the link looks up but the peer has stopped
+  answering liveness probes (:mod:`repro.net.health`).  Retryable after
+  the peer proves itself alive again.
 """
 
 from __future__ import annotations
@@ -48,6 +51,18 @@ class WriteQueueFull(TransportError):
     :class:`TransportError` deliberately: fan-out layers (the relay) treat a
     persistently-full queue exactly like a broken link — count, report,
     quarantine — which is the slow-consumer eviction policy.
+    """
+
+
+class PeerUnresponsive(TransportError):
+    """The peer missed too many consecutive liveness probes.
+
+    Raised (or reported) by :class:`repro.net.health.HeartbeatMonitor`
+    when ``miss_threshold`` pings go unanswered.  The socket may still be
+    technically open — half-dead links are exactly what heartbeats
+    exist to detect — so this is a verdict about the *peer*, not the
+    local endpoint.  Probing (:class:`repro.net.health.ProbePolicy`)
+    can later clear it.
     """
 
 
@@ -123,6 +138,18 @@ class Transport(ABC):
         message — buffered transports override to drain their backlog.
         """
         return [self.recv()]
+
+    def poll_recv(self) -> bytes | None:
+        """One message if immediately available, else ``None`` — never blocks.
+
+        The health plane (:mod:`repro.net.health`) uses this to harvest
+        pongs without committing a thread to a blocking ``recv``.  The
+        base implementation declines (returns ``None``): transports that
+        cannot check readiness cheaply simply look forever-silent to a
+        poller, which is safe — a :class:`HeartbeatMonitor` should only
+        be worn by transports that override this.
+        """
+        return None
 
 
 def frame(payload: bytes | bytearray | memoryview) -> bytes:
@@ -294,6 +321,17 @@ class _PipeEnd(Transport):
 
     def pending(self) -> int:
         return len(self._inbox)
+
+    def poll_recv(self) -> bytes | None:
+        if self._closed:
+            raise TransportError("recv on closed transport")
+        if not self._inbox:
+            if self._peer is not None and self._peer._closed:
+                raise PeerClosedError("recv failed: peer closed, stream drained")
+            return None
+        data = self._inbox.popleft()
+        self.bytes_received += len(data)
+        return data
 
     def close(self) -> None:
         self._closed = True

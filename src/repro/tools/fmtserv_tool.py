@@ -9,6 +9,7 @@ Usage::
     pbio-fmtserv prime --server 127.0.0.1:7788 --cache local.pbfc
     pbio-fmtserv purge --server 127.0.0.1:7788 [--fingerprint HEX]
     pbio-fmtserv purge --cache local.pbfc [--fingerprint HEX]
+    pbio-fmtserv ping --server 127.0.0.1:7788 --server 127.0.0.1:7789
 
 ``serve`` accepts loopback-or-anywhere TCP connections, multiplexed on
 one :class:`~repro.net.aio.AsyncServer` event loop — one process, no
@@ -24,8 +25,15 @@ forever.
 whole format population into a local cache file, so a process restarted
 with that file decodes known formats without any server round-trip.
 
+``ping`` is the liveness probe of the self-healing plane
+(docs/robustness.md §9): it dials each ``--server`` in turn, sends one
+``MSG_PING`` control frame, and waits for the matching ``MSG_PONG``
+(the serve loop's negotiator answers it without touching the RPC
+layer).  Exit 0 when every server answered, 1 when any did not.
+
 Exit codes: 0 — success; 1 — operation failed (server unreachable,
-nothing purged when a fingerprint was named); 2 — usage error.
+nothing purged when a fingerprint was named, ping unanswered);
+2 — usage error.
 """
 
 from __future__ import annotations
@@ -34,6 +42,8 @@ import argparse
 import socket
 import sys
 
+from repro.core import encoder as enc
+from repro.core.errors import PbioError
 from repro.fmtserv import FormatCache, FormatServer, FormatService
 from repro.net.aio import AsyncServer, fmtserv_handler
 from repro.net.sockets import SocketTransport
@@ -181,6 +191,44 @@ def _purge(args) -> int:
     return 0 if (removed or not fingerprint) else 1
 
 
+# -- ping ----------------------------------------------------------------------
+
+
+def _ping_one(endpoint: str, timeout_s: float) -> tuple[bool, str]:
+    """One liveness round-trip; (alive, human-readable detail)."""
+    try:
+        transport = _dial(endpoint, timeout_s=timeout_s)
+    except TransportError as exc:
+        return False, str(exc)
+    nonce = 1  # any non-zero value; 0 is the goodbye sentinel
+    try:
+        transport.send(enc.encode_ping(nonce))
+        while True:
+            message = transport.recv()
+            kind, _cid, _fid, _plen = enc.unpack_header(message)
+            if kind != enc.MSG_PONG:
+                continue  # an announcement or stray frame; keep waiting
+            got, depth = enc.parse_pong(message)
+            if got == nonce:
+                return True, f"queue depth {depth}"
+    except (TransportError, PbioError) as exc:
+        return False, str(exc)
+    finally:
+        transport.close()
+
+
+def _ping(args) -> int:
+    failures = 0
+    for endpoint in args.server:
+        alive, detail = _ping_one(endpoint, args.timeout)
+        if alive:
+            print(f"{endpoint}: alive ({detail})")
+        else:
+            print(f"{endpoint}: DOWN ({detail})", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
 # -- CLI -----------------------------------------------------------------------
 
 
@@ -229,6 +277,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--fingerprint", default=None, help="hex fingerprint (omit to purge all)"
     )
     purge.set_defaults(func=_purge)
+
+    ping = sub.add_parser("ping", help="liveness-check one or more servers")
+    ping.add_argument(
+        "--server",
+        metavar="HOST:PORT",
+        action="append",
+        required=True,
+        help="repeatable: every listed server is probed",
+    )
+    ping.add_argument(
+        "--timeout", type=float, default=5.0, help="seconds to wait per server"
+    )
+    ping.set_defaults(func=_ping)
     return parser
 
 

@@ -226,6 +226,123 @@ class TestService:
         assert reply["status"] == STATUS_INVALID
 
 
+class TestFailover:
+    def _dead_dialer(self):
+        from repro.net import TransportError
+
+        def dial():
+            raise TransportError("replica down")
+
+        return dial
+
+    def test_failover_to_second_replica(self):
+        clock = FakeClock()
+        server = FormatServer()
+        svc = FormatService(
+            [self._dead_dialer(), lambda: SyncServerLink(server)],
+            cache=FormatCache(clock=clock),
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter_seed=1),
+            clock=clock,
+            sleep=no_sleep,
+        )
+        fmt = make_format()
+        assert svc.publish(fmt) == 1  # answered by the second replica
+        assert svc.metrics.value("fmtserv.failovers") == 1
+        assert svc.metrics.value("fmtserv.replica_failures") == 1
+        assert svc.metrics.value("fmtserv.server_unreachable") == 0
+        assert svc.replica_states == ["open", "closed"]
+        assert svc.online
+
+    def test_all_replicas_down_degrades_to_inline(self):
+        clock = FakeClock()
+        svc = FormatService(
+            [self._dead_dialer(), self._dead_dialer()],
+            cache=FormatCache(clock=clock),
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter_seed=1),
+            server_retry_s=5.0,
+            clock=clock,
+            sleep=no_sleep,
+        )
+        assert svc.publish(make_format()) is None  # inline fallback, no raise
+        assert svc.metrics.value("fmtserv.server_unreachable") == 1
+        assert svc.replica_states == ["open", "open"]
+        assert not svc.online  # every breaker open: straight to fallback
+        assert svc.publish(make_format(PARTICLE)) is None
+        assert svc.metrics.value("fmtserv.server_unreachable") == 1  # no new dials
+
+    def test_primary_recovers_after_holdoff(self):
+        clock = FakeClock()
+        server = FormatServer()
+        calls = {"n": 0}
+
+        def flaky_primary():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                from repro.net import TransportError
+
+                raise TransportError("primary rebooting")
+            return SyncServerLink(server)
+
+        svc = FormatService(
+            [flaky_primary, lambda: SyncServerLink(server)],
+            cache=FormatCache(clock=clock),
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter_seed=1),
+            server_retry_s=5.0,
+            clock=clock,
+            sleep=no_sleep,
+        )
+        assert svc.publish(make_format(TELEMETRY)) == 1  # via the secondary
+        assert svc.replica_states[0] == "open"
+        clock.advance(6.0)
+        assert svc.replica_states[0] == "half_open"  # trial call allowed
+        assert svc.publish(make_format(PARTICLE)) == 2  # primary answers it
+        assert svc.replica_states[0] == "closed"
+        # And the success did not count as a failover: replica 0 answered.
+        assert svc.metrics.value("fmtserv.failovers") == 1
+
+    def test_single_connect_still_works_unlisted(self):
+        # Back-compat: a bare Transport / dialer is a one-replica list.
+        server = FormatServer()
+        svc = make_service(server)
+        assert svc.publish(make_format()) == 1
+        assert svc.replica_states == ["closed"]
+
+
+class TestDrain:
+    def test_drain_and_stop_sends_goodbye(self):
+        from repro.core import encoder as enc
+
+        server = FormatServer()
+        link = SyncServerLink(server)
+        clock = FakeClock()
+        svc = FormatService(
+            link,
+            cache=FormatCache(clock=clock),
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter_seed=1),
+            clock=clock,
+            sleep=no_sleep,
+        )
+        assert svc.publish(make_format()) == 1  # establishes the link state
+        server.drain_and_stop()
+        assert server.stopped
+        assert server._rpc.metrics.value("rpc.goodbyes_sent") == 1
+        # The goodbye ping is sitting in the client's inbound pipe.
+        goodbye = link._pipe.a.recv()
+        kind = enc.unpack_header(goodbye)[0]
+        assert kind == enc.MSG_PING
+        nonce, _depth = enc.parse_ping(goodbye)
+        assert nonce == enc.GOODBYE_NONCE
+
+    def test_restart_clears_drain(self):
+        server = FormatServer()
+        server.drain_and_stop()
+        assert server.stopped
+        server.restart()
+        assert not server.stopped
+        svc = make_service(server)
+        assert svc.publish(make_format()) == 1
+
+
 class TestServeLoop:
     def test_protocol_garbage_counted_then_connection_dropped(self):
         from repro.net import InMemoryPipe

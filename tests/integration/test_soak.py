@@ -1,0 +1,212 @@
+"""Soak: the self-healing service plane under sustained seeded chaos.
+
+A relay fans one telemetry stream out to eight subscribers while a
+chaos schedule breaks and heals their links; a format service publishes
+fresh formats over two paths (primary/backup) to a format server while
+the primary path flaps.  The run lasts ``PBIO_SOAK_SECONDS`` (a couple
+of seconds by default so the tier-1 suite stays fast; CI's soak job
+sets 60) and asserts the plane's contract:
+
+* zero acknowledged loss — every record forwarded while a subscriber's
+  link was healthy and its downstream ACTIVE is delivered and decodes;
+* quarantines always resolve — by the end every downstream is ACTIVE
+  again and nothing was evicted;
+* announcement replay works — reactivated subscribers keep decoding
+  (a lost announcement would poison every later record);
+* fmtserv failover — every publish lands a token while at least one
+  path is up, and every published format survives a cold lookup.
+
+``PBIO_CHAOS_SEED`` selects the chaos schedule (CI sweeps a matrix).
+"""
+
+import os
+import random
+import time
+
+from repro.abi import SPARC_V8, X86, RecordSchema, layout_record
+from repro.core import IOContext, IOFormat
+from repro.core import encoder as enc
+from repro.fmtserv import FormatCache, FormatServer, FormatService
+from repro.net import InMemoryPipe, ProbePolicy, Relay, TransportError
+from repro.net.relay import ACTIVE
+
+from ..fmtserv.helpers import SyncServerLink
+
+CHAOS_SEED = int(os.environ.get("PBIO_CHAOS_SEED", "0"))
+SOAK_SECONDS = float(os.environ.get("PBIO_SOAK_SECONDS", "1.5"))
+N_SUBSCRIBERS = 8
+
+TELEMETRY = RecordSchema.from_pairs("telemetry", [("seq", "int"), ("value", "double")])
+
+
+class FlakyLink:
+    """A pipe end whose send path can be broken and healed at will.
+
+    The receive path stays up even while broken — probes that cannot be
+    *sent* are the relay's problem; pongs the subscriber queued earlier
+    must still be harvestable once the link heals.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.broken = False
+
+    def send(self, data):
+        if self.broken:
+            raise TransportError("soak chaos: link down")
+        self.inner.send(data)
+
+    def recv(self):
+        return self.inner.recv()
+
+    def poll_recv(self):
+        return self.inner.poll_recv()
+
+    def close(self):
+        self.inner.close()
+
+
+class Subscriber:
+    """One relay downstream: decodes telemetry, answers probe pings."""
+
+    def __init__(self, relay):
+        self.pipe = InMemoryPipe()
+        self.link = FlakyLink(self.pipe.a)
+        self.down = relay.attach(self.link)
+        self.ctx = IOContext(X86)
+        self.ctx.expect(TELEMETRY)
+        self.received = []  # seqs, in delivery order
+        self.expected = set()  # seqs acknowledged as sent on a healthy link
+
+    def pump(self):
+        while True:
+            frame = self.pipe.b.poll_recv()
+            if frame is None:
+                return
+            kind = enc.unpack_header(frame)[0]
+            if kind == enc.MSG_PING:
+                nonce, _depth = enc.parse_ping(frame)
+                if nonce != enc.GOODBYE_NONCE:
+                    self.pipe.b.send(enc.encode_pong(nonce))
+            elif kind == enc.MSG_PONG:
+                continue
+            else:
+                record = self.ctx.receive(frame)
+                if record is not None:
+                    assert record["value"] == record["seq"] * 0.5
+                    self.received.append(record["seq"])
+
+
+def test_soak_self_healing_plane():
+    rng = random.Random(CHAOS_SEED)
+    relay = Relay(
+        quarantine_after=1,
+        probe_policy=ProbePolicy(
+            base_delay_s=0.01,
+            multiplier=2.0,
+            max_delay_s=0.05,
+            eviction_deadline_s=3600.0,  # a soak must heal, never evict
+        ),
+    )
+    subs = [Subscriber(relay) for _ in range(N_SUBSCRIBERS)]
+
+    # One format server reachable over two paths — failover without a
+    # replication story (an HA pair behind two network routes).
+    fserver = FormatServer()
+    primary_up = [True]
+
+    def primary_connect():
+        if not primary_up[0]:
+            raise TransportError("soak chaos: primary path down")
+        return SyncServerLink(fserver)
+
+    service = FormatService(
+        [primary_connect, lambda: SyncServerLink(fserver)],
+        cache=FormatCache(None),
+        server_retry_s=0.05,
+    )
+
+    sender = IOContext(SPARC_V8)
+    handle = sender.register_format(TELEMETRY)
+    relay.forward(sender.announce(handle))
+
+    published = []
+    deadline = time.monotonic() + SOAK_SECONDS
+    seq = 0
+    while time.monotonic() < deadline:
+        # -- chaos: flap subscriber links and the primary fmtserv path
+        for sub in subs:
+            if not sub.link.broken:
+                if rng.random() < 0.03:
+                    sub.link.broken = True
+            elif rng.random() < 0.25:
+                sub.link.broken = False
+        if rng.random() < 0.05:
+            primary_up[0] = not primary_up[0]
+
+        # -- forward one record; a healthy link at send time is the ack
+        message = sender.encode(handle, {"seq": seq, "value": seq * 0.5})
+        for sub in subs:
+            if sub.down.state == ACTIVE and not sub.link.broken:
+                sub.expected.add(seq)
+        relay.forward(message)
+        seq += 1
+
+        # -- every fifth round, exercise the format service: publish
+        #    fresh formats up to half the server's per-client quota,
+        #    then keep the wire busy with cache-evicted re-lookups
+        if seq % 5 == 0:
+            if len(published) < 512:
+                schema = RecordSchema.from_pairs(f"soak{seq}", [("x", "int")])
+                fmt = IOFormat.from_layout(layout_record(schema, SPARC_V8))
+                token = service.publish(fmt)
+                assert token is not None, "publish failed with a live replica"
+                published.append(fmt.fingerprint)
+            else:
+                fingerprint = published[rng.randrange(len(published))]
+                service.cache.purge(fingerprint)
+                fmt = service.resolve(fingerprint)
+                assert fmt is not None, "lookup failed with a live replica"
+
+        # -- let the plane heal and the subscribers drain
+        relay.heal()
+        for sub in subs:
+            sub.pump()
+        time.sleep(0.001)
+
+    # -- quiesce: heal every link, drive probes until everyone recovers
+    for sub in subs:
+        sub.link.broken = False
+    recovery_deadline = time.monotonic() + 10.0
+    while any(s.down.state != ACTIVE for s in subs):
+        assert time.monotonic() < recovery_deadline, "a downstream never recovered"
+        relay.heal()
+        for sub in subs:
+            sub.pump()
+        time.sleep(0.002)
+
+    # -- one final record must reach all eight (the replayed
+    #    announcements prove reactivated subscribers still decode)
+    final = sender.encode(handle, {"seq": seq, "value": seq * 0.5})
+    for sub in subs:
+        sub.expected.add(seq)
+    relay.forward(final)
+    for sub in subs:
+        sub.pump()
+
+    for sub in subs:
+        got = set(sub.received)
+        lost = sorted(sub.expected - got)
+        assert not lost, f"acknowledged records lost: {lost[:10]}"
+        assert sub.received == sorted(sub.received), "out-of-order delivery"
+        assert sub.down.state == ACTIVE
+    assert relay.metrics.value("relay.evicted") == 0
+
+    # -- every format published during the soak survives a cold lookup
+    cold = FormatService(lambda: SyncServerLink(fserver), cache=FormatCache(None))
+    try:
+        for fingerprint in published:
+            assert cold.resolve(fingerprint) is not None, "published format lost"
+    finally:
+        cold.close()
+        service.close()

@@ -21,6 +21,7 @@ import pytest
 
 from repro.abi import SPARC_V8, X86, RecordSchema
 from repro.core import IOContext, PbioConnection, RpcClient, RpcInterface, RpcOperation, RpcServer
+from repro.core import encoder as enc
 from repro.fmtserv import FormatServer, FormatService
 from repro.net import (
     AsyncServer,
@@ -549,3 +550,82 @@ class TestPromptShutdown:
         assert not thread.is_alive(), "serve loop ignored stop()"
         client_end.close()
         server_end.close()
+
+
+# -- graceful drain (tentpole: self-healing service plane) ---------------------
+
+
+class TestGracefulDrain:
+    def test_drain_and_stop_sends_goodbye_then_stops(self):
+        server = AsyncServer(echo_handler())
+        with serving(server) as (host, port):
+            with connect(host, port) as t:
+                t.send(b"warmup")
+                assert t.recv() == b"warmup"
+                wait_until(lambda: len(server._conn_transports) == 1)
+                fut = asyncio.run_coroutine_threadsafe(
+                    server.drain_and_stop(1.0), server._loop
+                )
+                fut.result(timeout=5)
+                goodbye = t.recv()
+                kind, _cid, _fid, _plen = enc.unpack_header(goodbye)
+                assert kind == enc.MSG_PING
+                nonce, _depth = enc.parse_ping(goodbye)
+                assert nonce == enc.GOODBYE_NONCE
+        assert server.metrics.value("aio.drained") == 1
+        assert server.metrics.value("aio.drain_timeouts") == 0
+
+    def test_drain_with_no_connections_just_stops(self):
+        server = AsyncServer(echo_handler())
+        with serving(server) as (host, port):
+            wait_until(lambda: server._loop is not None)
+            fut = asyncio.run_coroutine_threadsafe(
+                server.drain_and_stop(1.0), server._loop
+            )
+            fut.result(timeout=5)
+        assert server.metrics.value("aio.drained") == 1
+
+    def test_overflow_policy_spills_and_promotes(self):
+        async def scenario():
+            reader, writer = tcp_pair()
+            for sock in (reader, writer):
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+            t = AsyncSocketTransport(writer, max_write_queue=8192, overflow="drop_old")
+            message = enc.pack_header(enc.MSG_DATA, 1, 1, 1024) + b"\0" * 1024
+            # The peer is not reading yet: the kernel buffer jams, and the
+            # overflow policy spills data frames instead of raising
+            # WriteQueueFull the way overflow="block" would.
+            for _ in range(64):
+                t.send(message)
+                await asyncio.sleep(0)  # let the writer task try the kernel
+            assert t.metrics.value("aio.overflow_queued") > 0
+            assert t._wover.dropped_old > 0  # drop_old evicted stale frames
+            stop = threading.Event()
+
+            def pump():
+                reader.settimeout(0.2)
+                while not stop.is_set():
+                    try:
+                        if not reader.recv(65536):
+                            return
+                    except socket.timeout:
+                        continue
+                    except OSError:
+                        return
+
+            thread = threading.Thread(target=pump, daemon=True)
+            thread.start()
+            try:
+                # Once the peer drains the kernel buffer, spilled frames are
+                # promoted back into the live queue and everything flushes.
+                await asyncio.wait_for(t.drain(), timeout=10)
+            finally:
+                stop.set()
+            assert t.metrics.value("aio.overflow_promoted") > 0
+            assert t.write_queue_depth == 0
+            t.close()
+            thread.join(timeout=5)
+            reader.close()
+
+        asyncio.run(scenario())

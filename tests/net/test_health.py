@@ -1,0 +1,790 @@
+"""Tests for the self-healing service plane (:mod:`repro.net.health`).
+
+Heartbeat wire records, the tick-driven :class:`HeartbeatMonitor`, probe
+backoff schedules, all four bounded-queue overflow policies, the
+circuit breaker, the relay's quarantine-recovery state machine, and
+graceful drain on every server surface.  Everything runs in virtual
+time (:class:`~repro.net.timing.VirtualClock`); the hypothesis property
+test is seeded from ``PBIO_CHAOS_SEED`` like the rest of the chaos
+suite (default 0).
+"""
+
+import os
+
+import pytest
+from hypothesis import given, seed, settings, strategies as st
+
+from repro.abi import SPARC_V8, X86, RecordSchema
+from repro.core import IOContext
+from repro.core import encoder as enc
+from repro.core.errors import MessageError
+from repro.net import (
+    BoundedSendQueue,
+    CircuitBreaker,
+    FaultInjectingTransport,
+    FaultPlan,
+    HeartbeatMonitor,
+    InMemoryPipe,
+    PeerUnresponsive,
+    ProbePolicy,
+    Relay,
+    TransportError,
+    VirtualClock,
+    WriteQueueFull,
+    send_goodbye,
+)
+from repro.net.relay import ACTIVE, EVICTED, PROBING, QUARANTINED
+
+CHAOS_SEED = int(os.environ.get("PBIO_CHAOS_SEED", "0"))
+
+TELEMETRY = RecordSchema.from_pairs(
+    "telemetry", [("unit", "int"), ("temperature", "double")]
+)
+
+
+def telemetry_stream(records):
+    """Announcement + encoded records, as an upstream would frame them."""
+    sender = IOContext(SPARC_V8)
+    handle = sender.register_format(TELEMETRY)
+    return [sender.announce(handle)] + [sender.encode(handle, r) for r in records]
+
+
+def data_frame(cid: int, fid: int, payload: bytes) -> bytes:
+    return enc.pack_header(enc.MSG_DATA, cid, fid, len(payload)) + payload
+
+
+def drain_frames(pipe_end) -> list[bytes]:
+    frames = []
+    while pipe_end.pending():
+        frames.append(pipe_end.recv())
+    return frames
+
+
+class FlakyLink:
+    """A pipe end whose send path can be switched dead and alive."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.broken = False
+
+    def send(self, data):
+        if self.broken:
+            raise TransportError("link down (test)")
+        self.inner.send(data)
+
+    def recv(self):
+        return self.inner.recv()
+
+    def poll_recv(self):
+        return self.inner.poll_recv()
+
+    def close(self):
+        self.inner.close()
+
+
+class ChokedLink:
+    """A pipe end that signals a full write queue while ``full`` is set."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.full = False
+
+    def send(self, data):
+        if self.full:
+            raise WriteQueueFull("write queue full (test)")
+        self.inner.send(data)
+
+    def recv(self):
+        return self.inner.recv()
+
+    def poll_recv(self):
+        return self.inner.poll_recv()
+
+    def close(self):
+        self.inner.close()
+
+
+# -- wire records --------------------------------------------------------------
+
+
+class TestHeartbeatWire:
+    def test_ping_pong_round_trip(self):
+        ping = enc.encode_ping(7, queue_depth=42)
+        assert len(ping) == enc.HEADER_SIZE + enc.HEARTBEAT_PAYLOAD_SIZE
+        assert enc.unpack_header(ping)[0] == enc.MSG_PING
+        assert enc.parse_ping(ping) == (7, 42)
+        pong = enc.encode_pong(7, queue_depth=3)
+        assert enc.unpack_header(pong)[0] == enc.MSG_PONG
+        assert enc.parse_pong(pong) == (7, 3)
+
+    def test_strict_size_enforced(self):
+        ping = enc.encode_ping(1)
+        with pytest.raises(MessageError):
+            enc.parse_ping(ping + b"\x00")  # oversize
+        with pytest.raises(MessageError):
+            enc.parse_ping(ping[:-1])  # truncated
+        with pytest.raises(MessageError):
+            enc.parse_pong(ping)  # wrong type
+
+    def test_goodbye_nonce_is_reserved(self):
+        assert enc.GOODBYE_NONCE == 0
+        nonce, _depth = enc.parse_ping(enc.encode_ping(enc.GOODBYE_NONCE))
+        assert nonce == enc.GOODBYE_NONCE
+
+
+# -- heartbeat monitor ---------------------------------------------------------
+
+
+class TestHeartbeatMonitor:
+    def make(self, **kwargs):
+        clock = VirtualClock()
+        pipe = InMemoryPipe()
+        kwargs.setdefault("interval_s", 1.0)
+        kwargs.setdefault("miss_threshold", 3)
+        monitor = HeartbeatMonitor(pipe.a, clock=clock, **kwargs)
+        return monitor, pipe, clock
+
+    def test_answered_pings_stay_responsive(self):
+        monitor, pipe, clock = self.make()
+        for _ in range(10):
+            assert monitor.tick()
+            ping = pipe.b.recv()
+            nonce, _depth = enc.parse_ping(ping)
+            pipe.b.send(enc.encode_pong(nonce, queue_depth=5))
+            clock.advance(1.0)
+        assert monitor.responsive
+        assert monitor.misses == 0
+        assert monitor.pongs_received >= 9  # the last pong is still in flight
+        assert monitor.peer_queue_depth == 5
+
+    def test_silent_peer_raises_at_threshold(self):
+        monitor, pipe, clock = self.make()
+        transitions = []
+        monitor._on_state_change = transitions.append
+        monitor.tick()  # ping 1, nothing back
+        clock.advance(1.0)
+        monitor.tick()  # miss 1, ping 2
+        clock.advance(1.0)
+        monitor.tick()  # miss 2, ping 3
+        clock.advance(1.0)
+        with pytest.raises(PeerUnresponsive):
+            monitor.tick()  # miss 3 == threshold
+        assert not monitor.responsive
+        assert monitor.misses == 3
+        assert transitions == [False]
+
+    def test_any_frame_is_proof_of_life(self):
+        monitor, pipe, clock = self.make()
+        monitor.tick()
+        pipe.b.recv()  # the ping; peer streams data instead of answering
+        for tick in range(1, 10):
+            pipe.b.send(data_frame(1, 1, b"busy"))
+            clock.advance(1.0)
+            monitor.tick()
+        assert monitor.responsive and monitor.misses == 0
+        assert len(monitor.inbox) == 9  # data frames kept for the caller
+
+    def test_recovery_resets_misses_and_notifies(self):
+        monitor, pipe, clock = self.make(miss_threshold=2)
+        transitions = []
+        monitor._on_state_change = transitions.append
+        for _ in range(3):
+            with pytest.raises(PeerUnresponsive) if monitor.misses >= 1 else no_raise():
+                monitor.tick()
+            clock.advance(1.0)
+        assert not monitor.responsive
+        pipe.b.send(enc.encode_pong(1))
+        monitor.tick()
+        assert monitor.responsive and monitor.misses == 0
+        assert transitions == [False, True]
+
+    def test_inbound_ping_answered_automatically(self):
+        monitor, pipe, clock = self.make()
+        pipe.b.send(enc.encode_ping(99, queue_depth=7))
+        monitor.tick()
+        frames = drain_frames(pipe.b)
+        pongs = [f for f in frames if enc.unpack_header(f)[0] == enc.MSG_PONG]
+        assert len(pongs) == 1
+        assert enc.parse_pong(pongs[0])[0] == 99
+        assert monitor.peer_queue_depth == 7
+
+    def test_goodbye_sets_flag_without_pong(self):
+        monitor, pipe, clock = self.make()
+        pipe.b.send(enc.encode_ping(enc.GOODBYE_NONCE))
+        monitor.tick()
+        assert monitor.peer_goodbye
+        frames = drain_frames(pipe.b)
+        assert all(enc.unpack_header(f)[0] != enc.MSG_PONG for f in frames)
+
+    def test_goodbye_helper_best_effort(self):
+        pipe = InMemoryPipe()
+        assert send_goodbye(pipe.a)
+        nonce, _depth = enc.parse_ping(pipe.b.recv())
+        assert nonce == enc.GOODBYE_NONCE
+        pipe.b.close()
+        pipe.a.close()
+        assert not send_goodbye(pipe.a)  # dead link: False, never raises
+
+    def test_validation(self):
+        pipe = InMemoryPipe()
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(pipe.a, interval_s=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(pipe.a, miss_threshold=0)
+
+
+def no_raise():
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
+# -- probe policy --------------------------------------------------------------
+
+
+class TestProbePolicy:
+    def test_backoff_schedule(self):
+        policy = ProbePolicy(base_delay_s=0.5, multiplier=2.0, max_delay_s=4.0)
+        assert [policy.delay(n) for n in range(5)] == [0.5, 1.0, 2.0, 4.0, 4.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbePolicy(base_delay_s=0.0)
+        with pytest.raises(ValueError):
+            ProbePolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            ProbePolicy(base_delay_s=2.0, max_delay_s=1.0)
+        with pytest.raises(ValueError):
+            ProbePolicy(eviction_deadline_s=0.0)
+
+
+# -- bounded send queue --------------------------------------------------------
+
+
+class TestBoundedSendQueue:
+    def frames(self, n, cid=1, fid=1, size=16):
+        return [data_frame(cid, fid, bytes([i]) * size) for i in range(n)]
+
+    def test_block_rejects_over_budget(self):
+        a, b = self.frames(2)
+        queue = BoundedSendQueue(len(a), "block")
+        assert queue.push(a)
+        assert not queue.push(b)  # over budget: caller applies backpressure
+        assert queue.dropped_new == 0  # block never *counts* drops: it rejects
+        assert len(queue) == 1 and queue.pop() == a
+
+    def test_drop_new_keeps_queue(self):
+        a, b = self.frames(2)
+        queue = BoundedSendQueue(len(a), "drop_new")
+        assert queue.push(a)
+        assert not queue.push(b)
+        assert queue.dropped_new == 1
+        assert queue.pop() == a and queue.pop() is None
+
+    def test_drop_old_keeps_newest(self):
+        a, b, c = self.frames(3)
+        queue = BoundedSendQueue(2 * len(a), "drop_old")
+        assert queue.push(a) and queue.push(b)
+        assert queue.push(c)  # evicts a
+        assert queue.dropped_old == 1
+        assert [queue.pop(), queue.pop()] == [b, c]
+
+    def test_coalesce_keeps_newest_per_stream(self):
+        old = data_frame(1, 7, b"old-value-several-bytes")
+        new = data_frame(1, 7, b"new-value-several-byteZ")
+        other = data_frame(2, 7, b"other-stream-untouched!")
+        queue = BoundedSendQueue(len(old) + len(other), "coalesce")
+        assert queue.push(old) and queue.push(other)
+        assert queue.push(new)  # replaces `old` in place: same (cid, fid)
+        assert queue.coalesced == 1 and queue.dropped_old == 0
+        assert [queue.pop(), queue.pop()] == [new, other]
+
+    def test_coalesce_falls_back_to_drop_old(self):
+        a = data_frame(1, 1, b"a" * 16)
+        b = data_frame(2, 2, b"b" * 16)
+        c = data_frame(3, 3, b"c" * 16)
+        queue = BoundedSendQueue(2 * len(a), "coalesce")
+        assert queue.push(a) and queue.push(b)
+        assert queue.push(c)  # no same-stream frame: evicts oldest instead
+        assert queue.coalesced == 0 and queue.dropped_old == 1
+        assert [queue.pop(), queue.pop()] == [b, c]
+
+    def test_control_frames_never_dropped(self):
+        announcement = enc.pack_header(enc.MSG_FORMAT, 1, 1, 4) + b"meta"
+        queue = BoundedSendQueue(70, "drop_old")
+        big = data_frame(1, 1, b"x" * 30)
+        assert queue.push(announcement)
+        assert queue.push(big)
+        newer = data_frame(1, 1, b"y" * 30)
+        assert queue.push(newer)  # evicts `big`, not the announcement
+        assert queue.pop() == announcement
+        assert queue.pop() == newer
+        # and control frames are admitted even over budget
+        full = BoundedSendQueue(8, "drop_new")
+        assert full.push(announcement)
+        assert full.queued_bytes > full.max_bytes
+
+    def test_flush_stops_at_first_failure(self):
+        pipe = InMemoryPipe()
+        link = FlakyLink(pipe.a)
+        queue = BoundedSendQueue(1 << 16, "drop_new")
+        frames = self.frames(3)
+        for f in frames:
+            queue.push(f)
+        link.broken = True
+        with pytest.raises(TransportError):
+            queue.flush(link)
+        assert len(queue) == 3  # nothing lost
+        link.broken = False
+        assert queue.flush(link) == 3
+        assert drain_frames(pipe.b) == frames  # order preserved
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedSendQueue(0, "block")
+        with pytest.raises(ValueError):
+            BoundedSendQueue(100, "bogus")
+
+
+# -- circuit breaker -----------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_lifecycle(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(5.0, clock=clock)
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # one trial call
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_holdoff_doubles_and_caps(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(1.0, multiplier=2.0, max_holdoff_s=4.0, clock=clock)
+        for expected in (1.0, 2.0, 4.0, 4.0):  # doubling, then the cap
+            breaker.record_failure()
+            clock.advance(expected - 0.01)
+            assert not breaker.allow()
+            clock.advance(0.01)
+            assert breaker.allow()
+        breaker.record_success()
+        breaker.record_failure()
+        clock.advance(1.0)  # success reset the consecutive-open count
+        assert breaker.allow()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(1.0, multiplier=0.9)
+
+
+# -- relay self-healing --------------------------------------------------------
+
+
+def healing_relay(clock, **kwargs):
+    kwargs.setdefault(
+        "probe_policy",
+        ProbePolicy(base_delay_s=1.0, multiplier=2.0, max_delay_s=4.0, eviction_deadline_s=20.0),
+    )
+    return Relay(quarantine_after=1, clock=clock, **kwargs)
+
+
+class TestRelayHealing:
+    def test_pong_reactivates_with_announcement_replay(self):
+        clock = VirtualClock()
+        relay = healing_relay(clock)
+        pipe = InMemoryPipe()
+        link = FlakyLink(pipe.a)
+        down = relay.attach(link)
+        announcement, lost, after = telemetry_stream(
+            [{"unit": 1, "temperature": 1.0}, {"unit": 2, "temperature": 2.0}]
+        )
+        relay.forward(announcement)
+        link.broken = True
+        relay.forward(lost)  # send fails: quarantined at threshold 1
+        assert down.state == QUARANTINED
+        link.broken = False
+        clock.advance(1.0)
+        relay.heal()  # probe goes out
+        assert down.state == PROBING
+        assert down.stats.probes_sent == 1
+        pings = [f for f in drain_frames(pipe.b) if enc.unpack_header(f)[0] == enc.MSG_PING]
+        assert len(pings) == 1
+        pipe.b.send(enc.encode_pong(enc.parse_ping(pings[0])[0]))
+        relay.heal()
+        assert down.state == ACTIVE
+        assert down.stats.reactivated == 1
+        assert relay.metrics.value("relay.reactivated") == 1
+        relay.forward(after)
+        # The reactivated peer missed nothing it needs: replayed
+        # announcement first, then the fresh record — decodable.
+        receiver = IOContext(X86)
+        receiver.expect(TELEMETRY)
+        decoded = [receiver.receive(f) for f in drain_frames(pipe.b)]
+        assert {"unit": 2, "temperature": 2.0} in decoded
+
+    def test_probe_backoff_schedule(self):
+        clock = VirtualClock()
+        relay = healing_relay(clock)
+        pipe = InMemoryPipe()
+        link = FlakyLink(pipe.a)
+        down = relay.attach(link)
+        announcement, record = telemetry_stream([{"unit": 1, "temperature": 1.0}])
+        relay.forward(announcement)
+        link.broken = True
+        relay.forward(record)
+        link.broken = False
+        probe_times = []
+        while down.state != EVICTED:
+            before = down.stats.probes_sent
+            relay.heal()
+            if down.stats.probes_sent > before:
+                probe_times.append(clock.now())
+            clock.advance(0.5)
+        # quarantined at t=0: probes at 1, then +2, +4, +4 (capped)…
+        assert probe_times[:4] == [1.0, 3.0, 7.0, 11.0]
+        assert clock.now() >= 20.0  # evicted no earlier than the deadline
+
+    def test_silent_peer_evicted_at_deadline(self):
+        clock = VirtualClock()
+        relay = healing_relay(clock)
+        pipe = InMemoryPipe()
+        link = FlakyLink(pipe.a)
+        down = relay.attach(link)
+        announcement, record = telemetry_stream([{"unit": 1, "temperature": 1.0}])
+        relay.forward(announcement)
+        link.broken = True
+        relay.forward(record)
+        for _ in range(50):
+            clock.advance(0.5)
+            relay.heal()
+        assert down.state == EVICTED
+        assert down.stats.evicted == 1
+        assert relay.metrics.value("relay.evicted") == 1
+        assert down not in relay.active_downstreams
+        relay.forward(record)  # eviction is final: nothing reaches the pipe
+        assert not [
+            f for f in drain_frames(pipe.b) if enc.unpack_header(f)[0] == enc.MSG_DATA
+        ]
+
+    def test_garbage_on_backchannel_is_not_proof_of_life(self):
+        clock = VirtualClock()
+        relay = healing_relay(clock)
+        pipe = InMemoryPipe()
+        link = FlakyLink(pipe.a)
+        down = relay.attach(link)
+        announcement, record = telemetry_stream([{"unit": 1, "temperature": 1.0}])
+        relay.forward(announcement)
+        link.broken = True
+        relay.forward(record)
+        link.broken = False
+        clock.advance(1.0)
+        relay.heal()
+        pipe.b.send(b"not a pong")  # the peer babbles but can't receive
+        relay.heal()
+        assert down.state == PROBING
+
+    def test_without_policy_recovery_stays_manual(self):
+        clock = VirtualClock()
+        relay = Relay(quarantine_after=1, clock=clock, probe_policy=None)
+        pipe = InMemoryPipe()
+        link = FlakyLink(pipe.a)
+        down = relay.attach(link)
+        announcement, record = telemetry_stream([{"unit": 1, "temperature": 1.0}])
+        relay.forward(announcement)
+        link.broken = True
+        relay.forward(record)
+        assert down.quarantined
+        link.broken = False
+        for _ in range(10):
+            clock.advance(10.0)
+            relay.heal()
+        assert down.quarantined  # heal never probes without a policy
+        relay.reactivate(down)  # the operator override still works
+        assert down.state == ACTIVE
+
+
+class TestRelayOverflow:
+    def setup_choked(self, policy, max_queue_bytes=1 << 20):
+        clock = VirtualClock()
+        relay = Relay(
+            quarantine_after=2,
+            overflow=policy,
+            max_queue_bytes=max_queue_bytes,
+            clock=clock,
+        )
+        pipe = InMemoryPipe()
+        link = ChokedLink(pipe.a)
+        down = relay.attach(link)
+        return relay, pipe, link, down
+
+    def test_writequeuefull_spills_instead_of_quarantining(self):
+        relay, pipe, link, down = self.setup_choked("drop_new")
+        frames = telemetry_stream(
+            [{"unit": i, "temperature": float(i)} for i in range(5)]
+        )
+        relay.forward(frames[0])
+        link.full = True
+        for frame in frames[1:]:
+            relay.forward(frame)
+        assert down.state == ACTIVE  # a slow peer is not a broken link
+        assert down.stats.overflow_queued == 5
+        link.full = False
+        relay.heal()
+        assert down.stats.overflow_flushed == 5
+        receiver = IOContext(X86)
+        receiver.expect(TELEMETRY)
+        decoded = [receiver.receive(f) for f in drain_frames(pipe.b)]
+        records = [d for d in decoded if d is not None]
+        assert records == [{"unit": i, "temperature": float(i)} for i in range(5)]
+
+    def test_coalesce_keeps_newest_record_per_stream(self):
+        frames = telemetry_stream(
+            [{"unit": i, "temperature": float(i)} for i in range(6)]
+        )
+        record_size = len(frames[1])
+        # Budget for one queued record: every newer same-stream record
+        # must *replace* it, so the peer sees exactly the newest.
+        relay, pipe, link, down = self.setup_choked(
+            "coalesce", max_queue_bytes=record_size
+        )
+        relay.forward(frames[0])
+        link.full = True
+        for frame in frames[1:]:
+            relay.forward(frame)
+        queue = down.send_queue
+        assert len(queue) == 1
+        assert queue.coalesced == 5  # each newer record replaced the queued one
+        link.full = False
+        relay.heal()
+        receiver = IOContext(X86)
+        receiver.expect(TELEMETRY)
+        decoded = [receiver.receive(f) for f in drain_frames(pipe.b)]
+        records = [d for d in decoded if d is not None]
+        assert records == [{"unit": 5, "temperature": 5.0}]  # newest only
+
+    def test_drop_old_prefers_fresh_records(self):
+        frames = telemetry_stream(
+            [{"unit": i, "temperature": float(i)} for i in range(6)]
+        )
+        record_size = len(frames[1])
+        relay, pipe, link, down = self.setup_choked(
+            "drop_old", max_queue_bytes=2 * record_size
+        )
+        relay.forward(frames[0])
+        link.full = True
+        for frame in frames[1:]:
+            relay.forward(frame)
+        link.full = False
+        relay.heal()
+        receiver = IOContext(X86)
+        receiver.expect(TELEMETRY)
+        decoded = [receiver.receive(f) for f in drain_frames(pipe.b)]
+        records = [d for d in decoded if d is not None]
+        assert records == [
+            {"unit": 4, "temperature": 4.0},
+            {"unit": 5, "temperature": 5.0},
+        ]
+        assert down.send_queue.dropped_old == 4
+
+    def test_announcements_survive_any_overflow(self):
+        # An announcement must reach the peer even through a choked queue
+        # sized below the announcement itself: format state is forever.
+        frames = telemetry_stream([{"unit": 1, "temperature": 1.0}])
+        relay, pipe, link, down = self.setup_choked("drop_new", max_queue_bytes=8)
+        link.full = True
+        relay.forward(frames[0])  # announcement: admitted over budget
+        relay.forward(frames[1])  # data: rejected by the tiny budget
+        assert down.stats.overflow_dropped == 1
+        link.full = False
+        relay.heal()
+        received = drain_frames(pipe.b)
+        assert [enc.unpack_header(f)[0] for f in received] == [enc.MSG_FORMAT]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Relay(overflow="bogus")
+
+
+class TestRelayDrain:
+    def test_drain_flushes_and_says_goodbye(self):
+        relay, pipe, link, down = TestRelayOverflow().setup_choked("drop_new")
+        frames = telemetry_stream([{"unit": 1, "temperature": 1.0}])
+        relay.forward(frames[0])
+        link.full = True
+        relay.forward(frames[1])  # spilled
+        link.full = False
+        assert relay.drain_and_stop(deadline_s=5.0)
+        relay.forward(frames[1])  # after stop: dropped
+        assert relay.metrics.value("relay.dropped_after_stop") == 1
+        received = drain_frames(pipe.b)
+        kinds = [enc.unpack_header(f)[0] for f in received]
+        assert kinds == [enc.MSG_FORMAT, enc.MSG_DATA, enc.MSG_PING]
+        nonce, _depth = enc.parse_ping(received[-1])
+        assert nonce == enc.GOODBYE_NONCE
+        assert down.stats.goodbyes_sent == 1
+
+    def test_drain_reports_stuck_queues(self):
+        relay, pipe, link, down = TestRelayOverflow().setup_choked("drop_new")
+        frames = telemetry_stream([{"unit": 1, "temperature": 1.0}])
+        relay.forward(frames[0])
+        link.full = True
+        relay.forward(frames[1])
+        assert not relay.drain_and_stop(deadline_s=1.0)  # peer never drained
+
+
+# -- heartbeat-aware fault plans ----------------------------------------------
+
+
+class TestClassifiedFaultPlans:
+    def test_mute_heartbeats_swallows_pings_not_data(self):
+        pipe = InMemoryPipe()
+        chaotic = FaultInjectingTransport(
+            pipe.a, FaultPlan.mute_heartbeats(), seed=CHAOS_SEED
+        )
+        record = data_frame(1, 1, b"payload")
+        chaotic.send(enc.encode_ping(1))
+        chaotic.send(record)
+        chaotic.send(enc.encode_pong(1))
+        assert drain_frames(pipe.b) == [record]
+        assert chaotic.metrics.value("faults.heartbeats_dropped") == 2
+
+    def test_mute_payload_delivers_heartbeats_only(self):
+        pipe = InMemoryPipe()
+        chaotic = FaultInjectingTransport(
+            pipe.a, FaultPlan.mute_payload(), seed=CHAOS_SEED
+        )
+        ping = enc.encode_ping(1)
+        chaotic.send(data_frame(1, 1, b"gone"))
+        chaotic.send(ping)
+        assert drain_frames(pipe.b) == [ping]
+        assert chaotic.metrics.value("faults.payload_dropped") == 1
+
+    def test_classified_plans_draw_nothing_when_disabled(self):
+        # The 6-vector decision stream must be bit-stable for plans that
+        # predate the classified drops — replayability of old schedules.
+        def stream(plan):
+            pipe = InMemoryPipe()
+            chaotic = FaultInjectingTransport(pipe.a, plan, seed=CHAOS_SEED + 3)
+            for i in range(64):
+                try:
+                    chaotic.send(data_frame(1, 1, bytes([i]) * 8))
+                except TransportError:
+                    break
+            return drain_frames(pipe.b)
+
+        assert stream(FaultPlan(drop=0.3, delay=0.2)) == stream(
+            FaultPlan(drop=0.3, delay=0.2, drop_heartbeats=0.0, drop_payload=0.0)
+        )
+
+    def test_monitor_detects_muted_heartbeats_through_wrapper(self):
+        # A link that eats pings looks dead to the monitor even though
+        # data still flows the other way — exactly what quarantine wants.
+        clock = VirtualClock()
+        pipe = InMemoryPipe()
+        chaotic = FaultInjectingTransport(
+            pipe.a, FaultPlan.mute_heartbeats(), seed=CHAOS_SEED
+        )
+        monitor = HeartbeatMonitor(
+            chaotic, interval_s=1.0, miss_threshold=2, clock=clock
+        )
+        with pytest.raises(PeerUnresponsive):
+            for _ in range(4):
+                monitor.tick()
+                clock.advance(1.0)
+        assert pipe.b.pending() == 0  # no ping ever reached the peer
+
+    def test_poll_recv_forwards_through_wrapper(self):
+        pipe = InMemoryPipe()
+        chaotic = FaultInjectingTransport(pipe.a, FaultPlan.lossy(0.5), seed=CHAOS_SEED)
+        pipe.b.send(b"inbound")
+        assert chaotic.poll_recv() == b"inbound"
+        assert chaotic.poll_recv() is None
+        inert = FaultInjectingTransport(pipe.a, FaultPlan(), seed=CHAOS_SEED)
+        pipe.b.send(b"again")
+        assert inert.poll_recv() == b"again"  # zero-plan alias path
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_heartbeats=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(drop_payload=-0.1)
+        assert FaultPlan(drop_heartbeats=0.1).active
+
+
+# -- the healing property ------------------------------------------------------
+
+
+@seed(CHAOS_SEED)
+@settings(max_examples=60, deadline=None)
+@given(
+    answer_after=st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+    step=st.floats(min_value=0.25, max_value=2.0),
+)
+def test_quarantine_always_resolves(answer_after, step):
+    """A quarantined downstream either reactivates (with zero lost
+    announcements — the replayed stream decodes) or is evicted promptly
+    at the deadline.  It is never left probing forever."""
+    clock = VirtualClock()
+    policy = ProbePolicy(
+        base_delay_s=0.5, multiplier=2.0, max_delay_s=4.0, eviction_deadline_s=10.0
+    )
+    relay = Relay(quarantine_after=1, probe_policy=policy, clock=clock)
+    pipe = InMemoryPipe()
+    link = FlakyLink(pipe.a)
+    down = relay.attach(link)
+    announcement, lost, fresh = telemetry_stream(
+        [{"unit": 1, "temperature": 1.0}, {"unit": 2, "temperature": 2.0}]
+    )
+    relay.forward(announcement)
+    link.broken = True
+    relay.forward(lost)
+    assert down.state == QUARANTINED
+    quarantined_at = clock.now()
+    link.broken = False
+    drain_frames(pipe.b)  # discard the pre-quarantine traffic
+
+    pings_seen = 0
+    answered = False
+    resolved_at = None
+    delivered = []  # non-heartbeat frames the peer received, in order
+    # Safety bound: well past the deadline plus one max backoff.
+    while clock.now() < quarantined_at + policy.eviction_deadline_s + policy.max_delay_s + 2 * step:
+        clock.advance(step)
+        relay.heal()
+        for frame in drain_frames(pipe.b):
+            if enc.unpack_header(frame)[0] != enc.MSG_PING:
+                delivered.append(frame)
+                continue
+            pings_seen += 1
+            if answer_after is not None and pings_seen >= answer_after and not answered:
+                pipe.b.send(enc.encode_pong(enc.parse_ping(frame)[0]))
+                answered = True
+        if down.state in (ACTIVE, EVICTED):
+            resolved_at = clock.now()
+            break
+
+    assert down.state in (ACTIVE, EVICTED), "stuck probing"
+    assert resolved_at is not None
+    if down.state == EVICTED:
+        # Evicted no earlier than the deadline, and within one heal step
+        # plus the step that crossed it — never lingering.
+        assert resolved_at - quarantined_at >= policy.eviction_deadline_s
+        assert resolved_at - quarantined_at <= policy.eviction_deadline_s + 2 * step
+    else:
+        # Reactivated: the replay means a fresh record still decodes.
+        relay.forward(fresh)
+        delivered += [
+            f
+            for f in drain_frames(pipe.b)
+            if enc.unpack_header(f)[0] not in (enc.MSG_PING, enc.MSG_PONG)
+        ]
+        receiver = IOContext(X86)
+        receiver.expect(TELEMETRY)
+        decoded = [receiver.receive(f) for f in delivered]
+        assert {"unit": 2, "temperature": 2.0} in decoded
