@@ -24,6 +24,14 @@ Message types:
   current write-queue depth.  A nonce of 0 is reserved for the *goodbye*
   ping a draining endpoint emits so peers reconnect promptly instead of
   waiting out a timeout.
+* ``MSG_DATA_SEQ``       — a data message whose payload is prefixed by a
+  per-``(context, format)`` monotonic u64 sequence number (starting at
+  1); the durable delivery plane (docs/robustness.md §11) journals these
+  before sending and retransmits them until acknowledged.
+* ``MSG_ACK``            — a receiver's cumulative delivery cursor for
+  one ``(context, format)`` stream, plus an optional selective-nack
+  bitmap naming sequences in ``(cursor, cursor+64]`` it is still
+  missing.  Strict 24-byte payload, like the other control frames.
 """
 
 from __future__ import annotations
@@ -41,8 +49,19 @@ MSG_FORMAT_TOKEN = 3
 MSG_FORMAT_REQUEST = 4
 MSG_PING = 5
 MSG_PONG = 6
+MSG_DATA_SEQ = 7
+MSG_ACK = 8
 
-_MSG_TYPES = (MSG_FORMAT, MSG_DATA, MSG_FORMAT_TOKEN, MSG_FORMAT_REQUEST, MSG_PING, MSG_PONG)
+_MSG_TYPES = (
+    MSG_FORMAT,
+    MSG_DATA,
+    MSG_FORMAT_TOKEN,
+    MSG_FORMAT_REQUEST,
+    MSG_PING,
+    MSG_PONG,
+    MSG_DATA_SEQ,
+    MSG_ACK,
+)
 
 # magic, version, msg type, pad, context id, format id, payload length
 _HEADER = struct.Struct(">BBBxIII")
@@ -247,3 +266,108 @@ def parse_ping(message) -> tuple[int, int]:
 def parse_pong(message) -> tuple[int, int]:
     """Returns ``(nonce, queue_depth)`` from a pong."""
     return _parse_heartbeat(message, MSG_PONG, "pong")
+
+
+# -- durable delivery frames (docs/robustness.md §11) ------------------------
+
+_SEQ_PREFIX = struct.Struct(">Q")  # per-(context, format) sequence number
+SEQ_PREFIX_SIZE = _SEQ_PREFIX.size
+
+
+def encode_data_seq(context_id: int, format_id: int, seq: int, native) -> bytes:
+    """A sequenced data message: ``u64 seq | record bytes``.
+
+    The header's payload length covers the sequence prefix, so the frame
+    stays self-consistent under the same length checks as ``MSG_DATA``.
+    ``seq`` is the per-``(context, format)`` monotonic counter, starting
+    at 1 — 0 never travels, so cumulative ack cursors can use it as the
+    "nothing delivered yet" origin.
+    """
+    if seq < 1:
+        raise MessageError(f"sequence numbers start at 1, got {seq}")
+    payload_len = SEQ_PREFIX_SIZE + len(native)
+    return (
+        pack_header(MSG_DATA_SEQ, context_id, format_id, payload_len)
+        + _SEQ_PREFIX.pack(seq)
+        + bytes(native)
+    )
+
+
+def parse_data_seq(message) -> tuple[int, int, int, memoryview]:
+    """Returns ``(context_id, format_id, seq, record_bytes)``.
+
+    Strict about the prefix: a type-7 frame too short to carry the
+    sequence number is protocol damage, and a declared payload length
+    that disagrees with the actual bytes is a torn frame.
+    """
+    msg_type, context_id, format_id, payload_len = unpack_header(message)
+    if msg_type != MSG_DATA_SEQ:
+        raise MessageError(f"expected a sequenced data message, got type {msg_type}")
+    payload = memoryview(message)[HEADER_SIZE:]
+    if payload_len != len(payload) or payload_len < SEQ_PREFIX_SIZE:
+        raise MessageError(
+            f"sequenced payload must be >= {SEQ_PREFIX_SIZE} bytes and match "
+            f"the header (header says {payload_len}, got {len(payload)})"
+        )
+    (seq,) = _SEQ_PREFIX.unpack(payload[:SEQ_PREFIX_SIZE])
+    if seq < 1:
+        raise MessageError("sequenced data frame carries reserved sequence 0")
+    return context_id, format_id, seq, payload[SEQ_PREFIX_SIZE:]
+
+
+def seq_to_data(message) -> tuple[int, bytes]:
+    """Strip the sequence prefix: ``(seq, equivalent MSG_DATA message)``.
+
+    The bridge between the durable plane and every existing decode path:
+    once deduplicated/ordered, a sequenced frame is re-headered as the
+    plain data message it carries and decodes through the unchanged
+    pipeline (one small copy — the price of keeping the hot path
+    oblivious to sequencing).
+    """
+    context_id, format_id, seq, record = parse_data_seq(message)
+    return seq, pack_header(MSG_DATA, context_id, format_id, len(record)) + bytes(record)
+
+
+_ACK_PAYLOAD = struct.Struct(">QQQ")  # cursor, nack base, nack bitmap
+ACK_PAYLOAD_SIZE = _ACK_PAYLOAD.size
+
+
+def encode_ack(
+    context_id: int,
+    format_id: int,
+    cursor: int,
+    *,
+    nack_base: int = 0,
+    nack_bits: int = 0,
+) -> bytes:
+    """A cumulative ack for one stream: 24 bytes of payload, strict size.
+
+    ``cursor`` is the highest sequence delivered *contiguously* (0 =
+    nothing yet).  A non-zero ``nack_base`` adds a selective-nack bitmap:
+    bit *i* of ``nack_bits`` set means sequence ``nack_base + i`` is
+    missing and should be retransmitted without waiting for the cursor
+    to catch up.
+    """
+    if cursor < 0 or nack_base < 0:
+        raise MessageError("ack cursor and nack base must be non-negative")
+    payload = _ACK_PAYLOAD.pack(cursor, nack_base, nack_bits & ((1 << 64) - 1))
+    return pack_header(MSG_ACK, context_id, format_id, len(payload)) + payload
+
+
+def parse_ack(message) -> tuple[int, int, int, int, int]:
+    """Returns ``(context_id, format_id, cursor, nack_base, nack_bits)``.
+
+    Strict-size like the other control frames: a type-8 header glued
+    onto anything but exactly 24 payload bytes is protocol damage.
+    """
+    msg_type, context_id, format_id, payload_len = unpack_header(message)
+    if msg_type != MSG_ACK:
+        raise MessageError(f"expected an ack, got type {msg_type}")
+    payload = bytes(message[HEADER_SIZE:])
+    if payload_len != ACK_PAYLOAD_SIZE or len(payload) != ACK_PAYLOAD_SIZE:
+        raise MessageError(
+            f"ack payload must be {ACK_PAYLOAD_SIZE} bytes, "
+            f"header says {payload_len}, got {len(payload)}"
+        )
+    cursor, nack_base, nack_bits = _ACK_PAYLOAD.unpack(payload)
+    return context_id, format_id, cursor, nack_base, nack_bits

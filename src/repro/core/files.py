@@ -52,7 +52,7 @@ import io
 import os
 import struct
 import zlib
-from typing import Any, BinaryIO, Callable, Iterator
+from typing import Any, BinaryIO, Iterator
 
 from repro.abi import RecordSchema
 
@@ -60,80 +60,20 @@ from . import encoder as enc
 from .context import FormatHandle, IOContext
 from .errors import MessageError, PbioError
 
+# The frame discipline itself lives in repro.core.framing (shared with
+# the fmtserv cache file and the durable-delivery WAL); the historical
+# names are re-exported here because tooling imports them from this
+# module.
+from .framing import MSG_LEN as _MSG_LEN  # noqa: F401  (re-export)
+from .framing import V2_TRAILER as _V2_TRAILER  # noqa: F401  (re-export)
+from .framing import iter_frames, pack_frame  # noqa: F401  (re-export)
+
 FILE_MAGIC = b"PBIOFILE"
 FILE_VERSION = 2
 _FILE_HEADER = struct.Struct(">8sHxx")  # magic, version, pad
-_MSG_LEN = struct.Struct(">I")
-_V2_TRAILER = struct.Struct(">II")  # crc32(payload), length echo
 
 #: Reader damage policies (see module docstring).
 RECOVER_POLICIES = ("raise", "skip", "stop")
-
-
-def pack_frame(payload: bytes, *, version: int = FILE_VERSION) -> bytes:
-    """One file frame around ``payload`` in the given framing version.
-
-    v2 is the crash-safe framing (``u32 len | payload | u32 crc32 |
-    u32 len-echo``); the format-service cache file reuses it so a
-    killed process never corrupts already-persisted entries.  Emit the
-    result with a single ``write`` call to keep the torn-tail guarantee.
-    """
-    payload = bytes(payload)
-    frame = _MSG_LEN.pack(len(payload)) + payload
-    if version >= 2:
-        frame += _V2_TRAILER.pack(zlib.crc32(payload), len(payload))
-    return frame
-
-
-def iter_frames(
-    stream: BinaryIO,
-    *,
-    version: int = FILE_VERSION,
-    max_size: int | None = None,
-    on_damage: Callable[[str], None] | None = None,
-) -> Iterator[bytes]:
-    """Crash-safe scan of ``pack_frame`` output: yield intact payloads.
-
-    Damage handling is the v2 ``recover="skip"`` ladder: CRC-mismatched
-    frames are skipped while the length echo keeps alignment
-    trustworthy; a torn tail (or an untrustworthy length) ends the scan
-    cleanly.  ``on_damage`` (if given) is called with ``"corrupt"`` or
-    ``"torn"`` per damaged frame — callers count, this layer scans.
-    """
-
-    def damaged(what: str) -> None:
-        if on_damage is not None:
-            on_damage(what)
-
-    while True:
-        raw_len = stream.read(_MSG_LEN.size)
-        if not raw_len:
-            return  # clean EOF at a frame boundary
-        if len(raw_len) != _MSG_LEN.size:
-            damaged("torn")
-            return
-        (n,) = _MSG_LEN.unpack(raw_len)
-        if max_size is not None and n > max_size:
-            damaged("corrupt")  # hostile or corrupted prefix: stop, don't allocate
-            return
-        payload = stream.read(n)
-        if len(payload) != n:
-            damaged("torn")
-            return
-        if version < 2:
-            yield payload
-            continue
-        trailer = stream.read(_V2_TRAILER.size)
-        if len(trailer) != _V2_TRAILER.size:
-            damaged("torn")
-            return
-        crc, echo = _V2_TRAILER.unpack(trailer)
-        if zlib.crc32(payload) == crc:
-            yield payload
-            continue
-        damaged("corrupt")
-        if echo != n:
-            return  # length prefix itself suspect: alignment untrustworthy
 
 
 class PbioFileWriter:

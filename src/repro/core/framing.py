@@ -1,0 +1,128 @@
+"""The v2 crash-safe frame discipline, factored out of :mod:`repro.core.files`.
+
+One framing, three consumers: PBIO record files (:mod:`repro.core.files`),
+the format-service on-disk cache (:mod:`repro.fmtserv.cache`) and the
+durable-delivery write-ahead log (:mod:`repro.net.durable`).  A frame is::
+
+    u32 length | payload | u32 crc32(payload) | u32 length-echo
+
+emitted with a *single* ``write`` call, so a process killed mid-append
+tears at most the frame in flight.  The CRC detects in-place corruption;
+the trailing length echo is an independent second copy of the framing, so
+a scanner can distinguish "payload damaged" (echo agrees, CRC fails)
+from "framing untrustworthy" (echo disagrees too) and resync safely.
+
+v1 (``u32 length | payload``) remains readable for the seed file format.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Callable, Iterator
+from zlib import crc32
+
+#: Current frame discipline version (the crash-safe one).
+FRAME_VERSION = 2
+
+MSG_LEN = struct.Struct(">I")
+V2_TRAILER = struct.Struct(">II")  # crc32(payload), length echo
+
+
+def pack_frame(payload: bytes, *, version: int = FRAME_VERSION) -> bytes:
+    """One frame around ``payload`` in the given framing version.
+
+    v2 is the crash-safe framing (``u32 len | payload | u32 crc32 |
+    u32 len-echo``).  Emit the result with a single ``write`` call to
+    keep the torn-tail guarantee.
+    """
+    payload = bytes(payload)
+    frame = MSG_LEN.pack(len(payload)) + payload
+    if version >= 2:
+        frame += V2_TRAILER.pack(crc32(payload), len(payload))
+    return frame
+
+
+def frame_size(payload_len: int, *, version: int = FRAME_VERSION) -> int:
+    """On-disk bytes a payload of ``payload_len`` costs once framed."""
+    size = MSG_LEN.size + payload_len
+    if version >= 2:
+        size += V2_TRAILER.size
+    return size
+
+
+def iter_frames(
+    stream: BinaryIO,
+    *,
+    version: int = FRAME_VERSION,
+    max_size: int | None = None,
+    on_damage: Callable[[str], None] | None = None,
+) -> Iterator[bytes]:
+    """Crash-safe scan of :func:`pack_frame` output: yield intact payloads.
+
+    Damage handling is the v2 ``recover="skip"`` ladder: CRC-mismatched
+    frames are skipped while the length echo keeps alignment
+    trustworthy; a torn tail (or an untrustworthy length) ends the scan
+    cleanly.  ``on_damage`` (if given) is called with ``"corrupt"`` or
+    ``"torn"`` per damaged frame — callers count, this layer scans.
+    """
+
+    def damaged(what: str) -> None:
+        if on_damage is not None:
+            on_damage(what)
+
+    while True:
+        raw_len = stream.read(MSG_LEN.size)
+        if not raw_len:
+            return  # clean EOF at a frame boundary
+        if len(raw_len) != MSG_LEN.size:
+            damaged("torn")
+            return
+        (n,) = MSG_LEN.unpack(raw_len)
+        if max_size is not None and n > max_size:
+            damaged("corrupt")  # hostile or corrupted prefix: stop, don't allocate
+            return
+        payload = stream.read(n)
+        if len(payload) != n:
+            damaged("torn")
+            return
+        if version < 2:
+            yield payload
+            continue
+        trailer = stream.read(V2_TRAILER.size)
+        if len(trailer) != V2_TRAILER.size:
+            damaged("torn")
+            return
+        crc, echo = V2_TRAILER.unpack(trailer)
+        if crc32(payload) == crc:
+            yield payload
+            continue
+        damaged("corrupt")
+        if echo != n:
+            return  # length prefix itself suspect: alignment untrustworthy
+
+
+def intact_prefix_end(data: bytes, start: int = 0, *, version: int = FRAME_VERSION) -> int:
+    """Offset of the first byte past the last intact frame from ``start``.
+
+    The truncation point a crash-safe opener uses to drop a torn tail in
+    place (``stream.truncate(intact_prefix_end(...))``) without losing
+    any complete, CRC-valid frame.  Scanning stops at the first frame
+    that is torn, corrupt, or whose framing is untrustworthy.
+    """
+    pos = start
+    while pos < len(data):
+        if pos + MSG_LEN.size > len(data):
+            break
+        (n,) = MSG_LEN.unpack_from(data, pos)
+        body_start = pos + MSG_LEN.size
+        end = body_start + n
+        if version >= 2:
+            end += V2_TRAILER.size
+        if end > len(data):
+            break
+        if version >= 2:
+            crc, echo = V2_TRAILER.unpack_from(data, body_start + n)
+            if echo != n or crc32(data[body_start : body_start + n]) != crc:
+                break
+        pos = end
+    return pos

@@ -14,7 +14,14 @@ Three pieces (see docs/wire-format.md section 6 and DESIGN.md):
 """
 
 from .cache import CacheEntry, ConverterCache, machine_key, reset_shared_cache, shared_cache
-from .metrics import ContextStats, DownstreamStats, Metrics, StageTiming, SubscriberStats
+from .metrics import (
+    ContextStats,
+    DownstreamStats,
+    DurableStats,
+    Metrics,
+    StageTiming,
+    SubscriberStats,
+)
 from .pipeline import DecodePipeline
 from .pool import BufferPool
 
@@ -25,6 +32,7 @@ __all__ = [
     "ConverterCache",
     "DecodePipeline",
     "DownstreamStats",
+    "DurableStats",
     "Metrics",
     "StageTiming",
     "SubscriberStats",

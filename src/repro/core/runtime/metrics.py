@@ -60,6 +60,18 @@ Counter names used by the runtime:
                           (strings, VAX floats, non-DCG modes)
 ``decode.batch.rejected``  frames rejected inside a batch (each also counts
                           ``decode.rejected`` as usual)
+``durable.journaled``     records appended to a publisher WAL before send
+``durable.sent``          sequenced frames handed to the wire (first send)
+``durable.acked``         sequences confirmed by a cumulative ack cursor
+``durable.acks_sent`` / ``durable.acks_received``  MSG_ACK traffic per side
+``durable.retransmitted``  unacked frames re-sent (reconnect or nack)
+``durable.duplicates_dropped``  redelivered frames the dedup window absorbed
+``durable.reordered``     frames buffered out of order, later delivered
+``durable.nacks_sent``    selective-nack bitmaps emitted for gaps
+``durable.segments_rotated`` / ``durable.segments_compacted``  WAL maintenance
+``durable.wal_torn`` / ``durable.wal_corrupt``  damage healed on WAL open
+``durable.replayed``      frames replayed from a relay's in-memory window
+                          on downstream reactivation
 ========================  =====================================================
 
 Stage timings (``decode.parse``, ``decode.resolve``, ``decode.convert``)
@@ -194,6 +206,9 @@ class _MetricsView:
 
     __slots__ = ("_metrics",)
     _fields: tuple[str, ...] = ()
+    #: prepended to each field when reading the registry, letting a view
+    #: expose a dotted counter namespace (``durable.*``) as attributes
+    _prefix: str = ""
 
     def __init__(self, metrics: Metrics) -> None:
         self._metrics = metrics
@@ -203,12 +218,14 @@ class _MetricsView:
         return self._metrics
 
     def __getattr__(self, name: str):
-        if name in type(self)._fields:
-            return self._metrics.value(name)
+        cls = type(self)
+        if name in cls._fields:
+            return self._metrics.value(cls._prefix + name)
         raise AttributeError(name)
 
     def as_dict(self) -> dict[str, int | float]:
-        return {name: self._metrics.value(name) for name in type(self)._fields}
+        cls = type(self)
+        return {name: self._metrics.value(cls._prefix + name) for name in cls._fields}
 
     def __repr__(self) -> str:
         body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
@@ -242,6 +259,29 @@ class SubscriberStats(_MetricsView):
     )
 
 
+class DurableStats(_MetricsView):
+    """Durable-delivery counters (the ``durable.*`` namespace)."""
+
+    __slots__ = ()
+    _prefix = "durable."
+    _fields = (
+        "journaled",
+        "sent",
+        "acked",
+        "acks_sent",
+        "acks_received",
+        "retransmitted",
+        "duplicates_dropped",
+        "reordered",
+        "nacks_sent",
+        "segments_rotated",
+        "segments_compacted",
+        "wal_torn",
+        "wal_corrupt",
+        "replayed",
+    )
+
+
 class DownstreamStats(_MetricsView):
     """Per-relay-downstream forwarding counters."""
 
@@ -252,6 +292,7 @@ class DownstreamStats(_MetricsView):
         "announcements",
         "send_errors",
         "detached",
+        "replayed",
         "reactivated",
         "evicted",
         "probes_sent",

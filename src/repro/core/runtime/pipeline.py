@@ -423,15 +423,27 @@ class DecodePipeline:
             # Thread the parsed header through: steady-state data frames
             # validate the 16 bytes exactly once end to end.
             return self.decode(message, header=header)
+        if msg_type == enc.MSG_DATA_SEQ:
+            # A durable frame reaching a plain decode path: strip the
+            # sequence prefix and decode the record it carries.  Dedup
+            # and ordering (when wanted) live in DurableSubscription,
+            # above this layer — here the sequence is just framing.
+            try:
+                _seq, data = enc.seq_to_data(message)
+            except PbioError:
+                self.metrics.inc("decode.rejected")
+                raise
+            return self.decode(data)
         if msg_type == enc.MSG_FORMAT:
             self.absorb(message, context_id, format_id)
             return None
         if msg_type == enc.MSG_FORMAT_TOKEN:
             self.absorb_token(message)
             return None
-        # MSG_FORMAT_REQUEST / MSG_PING / MSG_PONG: link-level control
-        # addressed to a *peer endpoint* and handled by the negotiation or
-        # health layer; one reaching a bare decode path is mis-delivery.
+        # MSG_FORMAT_REQUEST / MSG_PING / MSG_PONG / MSG_ACK: link-level
+        # control addressed to a *peer endpoint* and handled by the
+        # negotiation, health or durable layer; one reaching a bare decode
+        # path is mis-delivery.
         self.metrics.inc("decode.rejected")
         raise MessageError(
             f"link control message (type {msg_type}) outside a negotiated stream"
@@ -477,11 +489,12 @@ class DecodePipeline:
         def flush() -> None:
             nonlocal group, gkey
             if group:
-                self._decode_group(messages, group, gkey, out, strict, native_out)
+                self._decode_group(msgs, group, gkey, out, strict, native_out)
                 group = []
             gkey = None
 
         max_msg = self._max_msg
+        msgs = messages  # swapped for a mutable copy only if seq frames appear
         for i, message in enumerate(messages):
             try:
                 if max_msg is not None and len(message) > max_msg:
@@ -497,6 +510,25 @@ class DecodePipeline:
                 if strict:
                     raise
                 continue
+            if msg_type == enc.MSG_DATA_SEQ:
+                # Re-header as the plain data frame it carries so the run
+                # grouping and batch converter below stay oblivious to
+                # sequencing.  The copy is lazy: purely non-durable
+                # batches never pay for it.
+                try:
+                    _seq, stripped = enc.seq_to_data(message)
+                except PbioError:
+                    flush()
+                    self.metrics.inc("decode.rejected")
+                    self.metrics.inc("decode.batch.rejected")
+                    if strict:
+                        raise
+                    continue
+                if msgs is messages:
+                    msgs = list(messages)
+                msgs[i] = stripped
+                msg_type = enc.MSG_DATA
+                payload_len -= enc.SEQ_PREFIX_SIZE
             if msg_type == enc.MSG_DATA:
                 key = (context_id, format_id)
                 if key != gkey:
@@ -525,7 +557,7 @@ class DecodePipeline:
                     self.metrics.inc("decode.batch.rejected")
                     if strict:
                         raise
-            else:  # request/ping/pong: mis-delivery, as in ingest()
+            else:  # request/ping/pong/ack: mis-delivery, as in ingest()
                 self.metrics.inc("decode.rejected")
                 self.metrics.inc("decode.batch.rejected")
                 if strict:

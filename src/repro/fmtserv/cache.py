@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import BinaryIO, Callable, Iterator
 
 from repro.core.errors import FormatError, MessageError
-from repro.core.files import iter_frames, pack_frame
+from repro.core.framing import iter_frames, pack_frame
 from repro.core.formats import IOFormat
 from repro.core.runtime import Metrics
 from repro.core.safety import DEFAULT_LIMITS, DecodeLimits

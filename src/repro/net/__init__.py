@@ -50,6 +50,13 @@ from .sockets import EchoServer, SocketTransport, loopback_pair
 from .timing import LegCost, RoundTripCost, TimingTable, VirtualClock, best_of, calibrated_inner
 from .channel import ChannelPublisher, EventChannel, SubscriberStats, Subscription, WireTap
 from .relay import Downstream, Relay
+from .durable import (
+    AckCursorStore,
+    DurablePublisher,
+    DurableSubscription,
+    PublisherWAL,
+    SequenceWindow,
+)
 
 __all__ = [
     "Transport",
@@ -102,4 +109,9 @@ __all__ = [
     "WireTap",
     "Relay",
     "Downstream",
+    "AckCursorStore",
+    "DurablePublisher",
+    "DurableSubscription",
+    "PublisherWAL",
+    "SequenceWindow",
 ]

@@ -878,7 +878,15 @@ def channel_handler(channel) -> ConnectionHandler:
     """Serve an :class:`~repro.net.channel.EventChannel` over the
     network: each connection becomes a wire-level subscriber (missed
     announcements replayed on join) *and* an ingress publisher — frames
-    the peer sends are published into the channel (minus itself)."""
+    the peer sends are published into the channel (minus itself).
+
+    Durable-delivery ack frames need no special handling here: a remote
+    subscriber writes its ``MSG_ACK`` frames onto the same connection it
+    receives data on (the back-channel), they arrive through
+    ``recv_many`` like any ingress frame, and :meth:`EventChannel.ingest`
+    routes them to the channel's registered ack listeners (each
+    :class:`~repro.net.durable.DurablePublisher`) instead of the
+    subscribers."""
 
     async def handle(transport: AsyncSocketTransport) -> None:
         tap = channel.attach_wire(transport.send)

@@ -77,6 +77,17 @@ class Subscription:
         except PbioError:  # short frame / bad magic: damage, not delivery
             self.metrics.inc("decode_errors")
             raise
+        if msg_type == enc.MSG_DATA_SEQ:
+            # A plain subscriber on a durable stream: the sequence prefix
+            # is transport bookkeeping it never asked for — strip it and
+            # deliver the record (durable subscribers dedup upstream of
+            # this method instead).
+            try:
+                _seq, message = enc.seq_to_data(message)
+            except PbioError:
+                self.metrics.inc("decode_errors")
+                raise
+            msg_type = enc.MSG_DATA
         if msg_type == enc.MSG_FORMAT:
             self.ctx.receive(message)
             return
@@ -89,8 +100,8 @@ class Subscription:
                 self.metrics.inc("unresolved_tokens")
                 raise
             return
-        if msg_type in (enc.MSG_FORMAT_REQUEST, enc.MSG_PING, enc.MSG_PONG):
-            return  # point-to-point recovery/liveness traffic; meaningless in-channel
+        if msg_type in (enc.MSG_FORMAT_REQUEST, enc.MSG_PING, enc.MSG_PONG, enc.MSG_ACK):
+            return  # point-to-point recovery/liveness/ack traffic; not record delivery
         if self.format_name is not None:
             try:
                 fmt = self.ctx.registry.remote_format(context_id, format_id)
@@ -224,6 +235,9 @@ class EventChannel:
         self._subscribers: list[Subscription] = []
         self._taps: list[WireTap] = []
         self._announcements: list[bytes] = []  # replayed to late joiners
+        #: MSG_ACK sinks (durable publishers); acks are point-to-point
+        #: control, so they route here instead of fanning to subscribers
+        self._ack_listeners: list[Callable[[bytes], None]] = []
         self._cache = cache
         #: Channel-wide format service: attached to every publisher and
         #: subscriber context, so token announcements published here are
@@ -268,6 +282,11 @@ class EventChannel:
         sub = Subscription(
             ctx, handler, format_name=format_name, filter_expr=filter_expr, on_error=on_error
         )
+        self._attach(sub)
+        return sub
+
+    def _attach(self, sub: Subscription) -> None:
+        """Join a constructed subscription: append + announcement replay."""
         self._subscribers.append(sub)
         try:
             for announcement in self._announcements:
@@ -275,10 +294,55 @@ class EventChannel:
         except Exception:  # "raise" policy during replay: don't half-join
             self._subscribers.remove(sub)
             raise
-        return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
         self._subscribers.remove(sub)
+
+    def subscribe_durable(
+        self,
+        ctx: IOContext,
+        handler: Callable[[dict[str, Any]], None],
+        *,
+        cursor_path: str | None = None,
+        format_name: str | None = None,
+        filter_expr: str | None = None,
+        on_error: str = "raise",
+        window: int = 1024,
+        ack_sink: Callable[[bytes], None] | None = None,
+    ):
+        """Attach an exactly-once-observed subscriber (see
+        :mod:`repro.net.durable`): redelivered sequenced frames are
+        absorbed by a dedup window and the ack cursor survives restarts
+        when ``cursor_path`` is given.  ``ack_sink`` overrides where
+        MSG_ACK frames go (default: back into this channel's listeners)."""
+        from .durable import DurableSubscription  # avoid an import cycle
+
+        return DurableSubscription(
+            self,
+            ctx,
+            handler,
+            cursor_path=cursor_path,
+            format_name=format_name,
+            filter_expr=filter_expr,
+            on_error=on_error,
+            window=window,
+            ack_sink=ack_sink,
+        )
+
+    # -- ack routing -----------------------------------------------------------
+
+    def add_ack_listener(self, listener: Callable[[bytes], None]) -> None:
+        """Register a sink for MSG_ACK frames entering this channel."""
+        self._ack_listeners.append(listener)
+
+    def remove_ack_listener(self, listener: Callable[[bytes], None]) -> None:
+        if listener in self._ack_listeners:
+            self._ack_listeners.remove(listener)
+
+    def route_ack(self, message: bytes) -> None:
+        """Hand one MSG_ACK frame to every registered listener."""
+        for listener in list(self._ack_listeners):
+            listener(message)
 
     # -- wire attachment -------------------------------------------------------
 
@@ -316,6 +380,11 @@ class EventChannel:
         header = enc.try_unpack_header(message)
         if header is None:
             self.metrics.inc("channel.frames_rejected")
+            return
+        if header[0] == enc.MSG_ACK:
+            # Point-to-point control flowing *against* the record stream:
+            # route to durable publishers listening here, never fan out.
+            self.route_ack(bytes(message))
             return
         if header[0] in (enc.MSG_FORMAT_REQUEST, enc.MSG_PING, enc.MSG_PONG):
             return

@@ -1,0 +1,968 @@
+"""The durable delivery plane: sequenced frames, publisher WAL, ack cursors.
+
+The transport layer is self-healing (retry, quarantine, heartbeats —
+docs/robustness.md §9) and the file layer is crash-safe (v2 framing, §6),
+but the *channels* between them were fire-and-forget: a publisher, relay
+or subscriber process crash silently lost every in-flight record.  This
+module closes that gap with three cooperating pieces (docs/robustness.md
+§11):
+
+* **Sequenced frames** — ``MSG_DATA_SEQ`` (wire type 7) prefixes each
+  record with a per-``(context, format)`` monotonic u64 starting at 1;
+  ``MSG_ACK`` (type 8) carries a cumulative ack cursor back, plus an
+  optional selective-nack bitmap for gap repair.  Both are strict-size
+  control-plane citizens of :mod:`repro.core.encoder`.
+
+* **Publisher WAL** — :class:`PublisherWAL` journals every sequenced
+  frame *before* it is sent, using the same ``u32 len | payload | crc32 |
+  len-echo`` frame discipline as PBIO files (:mod:`repro.core.framing`):
+  single-write appends, torn-tail truncation on open, segment rotation,
+  and whole-segment compaction once every entry is past the acked
+  cursor.  A restarted publisher recovers its unacked backlog and its
+  next sequence numbers from the log alone.
+
+* **Exactly-once-observed delivery** — :class:`DurablePublisher` and
+  :class:`DurableSubscription` wrap :class:`~repro.net.channel.EventChannel`
+  endpoints.  The publisher journals-before-send and retransmits unacked
+  frames on reconnect or nack; the subscriber deduplicates by a bounded
+  :class:`SequenceWindow` and persists its ack cursor
+  (:class:`AckCursorStore`) after each handler return, so redelivery —
+  which the at-least-once machinery makes inevitable — is observed
+  exactly once, in order.  Everything is opt-in: plain channels, plain
+  subscribers and the sync API are untouched, and a plain subscriber on
+  a durable stream simply sees the records with the sequencing stripped.
+
+A relay forwards sequenced frames verbatim, aggregates its downstreams'
+ack cursors (min-cursor) upstream, and replays from a bounded in-memory
+window on downstream reactivation — see :class:`repro.net.relay.Relay`.
+
+Durability is only exact across *process* crashes when the publisher
+reuses a stable ``context_id`` (pass it to
+:class:`~repro.core.context.IOContext`); the WAL journals announcements
+alongside data so retransmits decode even on a subscriber that never saw
+the original ones.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from collections import OrderedDict
+from typing import Any, BinaryIO, Callable
+
+from repro.core import encoder as enc
+from repro.core.context import FormatHandle, IOContext
+from repro.core.errors import MessageError, PbioError
+from repro.core.framing import iter_frames, pack_frame
+from repro.core.runtime import DurableStats, Metrics
+
+from .channel import ChannelPublisher, EventChannel, Subscription
+
+_FILE_HEADER = struct.Struct(">8sHxx")  # magic, version, pad
+WAL_MAGIC = b"PBIOWALS"
+CURSOR_MAGIC = b"PBIOCURS"
+WAL_VERSION = 1
+_CURSOR_ENTRY = struct.Struct(">IIQ")  # context id, format id, cursor
+
+
+def _open_framed(
+    path: str, magic: bytes, *, metrics: Metrics, label: str
+) -> tuple[BinaryIO, list[bytes]]:
+    """Open (or create) one crash-safe framed file; return its payloads.
+
+    New files get the 12-byte header; existing ones are validated, their
+    intact frames loaded, and any torn tail truncated in place so the
+    next append starts at a clean frame boundary.  Damage is counted as
+    ``durable.<label>_torn`` / ``durable.<label>_corrupt``.
+    """
+    if not os.path.exists(path):
+        stream = open(path, "w+b")
+        stream.write(_FILE_HEADER.pack(magic, WAL_VERSION))
+        stream.flush()
+        return stream, []
+    stream = open(path, "r+b")
+    try:
+        header = stream.read(_FILE_HEADER.size)
+        if len(header) != _FILE_HEADER.size:
+            raise MessageError(f"not a {label} file: truncated header")
+        found, version = _FILE_HEADER.unpack(header)
+        if found != magic:
+            raise MessageError(f"not a {label} file: bad magic {found!r}")
+        if version != WAL_VERSION:
+            raise MessageError(f"unsupported {label} version {version}")
+
+        def damaged(what: str) -> None:
+            metrics.inc(f"durable.{label}_torn" if what == "torn" else f"durable.{label}_corrupt")
+
+        payloads: list[bytes] = []
+        pos = stream.tell()
+        for payload in iter_frames(stream, on_damage=damaged):
+            payloads.append(payload)
+            pos = stream.tell()
+        stream.truncate(pos)
+        stream.seek(pos)
+    except Exception:
+        stream.close()
+        raise
+    return stream, payloads
+
+
+class AckCursorStore:
+    """Crash-safe persistence for per-stream cumulative cursors.
+
+    An append-only file of framed ``(context id, format id, cursor)``
+    entries; the latest entry per stream wins, so advancing a cursor is
+    one single-write append — the same torn-tail guarantee as every
+    other v2 frame consumer.  The file is compacted (atomic rewrite)
+    once the append count dwarfs the live stream count.  ``path=None``
+    keeps the cursors in memory only (tests, relay-internal use).
+    """
+
+    def __init__(self, path: str | None = None, *, metrics: Metrics | None = None):
+        self.path = path
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._cursors: dict[tuple[int, int], int] = {}
+        self._stream: BinaryIO | None = None
+        self._appended = 0
+        if path is not None:
+            stream, payloads = _open_framed(
+                path, CURSOR_MAGIC, metrics=self.metrics, label="wal"
+            )
+            # Reopen unbuffered: every advance is one tiny framed append,
+            # and a raw write is both cheaper than write+flush through a
+            # buffer and durable against process crash the instant it
+            # returns.
+            stream.close()
+            self._stream = open(path, "r+b", buffering=0)
+            self._stream.seek(0, os.SEEK_END)
+            for payload in payloads:
+                if len(payload) != _CURSOR_ENTRY.size:
+                    self.metrics.inc("durable.wal_corrupt")
+                    continue
+                cid, fid, cursor = _CURSOR_ENTRY.unpack(payload)
+                # Append-wins, but never regress: a stale late entry
+                # (from an interleaved old writer) cannot move us back.
+                key = (cid, fid)
+                if cursor > self._cursors.get(key, 0):
+                    self._cursors[key] = cursor
+            self._appended = len(payloads)
+
+    def cursor(self, key: tuple[int, int]) -> int:
+        """Highest contiguously-confirmed sequence for ``key`` (0 = none)."""
+        return self._cursors.get(key, 0)
+
+    def cursors(self) -> dict[tuple[int, int], int]:
+        return dict(self._cursors)
+
+    def advance(self, key: tuple[int, int], cursor: int) -> bool:
+        """Move ``key``'s cursor forward; False if ``cursor`` is not ahead."""
+        if cursor <= self._cursors.get(key, 0):
+            return False
+        self._cursors[key] = cursor
+        if self._stream is not None:
+            self._stream.write(
+                pack_frame(_CURSOR_ENTRY.pack(key[0], key[1], cursor))
+            )
+            self._appended += 1
+            if self._appended > 8 * len(self._cursors) + 128:
+                self._rewrite()
+        return True
+
+    def _rewrite(self) -> None:
+        # Atomic swap, same durability contract as the WAL segments:
+        # surviving *process* crash (the write reaches the OS before the
+        # replace is visible).  No fsync — an OS crash can at worst
+        # regress cursors, degrading exactly-once-observed to
+        # at-least-once for the records in between, exactly like the
+        # flush-not-fsync segments; fsyncing here would dominate
+        # steady-state cost.
+        assert self.path is not None and self._stream is not None
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "wb") as tmp:
+            tmp.write(_FILE_HEADER.pack(CURSOR_MAGIC, WAL_VERSION))
+            for (cid, fid), cursor in self._cursors.items():
+                tmp.write(pack_frame(_CURSOR_ENTRY.pack(cid, fid, cursor)))
+        self._stream.close()
+        os.replace(tmp_path, self.path)
+        self._stream = open(self.path, "r+b", buffering=0)
+        self._stream.seek(0, os.SEEK_END)
+        self._appended = len(self._cursors)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "AckCursorStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def split_wal_frame(payload: bytes) -> list[bytes]:
+    """Split one WAL frame payload into the wire messages it carries.
+
+    A frame holds either a single message (announcements, scalar
+    appends) or a whole burst concatenated back to back — one coalesced
+    journal write per :meth:`PublisherWAL.append_batch`, one CRC over
+    the lot.  PBIO headers carry their payload length, so the messages
+    self-delimit; anything that does not parse cleanly to the frame's
+    exact end is damage.
+    """
+    view = memoryview(payload)
+    total = len(payload)
+    offset = 0
+    messages: list[bytes] = []
+    while offset < total:
+        header = enc.try_unpack_header(view[offset:])
+        if header is None:
+            raise MessageError(f"unparseable embedded message at offset {offset}")
+        end = offset + enc.HEADER_SIZE + header[3]
+        if end > total:
+            raise MessageError(f"embedded message overruns frame at offset {offset}")
+        messages.append(bytes(view[offset:end]))
+        offset = end
+    return messages
+
+
+class PublisherWAL:
+    """Crash-safe write-ahead log of sequenced frames awaiting acks.
+
+    ``directory`` holds numbered segment files (``wal-<n>.seg``) of
+    v2-framed wire messages — each entry is the *exact* ``MSG_DATA_SEQ``
+    (or ``MSG_FORMAT``) message that travels, so recovery needs no
+    re-encoding — plus an :class:`AckCursorStore` (``acked.cursors``)
+    recording how far the subscribers have confirmed.  On open, every
+    segment is scanned with torn-tail truncation; entries past the acked
+    cursor rebuild the in-memory unacked backlog and the per-stream
+    ``next_seq`` counters.
+
+    Segments rotate at ``segment_bytes``; a rotation re-journals the
+    live announcements first, so the newest segment always decodes
+    standalone.  :meth:`ack` drops confirmed entries and deletes whole
+    segments whose every entry is past its stream's cursor
+    (``durable.segments_compacted``).
+
+    ``directory=None`` runs the same sequencing and backlog machinery
+    purely in memory — useful for tests and for measuring the journal's
+    own overhead, but obviously not crash-safe.
+    """
+
+    def __init__(
+        self,
+        directory: str | None,
+        *,
+        segment_bytes: int = 1 << 20,
+        metrics: Metrics | None = None,
+    ):
+        if segment_bytes < 4096:
+            raise ValueError("segment_bytes must be >= 4096")
+        self.directory = directory
+        self.segment_bytes = segment_bytes
+        self.metrics = metrics if metrics is not None else Metrics()
+        #: per-stream unacked backlog, seq-ordered (appends are monotonic)
+        self._unacked: dict[tuple[int, int], OrderedDict[int, bytes]] = {}
+        self._next_seq: dict[tuple[int, int], int] = {}
+        #: latest announcement per stream key, re-journaled on rotation
+        self._announcements: dict[tuple[int, int], bytes] = {}
+        #: (path, digest) per live segment; the digest is the highest
+        #: data sequence per stream in that segment (appends are
+        #: monotonic), which makes the fully-acked check in
+        #: :meth:`compact` O(streams) instead of O(entries)
+        self._segments: list[tuple[str, dict[tuple[int, int], int]]] = []
+        self._stream: BinaryIO | None = None
+        self._stream_bytes = 0
+        self._segment_index = 0
+        if directory is None:
+            self.acked = AckCursorStore(None, metrics=self.metrics)
+            return
+        os.makedirs(directory, exist_ok=True)
+        self.acked = AckCursorStore(
+            os.path.join(directory, "acked.cursors"), metrics=self.metrics
+        )
+        names = sorted(n for n in os.listdir(directory) if n.startswith("wal-"))
+        for name in names:
+            self._load_segment(os.path.join(directory, name))
+        if self._segments:
+            # Reopen the newest segment for appending (unbuffered: every
+            # append is already one coalesced write, and skipping the
+            # userspace buffer makes it durable-to-the-OS as it returns).
+            last_path = self._segments[-1][0]
+            self._segment_index = int(
+                os.path.basename(last_path).split("-")[1].split(".")[0]
+            )
+            self._stream = open(last_path, "r+b", buffering=0)
+            self._stream.seek(0, os.SEEK_END)
+            self._stream_bytes = self._stream.tell()
+        else:
+            self._open_segment()
+
+    # -- disk layer ----------------------------------------------------------
+
+    def _load_segment(self, path: str) -> None:
+        stream, payloads = _open_framed(path, WAL_MAGIC, metrics=self.metrics, label="wal")
+        stream.close()
+        digest: dict[tuple[int, int], int] = {}
+        for payload in payloads:
+            try:
+                messages = split_wal_frame(payload)
+            except MessageError:
+                self.metrics.inc("durable.wal_corrupt")
+                continue
+            for message in messages:
+                header = enc.try_unpack_header(message)
+                if header is None:
+                    self.metrics.inc("durable.wal_corrupt")
+                    continue
+                if header[0] in (enc.MSG_FORMAT, enc.MSG_FORMAT_TOKEN):
+                    key = (header[1], header[2])
+                    self._announcements[key] = message
+                    continue
+                try:
+                    cid, fid, seq, _record = enc.parse_data_seq(message)
+                except PbioError:
+                    self.metrics.inc("durable.wal_corrupt")
+                    continue
+                key = (cid, fid)
+                digest[key] = max(seq, digest.get(key, 0))
+                if seq >= self._next_seq.get(key, 1):
+                    self._next_seq[key] = seq + 1
+                if seq > self.acked.cursor(key):
+                    self._unacked.setdefault(key, OrderedDict())[seq] = message
+        self._segments.append((path, digest))
+
+    def _open_segment(self) -> None:
+        assert self.directory is not None
+        self._segment_index += 1
+        path = os.path.join(self.directory, f"wal-{self._segment_index:08d}.seg")
+        stream = open(path, "w+b", buffering=0)
+        stream.write(_FILE_HEADER.pack(WAL_MAGIC, WAL_VERSION))
+        self._stream = stream
+        self._stream_bytes = _FILE_HEADER.size
+        self._segments.append((path, {}))
+        # Self-contained segments: the live announcements travel into the
+        # new file, so a compaction of older segments never strands the
+        # format meta a recovered backlog needs to decode.
+        for key, message in self._announcements.items():
+            self._journal(message, key, 0)
+
+    def _journal(self, message: bytes, key: tuple[int, int], seq: int) -> None:
+        if self._stream is None:
+            return
+        frame = pack_frame(message)
+        self._stream.write(frame)
+        self._stream_bytes += len(frame)
+        if seq:  # announcements (seq 0) never pin a segment
+            self._segments[-1][1][key] = seq
+
+    # -- write path ----------------------------------------------------------
+
+    def next_seq(self, key: tuple[int, int]) -> int:
+        """The sequence number the next record on ``key`` must carry."""
+        return max(self._next_seq.get(key, 1), self.acked.cursor(key) + 1)
+
+    def announce(self, message: bytes) -> None:
+        """Journal a format announcement for the stream it describes.
+
+        Idempotent per (stream, bytes): re-announcing identical meta
+        writes nothing.  The announcement is retransmitted ahead of the
+        backlog by :meth:`unacked`, so a subscriber that never saw the
+        original can still decode the recovered records.
+        """
+        header = enc.unpack_header(message)
+        key = (header[1], header[2])
+        if self._announcements.get(key) == bytes(message):
+            return
+        self._announcements[key] = bytes(message)
+        self._journal(self._announcements[key], key, 0)
+
+    def append(self, message: bytes) -> int:
+        """Journal one ``MSG_DATA_SEQ`` message; returns its sequence.
+
+        The caller must send the *same bytes* after this returns —
+        journal-before-send is the whole crash-safety argument.
+        """
+        return self.append_batch([message])[0]
+
+    def append_batch(self, messages) -> list[int]:
+        """Journal a run of ``MSG_DATA_SEQ`` messages with one write.
+
+        Each stream's sequences must be contiguous from its
+        :meth:`next_seq`; the whole run lands in a single buffered
+        write+flush, which is what makes burst durability cheap.
+        Returns the sequences in message order.
+        """
+        if not messages:
+            return []
+        parsed: list[tuple[tuple[int, int], int, bytes]] = []
+        expected: dict[tuple[int, int], int] = {}
+        for message in messages:
+            cid, fid, seq, _record = enc.parse_data_seq(message)
+            key = (cid, fid)
+            want = expected.get(key)
+            if want is None:
+                want = self.next_seq(key)
+            if seq != want:
+                raise MessageError(
+                    f"stream {key} must journal sequence {want} next, got {seq}"
+                )
+            expected[key] = seq + 1
+            parsed.append((key, seq, bytes(message)))
+        return self._append_parsed(parsed)
+
+    def _append_parsed(
+        self, parsed: list[tuple[tuple[int, int], int, bytes]]
+    ) -> list[int]:
+        """Trusted append: the caller vouches the ``(key, seq, message)``
+        triples are contiguous (:class:`DurablePublisher` builds them
+        straight off :meth:`next_seq`, so re-parsing would be waste)."""
+        if self._stream is not None:
+            if self._stream_bytes >= self.segment_bytes:
+                self._stream.close()
+                self._open_segment()
+                self.metrics.inc("durable.segments_rotated")
+            # One frame for the whole burst (see split_wal_frame): one
+            # CRC, one length check, one write.
+            frame = pack_frame(b"".join(m for _, _, m in parsed))
+            self._stream.write(frame)
+            self._stream_bytes += len(frame)
+            digest = self._segments[-1][1]
+        else:
+            digest = None
+        seqs: list[int] = []
+        for key, seq, message in parsed:
+            if digest is not None:
+                digest[key] = seq
+            self._unacked.setdefault(key, OrderedDict())[seq] = message
+            self._next_seq[key] = seq + 1
+            seqs.append(seq)
+        self.metrics.inc("durable.journaled", len(parsed))
+        return seqs
+
+    # -- ack path ------------------------------------------------------------
+
+    def ack(self, key: tuple[int, int], cursor: int) -> int:
+        """Confirm every sequence on ``key`` up to ``cursor`` inclusive.
+
+        Returns how many backlog entries that released; persists the
+        cursor and compacts any segment now fully confirmed.
+        """
+        if not self.acked.advance(key, cursor):
+            return 0
+        backlog = self._unacked.get(key)
+        released = 0
+        if backlog is not None:
+            while backlog and next(iter(backlog)) <= cursor:
+                backlog.popitem(last=False)
+                released += 1
+            if not backlog:
+                del self._unacked[key]
+        self.compact()
+        return released
+
+    def get(self, key: tuple[int, int], seq: int) -> bytes | None:
+        """The journaled message for one unacked sequence, if still held."""
+        backlog = self._unacked.get(key)
+        return backlog.get(seq) if backlog is not None else None
+
+    def announcements(self) -> list[bytes]:
+        """The live announcement messages, one per journaled stream."""
+        return list(self._announcements.values())
+
+    def unacked(self, key: tuple[int, int] | None = None) -> list[bytes]:
+        """Every unacked message (one stream or all), announcements first.
+
+        This is the retransmission set.  For one stream: its
+        announcement, then its backlog in sequence order.  For all
+        streams (``key=None``, the full after-restart resend): *every*
+        journaled announcement — even for streams whose backlog is fully
+        acked, so a restarted relay or cold subscriber relearns the
+        format meta — then each backlog in sequence order.
+        """
+        if key is not None:
+            backlog = self._unacked.get(key)
+            if not backlog:
+                return []
+            out = []
+            announcement = self._announcements.get(key)
+            if announcement is not None:
+                out.append(announcement)
+            out.extend(backlog.values())
+            return out
+        out = list(self._announcements.values())
+        for k in sorted(self._unacked):
+            out.extend(self._unacked[k].values())
+        return out
+
+    @property
+    def unacked_count(self) -> int:
+        return sum(len(b) for b in self._unacked.values())
+
+    def compact(self) -> int:
+        """Delete segments whose every entry is past its acked cursor.
+
+        The active (newest) segment is never deleted — rotation retires
+        it first.  Returns the number of segments removed.
+        """
+        if self.directory is None or len(self._segments) <= 1:
+            return 0
+        removed = 0
+        survivors: list[tuple[str, dict[tuple[int, int], int]]] = []
+        for path, digest in self._segments[:-1]:
+            if all(seq <= self.acked.cursor(key) for key, seq in digest.items()):
+                os.remove(path)
+                removed += 1
+                self.metrics.inc("durable.segments_compacted")
+            else:
+                survivors.append((path, digest))
+        self._segments = survivors + self._segments[-1:]
+        return removed
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+        self.acked.close()
+
+    def __enter__(self) -> "PublisherWAL":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SequenceWindow:
+    """Receiver-side dedup and reordering over sequenced streams.
+
+    Per stream: a cumulative *cursor* (highest sequence delivered
+    contiguously) plus a bounded buffer of out-of-order arrivals.  A
+    frame at or below the cursor — or already buffered — is a duplicate;
+    a frame more than ``window`` ahead is refused (the publisher's
+    retransmission machinery will offer it again once the gap closes).
+    Delivery is two-phase so a crash or handler failure between receipt
+    and processing redelivers instead of losing: :meth:`offer` admits,
+    :meth:`next_ready` peeks the next in-order frame, and
+    :meth:`commit` consumes it and advances the cursor.
+    """
+
+    def __init__(self, window: int = 1024, *, metrics: Metrics | None = None):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._cursors: dict[tuple[int, int], int] = {}
+        self._pending: dict[tuple[int, int], dict[int, Any]] = {}
+
+    def seed(self, key: tuple[int, int], cursor: int) -> None:
+        """Adopt a persisted cursor (resume after restart)."""
+        if cursor > self._cursors.get(key, 0):
+            self._cursors[key] = cursor
+
+    def cursor(self, key: tuple[int, int]) -> int:
+        return self._cursors.get(key, 0)
+
+    def offer(self, key: tuple[int, int], seq: int, item: Any) -> str:
+        """Admit one frame; returns ``"ready" | "buffered" | "duplicate" |
+        "refused"``.  ``"ready"`` means :meth:`next_ready` now has work."""
+        cursor = self._cursors.get(key, 0)
+        if seq <= cursor:
+            self.metrics.inc("durable.duplicates_dropped")
+            return "duplicate"
+        pending = self._pending.setdefault(key, {})
+        if seq in pending:
+            self.metrics.inc("durable.duplicates_dropped")
+            return "duplicate"
+        if seq - cursor > self.window:
+            # Beyond the reorder horizon: refusing keeps the buffer
+            # bounded, and at-least-once redelivery makes refusal safe.
+            self.metrics.inc("durable.window_refused")
+            return "refused"
+        pending[seq] = item
+        if seq == cursor + 1:
+            return "ready"
+        self.metrics.inc("durable.reordered")
+        return "buffered"
+
+    def next_ready(self, key: tuple[int, int]) -> tuple[int, Any] | None:
+        """The next in-order frame, without consuming it."""
+        pending = self._pending.get(key)
+        if not pending:
+            return None
+        seq = self._cursors.get(key, 0) + 1
+        item = pending.get(seq)
+        return (seq, item) if seq in pending else None
+
+    def commit(self, key: tuple[int, int], seq: int) -> None:
+        """Consume one delivered frame and advance the cursor to it."""
+        cursor = self._cursors.get(key, 0)
+        if seq != cursor + 1:
+            raise MessageError(f"cannot commit {seq} at cursor {cursor} on {key}")
+        self._cursors[key] = seq
+        pending = self._pending.get(key)
+        if pending is not None:
+            pending.pop(seq, None)
+            if not pending:
+                del self._pending[key]
+
+    def missing(self, key: tuple[int, int]) -> tuple[int, int] | None:
+        """``(nack_base, bitmap)`` describing the gap, or None if none.
+
+        Bit *i* set means sequence ``nack_base + i`` has not arrived even
+        though something later has — exactly the selective-nack payload
+        of ``MSG_ACK``.  Only the first 64 sequences past the cursor are
+        described; cumulative acking repairs anything beyond.
+        """
+        pending = self._pending.get(key)
+        if not pending:
+            return None
+        base = self._cursors.get(key, 0) + 1
+        top = max(pending)
+        bits = 0
+        for i in range(min(64, top - base + 1)):
+            if base + i not in pending:
+                bits |= 1 << i
+        return (base, bits) if bits else None
+
+    def pending_count(self, key: tuple[int, int] | None = None) -> int:
+        if key is not None:
+            return len(self._pending.get(key, ()))
+        return sum(len(p) for p in self._pending.values())
+
+
+class DurablePublisher:
+    """A journal-before-send publishing endpoint on an event channel.
+
+    Wraps :class:`~repro.net.channel.ChannelPublisher`: announcements and
+    their token/inline fallback ladder are unchanged, but every record
+    goes out as a ``MSG_DATA_SEQ`` frame that was appended to the
+    :class:`PublisherWAL` *first*.  Ack frames entering the channel
+    (:meth:`EventChannel.ingest` routes them) advance the WAL cursor and
+    trigger selective retransmission for nacked gaps; :meth:`resend_unacked`
+    replays the whole surviving backlog — announcements first — after a
+    restart or reconnect.
+
+    Exactly-once across restarts additionally needs a stable
+    ``context_id`` on ``ctx`` (otherwise a restarted publisher starts a
+    *new* stream; nothing is lost or duplicated, but continuity of the
+    sequence numbering is).
+    """
+
+    def __init__(
+        self,
+        channel: EventChannel,
+        ctx: IOContext,
+        *,
+        wal_dir: str | None = None,
+        wal: PublisherWAL | None = None,
+        segment_bytes: int = 1 << 20,
+    ):
+        self.channel = channel
+        self.ctx = ctx
+        self.metrics = Metrics()
+        self.stats = DurableStats(self.metrics)
+        if wal is not None:
+            self.wal = wal
+            self.wal.metrics = self.metrics
+        else:
+            self.wal = PublisherWAL(
+                wal_dir, segment_bytes=segment_bytes, metrics=self.metrics
+            )
+        self._inner = ChannelPublisher(channel, ctx)
+        channel.add_ack_listener(self._on_ack)
+
+    def publish(self, handle: FormatHandle, record: dict[str, Any]) -> int:
+        """Encode, journal, sequence and publish one record; returns its
+        sequence number."""
+        return self.publish_native(handle, handle.codec.encode(record))
+
+    def publish_native(self, handle: FormatHandle, native) -> int:
+        key = (self.ctx.context_id, handle.format_id)
+        if handle.format_id not in self._inner._announced:
+            # The channel announcement ladder runs as usual; the WAL
+            # additionally journals the *inline* meta form so recovered
+            # backlogs are decodable with no format service in sight.
+            self._inner._announce(handle)
+            self._inner._announced.add(handle.format_id)
+            self.wal.announce(self.ctx.announce(handle))
+        seq = self.wal.next_seq(key)
+        message = enc.encode_data_seq(key[0], key[1], seq, native)
+        self.wal.append(message)  # journal-before-send
+        self.channel._publish_message(message)
+        self.metrics.inc("durable.sent")
+        return seq
+
+    def publish_batch(self, handle: FormatHandle, records) -> list[int]:
+        """Encode, journal and publish a burst; returns its sequences.
+
+        The whole burst is journaled in one WAL write and fanned out via
+        the channel's batch path, so per-record durability cost amortises
+        to near the plain fast path."""
+        codec = handle.codec
+        return self.publish_native_batch(handle, [codec.encode(r) for r in records])
+
+    def publish_native_batch(self, handle: FormatHandle, natives) -> list[int]:
+        if not natives:
+            return []
+        key = (self.ctx.context_id, handle.format_id)
+        if handle.format_id not in self._inner._announced:
+            self._inner._announce(handle)
+            self._inner._announced.add(handle.format_id)
+            self.wal.announce(self.ctx.announce(handle))
+        base = self.wal.next_seq(key)
+        messages = [
+            enc.encode_data_seq(key[0], key[1], base + i, native)
+            for i, native in enumerate(natives)
+        ]
+        # journal-before-send; trusted path — seqs contiguous by construction
+        self.wal._append_parsed(
+            [(key, base + i, m) for i, m in enumerate(messages)]
+        )
+        self.channel._publish_batch(messages)
+        self.metrics.inc("durable.sent", len(messages))
+        return list(range(base, base + len(messages)))
+
+    def _on_ack(self, message: bytes) -> None:
+        try:
+            cid, fid, cursor, nack_base, nack_bits = enc.parse_ack(message)
+        except PbioError:
+            return  # a malformed ack cannot be safely attributed
+        if cid != self.ctx.context_id:
+            return  # another publisher's stream on the same channel
+        self.metrics.inc("durable.acks_received")
+        key = (cid, fid)
+        released = self.wal.ack(key, cursor)
+        if released:
+            self.metrics.inc("durable.acked", released)
+        if nack_base:
+            for i in range(64):
+                if not nack_bits >> i & 1:
+                    continue
+                held = self.wal.get(key, nack_base + i)
+                if held is not None:
+                    self.channel._publish_message(held)
+                    self.metrics.inc("durable.retransmitted")
+
+    def resend_unacked(self) -> int:
+        """Republish the surviving backlog (announcements first); the
+        receivers' dedup windows absorb anything that did arrive."""
+        backlog = self.wal.unacked()
+        for message in backlog:
+            self.channel._publish_message(message)
+        retransmitted = sum(
+            1 for m in backlog if enc.message_kind(m) == enc.MSG_DATA_SEQ
+        )
+        if retransmitted:
+            self.metrics.inc("durable.retransmitted", retransmitted)
+        return retransmitted
+
+    @property
+    def unacked_count(self) -> int:
+        return self.wal.unacked_count
+
+    def close(self) -> None:
+        self.channel.remove_ack_listener(self._on_ack)
+        self.wal.close()
+
+    def __enter__(self) -> "DurablePublisher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class DurableSubscription(Subscription):
+    """An exactly-once-observed subscriber on an event channel.
+
+    Sequenced frames pass through a :class:`SequenceWindow` before the
+    ordinary screen-filter-decode-handle path: duplicates are absorbed
+    (and re-acked, so a retransmitting publisher converges), gaps are
+    buffered and nacked, and each in-order record is committed — cursor
+    persisted via :class:`AckCursorStore` when ``cursor_path`` is given —
+    only *after* the handler returns.  A crash between receipt and
+    handling therefore redelivers; a crash after handling re-acks.
+    Non-sequenced traffic (announcements, plain data) behaves exactly as
+    on a plain :class:`~repro.net.channel.Subscription`.
+
+    ``ack_sink`` is where ``MSG_ACK`` frames go: by default the owning
+    channel's :meth:`~EventChannel.route_ack` (in-process publishers);
+    wire subscribers pass their transport's ``send`` so acks ride the
+    back-channel to the relay/publisher.
+    """
+
+    def __init__(
+        self,
+        channel: EventChannel,
+        ctx: IOContext,
+        handler: Callable[[dict[str, Any]], None],
+        *,
+        cursor_path: str | None = None,
+        format_name: str | None = None,
+        filter_expr: str | None = None,
+        on_error: str = "raise",
+        window: int = 1024,
+        ack_sink: Callable[[bytes], None] | None = None,
+    ):
+        if channel.cache is not None:
+            ctx.use_cache(channel.cache)
+        if channel.format_service is not None and ctx.format_service is None:
+            ctx.use_format_service(channel.format_service)
+        super().__init__(
+            ctx, handler, format_name=format_name, filter_expr=filter_expr, on_error=on_error
+        )
+        self.channel = channel
+        self.stats_durable = DurableStats(self.metrics)
+        self.cursors = AckCursorStore(cursor_path, metrics=self.metrics)
+        self.window = SequenceWindow(window, metrics=self.metrics)
+        for key, cursor in self.cursors.cursors().items():
+            self.window.seed(key, cursor)
+        self._ack_sink = ack_sink if ack_sink is not None else channel.route_ack
+        channel._attach(self)
+
+    # -- delivery ------------------------------------------------------------
+
+    def _offer(self, message: bytes) -> None:
+        header = enc.try_unpack_header(message)
+        if header is None or header[0] != enc.MSG_DATA_SEQ:
+            super()._offer(message)
+            return
+        try:
+            cid, fid, seq, _record = enc.parse_data_seq(message)
+        except PbioError:
+            self.metrics.inc("decode_errors")
+            raise
+        key = (cid, fid)
+        outcome = self.window.offer(key, seq, bytes(message))
+        if outcome == "refused":
+            # Re-ack so a publisher retransmitting into the void converges.
+            self._send_ack(key)
+            return
+        # Duplicates also drain: a retransmit of a frame still *pending*
+        # (its first delivery attempt failed) is the retry — and when
+        # nothing is ready the drain degenerates to the re-ack above.
+        self._drain(key)
+
+    def _drain(self, key: tuple[int, int]) -> None:
+        """Deliver every in-order pending frame, committing one by one.
+
+        The on-disk cursor is persisted once per drain (covering the
+        committed prefix), *before* the ack goes out — so everything
+        acked is persisted, and a crash mid-drain merely redelivers the
+        uncommitted tail."""
+        try:
+            while True:
+                ready = self.window.next_ready(key)
+                if ready is None:
+                    break
+                seq, message = ready
+                _seq, data = enc.seq_to_data(message)
+                try:
+                    super()._offer(data)
+                except Exception:
+                    if self.error_policy == "raise":
+                        # Not committed: the frame stays pending and the
+                        # publisher's retransmission retries it — the
+                        # at-least-once half of exactly-once-observed.
+                        raise
+                    # suppress/detach consume the record (it was counted
+                    # by Subscription's own error metrics) and move on.
+                    self.window.commit(key, seq)
+                    if self.error_policy == "detach":
+                        raise
+                    continue
+                self.window.commit(key, seq)
+        finally:
+            self.cursors.advance(key, self.window.cursor(key))
+            self._send_ack(key)
+
+    def _offer_batch(self, messages: list[bytes], suppress: bool) -> None:
+        """Burst delivery: window the sequenced frames, drain per stream.
+
+        Under the ``"raise"`` policy the scalar loop runs instead — a
+        failed batch decode cannot identify its delivered prefix, and
+        strict accounting (commit only after the handler returns) is the
+        point of that policy.  Otherwise every sequenced frame is offered
+        to the window first, non-sequenced traffic takes the base batch
+        path, and each touched stream drains its ready run through one
+        batch decode, one cursor persist and one ack.
+        """
+        if self.error_policy == "raise":
+            for message in messages:
+                self._offer(message)
+            return
+        touched: dict[tuple[int, int], None] = {}
+        passthrough: list[bytes] = []
+        for message in messages:
+            header = enc.try_unpack_header(message)
+            if header is None or header[0] != enc.MSG_DATA_SEQ:
+                passthrough.append(message)
+                continue
+            try:
+                cid, fid, seq, _record = enc.parse_data_seq(message)
+            except PbioError:
+                self.metrics.inc("decode_errors")
+                continue
+            key = (cid, fid)
+            self.window.offer(key, seq, bytes(message))
+            touched[key] = None
+        if passthrough:
+            super()._offer_batch(passthrough, suppress)
+        for key in touched:
+            self._drain_batch(key, suppress)
+
+    def _drain_batch(self, key: tuple[int, int], suppress: bool) -> None:
+        """Deliver the whole ready run as one batch (suppress/detach).
+
+        Records are committed *before* delivery here: these policies
+        consume a failed record anyway, so the strict commit-after-
+        handler ordering of :meth:`_drain` buys nothing, and committing
+        up front lets the run decode in one pipeline batch."""
+        try:
+            run: list[bytes] = []
+            while True:
+                ready = self.window.next_ready(key)
+                if ready is None:
+                    break
+                seq, message = ready
+                run.append(enc.seq_to_data(message)[1])
+                self.window.commit(key, seq)
+            if run:
+                super()._offer_batch(run, suppress)
+        finally:
+            self.cursors.advance(key, self.window.cursor(key))
+            self._send_ack(key)
+
+    def _send_ack(self, key: tuple[int, int]) -> None:
+        cid, fid = key
+        gap = self.window.missing(key)
+        nack_base, nack_bits = gap if gap is not None else (0, 0)
+        ack = enc.encode_ack(
+            cid, fid, self.window.cursor(key), nack_base=nack_base, nack_bits=nack_bits
+        )
+        self.metrics.inc("durable.acks_sent")
+        if nack_base:
+            self.metrics.inc("durable.nacks_sent")
+        try:
+            self._ack_sink(ack)
+        except Exception:
+            # A lost ack only delays compaction; the next delivery (or a
+            # retransmit-triggered re-ack) carries the same cursor again.
+            self.metrics.inc("durable.ack_send_errors")
+
+    def ack_cursor(self, key: tuple[int, int]) -> int:
+        return self.window.cursor(key)
+
+    def close(self) -> None:
+        if self in self.channel._subscribers:
+            self.channel.unsubscribe(self)
+        self.cursors.close()
+
+    def __enter__(self) -> "DurableSubscription":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

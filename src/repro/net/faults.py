@@ -8,8 +8,8 @@ supplies both halves of that story:
 * **Chaos**: :class:`FaultInjectingTransport` wraps any
   :class:`~repro.net.transport.Transport` and injects message drop,
   truncation, byte corruption, duplicated delivery, delayed (virtual
-  time) delivery and mid-stream disconnects, each with its own
-  probability.  Every random decision comes from one seeded
+  time) delivery, mid-stream disconnects and process crashes (buffered
+  frames lost wholesale), each with its own probability.  Every random decision comes from one seeded
   :func:`numpy.random.default_rng` stream, so a chaos run is exactly
   reproducible from ``(seed, plan, message sequence)`` — the property
   the CI chaos job relies on.
@@ -40,7 +40,7 @@ import numpy as np
 from repro.core import encoder as enc
 from repro.core.runtime import Metrics
 
-from .transport import Transport, TransportError, TransportTimeout
+from .transport import PeerClosedError, Transport, TransportError, TransportTimeout
 
 #: Fixed draw order; index into the per-message uniform vector.
 _FAULTS = ("disconnect", "drop", "truncate", "corrupt", "duplicate", "delay")
@@ -59,6 +59,9 @@ _MSG_PONG = enc.MSG_PONG
 #: replay byte-identically against older recorded chaos schedules).
 _CLASSIFIED = ("drop_heartbeats", "drop_payload")
 
+#: Process-death simulation (drawn last, same only-when-enabled rule).
+_CRASH = ("crash",)
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -74,6 +77,13 @@ class FaultPlan:
     peer that computes but never answers probes), the second only
     everything else (a link that carries heartbeats yet loses data — the
     failure mode a naive "is the ping answered?" check misses).
+
+    ``crash`` simulates *process death* rather than link failure: every
+    buffered frame (delayed messages included) is discarded, the link is
+    severed, and the send raises
+    :class:`~repro.net.transport.PeerClosedError` — the failure the
+    durable delivery plane (docs/robustness.md §11) must mask.  Unlike
+    ``disconnect``, nothing in flight survives to be flushed later.
     """
 
     drop: float = 0.0
@@ -84,10 +94,11 @@ class FaultPlan:
     disconnect: float = 0.0
     drop_heartbeats: float = 0.0
     drop_payload: float = 0.0
+    crash: float = 0.0
     max_delay_messages: int = 4
 
     def __post_init__(self) -> None:
-        for name in _FAULTS + _CLASSIFIED:
+        for name in _FAULTS + _CLASSIFIED + _CRASH:
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"fault probability {name}={p} outside [0, 1]")
@@ -96,7 +107,7 @@ class FaultPlan:
 
     @property
     def active(self) -> bool:
-        return any(getattr(self, name) > 0.0 for name in _FAULTS + _CLASSIFIED)
+        return any(getattr(self, name) > 0.0 for name in _FAULTS + _CLASSIFIED + _CRASH)
 
     @classmethod
     def lossy(cls, p: float) -> "FaultPlan":
@@ -202,6 +213,11 @@ class FaultInjectingTransport(Transport):
         # layout for a given plan is independent of the frame mix.
         hb_draw = float(self._rng.random()) if self.plan.drop_heartbeats > 0.0 else 1.0
         pl_draw = float(self._rng.random()) if self.plan.drop_payload > 0.0 else 1.0
+        # The crash draw comes last (same only-when-enabled rule) and is
+        # checked first: a dead process does nothing else to the message.
+        crash_draw = float(self._rng.random()) if self.plan.crash > 0.0 else 1.0
+        if crash_draw < self.plan.crash:
+            self.crash()
         is_heartbeat = (
             len(data) >= _HEADER_SIZE
             and (data[2] == _MSG_PING or data[2] == _MSG_PONG)
@@ -246,6 +262,22 @@ class FaultInjectingTransport(Transport):
             self._held.append((self._seq + slip, data))
             return
         self._inner.send(data)
+
+    def crash(self) -> None:
+        """Simulate process death, deterministically (also called by the
+        seeded ``crash`` draw).
+
+        Every held frame — the delayed-delivery buffer, i.e. everything
+        "in this process" rather than on the wire — is discarded, the
+        inner link is closed so the peer sees a real hangup, and
+        :class:`~repro.net.transport.PeerClosedError` is raised.  Counted
+        as ``faults.crashes``.
+        """
+        self.metrics.inc("faults.crashes")
+        self._held.clear()  # frames inside the dead process are gone
+        self._broken = True
+        self._inner.close()
+        raise PeerClosedError("process crash (injected)")
 
     def _release_due(self) -> None:
         if not self._held:

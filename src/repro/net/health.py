@@ -271,7 +271,7 @@ class BoundedSendQueue:
             raise ValueError("max_bytes must be positive")
         self.policy = policy
         self.max_bytes = max_bytes
-        self._frames: deque[tuple[bytes, tuple[int, int] | None]] = deque()
+        self._frames: deque[tuple[bytes, tuple | None]] = deque()
         self._bytes = 0
         self.dropped_new = 0
         self.dropped_old = 0
@@ -285,11 +285,32 @@ class BoundedSendQueue:
         return self._bytes
 
     @staticmethod
-    def _stream_key(frame) -> tuple[int, int] | None:
-        """(context, format) for data frames; None marks control frames."""
+    def _stream_key(frame) -> tuple | None:
+        """Droppability key: None marks control frames (never dropped).
+
+        Plain data frames key by ``(context, format)`` so ``coalesce``
+        can keep each stream's newest record.  Sequenced frames
+        (``MSG_DATA_SEQ``) are droppable — the publisher WAL retransmits
+        them — but carry their sequence in the key, so no queued frame
+        ever matches and ``coalesce`` can never *replace* one: silently
+        swallowing a specific sequence would turn every drop into a nack
+        round-trip.  ``MSG_ACK`` is control: losing the latest cursor
+        stalls compaction upstream for no queue-space gain.
+        """
         header = enc.try_unpack_header(frame)
-        if header is not None and header[0] == enc.MSG_DATA:
+        if header is None:
+            return None
+        if header[0] == enc.MSG_DATA:
             return header[1], header[2]
+        if (
+            header[0] == enc.MSG_DATA_SEQ
+            and len(frame) >= enc.HEADER_SIZE + enc.SEQ_PREFIX_SIZE
+        ):
+            seq = int.from_bytes(
+                bytes(frame[enc.HEADER_SIZE : enc.HEADER_SIZE + enc.SEQ_PREFIX_SIZE]),
+                "big",
+            )
+            return header[1], header[2], seq
         return None
 
     def push(self, frame) -> bool:
@@ -310,7 +331,7 @@ class BoundedSendQueue:
                     return True
             # no same-stream frame to replace: fall through to drop_old
         if self.policy in ("coalesce", "drop_old"):
-            kept: list[tuple[bytes, tuple[int, int] | None]] = []
+            kept: list[tuple[bytes, tuple | None]] = []
             while self._frames and self._bytes + n > self.max_bytes:
                 old, old_key = self._frames.popleft()
                 if old_key is None:

@@ -53,6 +53,7 @@ queue depth for monitoring.
 from __future__ import annotations
 
 import time
+from collections import deque
 from typing import Callable
 
 from repro.abi import X86_64
@@ -96,6 +97,9 @@ class Downstream:
         self.quarantined_at: float | None = None
         self.probe_attempts = 0
         self.next_probe_at: float | None = None
+        #: Per-stream cumulative ack cursors harvested off this peer's
+        #: back-channel (durable delivery, docs/robustness.md §11).
+        self.ack_cursors: dict[tuple[int, int], int] = {}
 
     @property
     def quarantined(self) -> bool:
@@ -146,6 +150,16 @@ class Relay:
     instead of counting them toward quarantine.  ``clock`` is injectable
     (:class:`repro.net.timing.VirtualClock`) so the whole state machine
     can run in virtual time.
+
+    Durable streams (docs/robustness.md §11) pass through untouched:
+    ``MSG_DATA_SEQ`` frames forward verbatim and are remembered in a
+    bounded per-stream replay window (``replay_window`` frames) that is
+    re-sent, above each peer's acked cursor, on reactivation.  ``MSG_ACK``
+    frames harvested off downstream back-channels in :meth:`heal` advance
+    per-downstream cursors, and their min-cursor aggregate is emitted to
+    ``ack_upstream`` (a frame sink toward the publisher, e.g. the
+    upstream transport's ``send``) so WAL compaction upstream only ever
+    covers what every acking downstream has confirmed.
     """
 
     def __init__(
@@ -160,6 +174,8 @@ class Relay:
         overflow: str = "block",
         max_queue_bytes: int = 1 << 20,
         clock: Callable[[], float] = time.monotonic,
+        ack_upstream: Callable[[bytes], None] | None = None,
+        replay_window: int = 256,
     ) -> None:
         if quarantine_after < 1:
             raise ValueError("quarantine_after must be >= 1")
@@ -186,9 +202,24 @@ class Relay:
         self.metrics = Metrics()
         self._downstreams: list[Downstream] = []
         self._announcements: list[bytes] = []
+        #: exact-bytes dedup for the list above: durable publishers
+        #: re-announce on every backlog resend, and the replay list must
+        #: not grow (nor downstreams be spammed) for meta already known
+        self._seen_announcements: set[bytes] = set()
         self.messages_seen = 0
         self._ping_nonce = 0
         self._stopped = False
+        #: Durable passthrough (docs/robustness.md §11): sequenced frames
+        #: are remembered in a bounded per-stream window for replay on
+        #: downstream reactivation, downstream ack cursors are harvested
+        #: in heal(), and their min-cursor aggregate flows to
+        #: ``ack_upstream`` (a frame sink toward the publisher).
+        self.ack_upstream = ack_upstream
+        if replay_window < 1:
+            raise ValueError("replay_window must be >= 1")
+        self.replay_window = replay_window
+        self._replay: dict[tuple[int, int], deque[tuple[int, bytes]]] = {}
+        self._upstream_acked: dict[tuple[int, int], int] = {}
 
     def attach(
         self,
@@ -240,6 +271,31 @@ class Relay:
         self.metrics.inc("relay.reactivated")
         for announcement in self._announcements:
             self._send(downstream, announcement, "announcements")
+        self._replay_sequenced(downstream)
+
+    def _replay_sequenced(self, downstream: Downstream) -> None:
+        """Re-send windowed sequenced frames the peer has not acked.
+
+        Runs after the announcement replay on reactivation, so the peer
+        can decode what it receives; its dedup window absorbs anything
+        that did arrive before the quarantine.  Frames that aged out of
+        the bounded window are the publisher WAL's responsibility.
+        """
+        for key, window in self._replay.items():
+            cursor = downstream.ack_cursors.get(key, 0)
+            for seq, message in window:
+                if seq <= cursor:
+                    continue
+                if downstream.filter is not None:
+                    try:
+                        if not downstream.filter.matches(enc.seq_to_data(message)[1]):
+                            downstream.metrics.inc("filtered_out")
+                            continue
+                    except PbioError:
+                        downstream.metrics.inc("filter_errors")
+                        continue
+                self._send(downstream, message, "replayed")
+                self.metrics.inc("durable.replayed")
 
     @property
     def active_downstreams(self) -> list[Downstream]:
@@ -356,7 +412,14 @@ class Relay:
             except PbioError:  # malformed meta: don't propagate it downstream
                 self.metrics.inc("relay.rejected")
                 return
-            self._announcements.append(bytes(message))
+            data = bytes(message)
+            if data in self._seen_announcements:
+                # Anyone attached since the first copy got it at attach
+                # time; anyone attached before got the original forward.
+                self.metrics.inc("relay.announcements_deduped")
+                return
+            self._seen_announcements.add(data)
+            self._announcements.append(data)
             for downstream in self._downstreams:
                 self._send(downstream, message, "announcements")
             return
@@ -373,7 +436,12 @@ class Relay:
             except PbioError:  # malformed/quota-busting token frame
                 self.metrics.inc("relay.rejected")
                 return
-            self._announcements.append(bytes(message))
+            data = bytes(message)
+            if data in self._seen_announcements:
+                self.metrics.inc("relay.announcements_deduped")
+                return
+            self._seen_announcements.add(data)
+            self._announcements.append(data)
             for downstream in self._downstreams:
                 self._send(downstream, message, "announcements")
             return
@@ -382,6 +450,47 @@ class Relay:
             # has no route back, so the request is dropped (the requester
             # recovers by other means or times out holding).
             self.metrics.inc("relay.requests_dropped")
+            return
+        if kind == enc.MSG_ACK:
+            # Acks are point-to-point control flowing *against* the
+            # stream.  The relay harvests them off downstream
+            # back-channels in heal(), where they can be attributed to a
+            # peer; one arriving on the forward path has no owner.
+            self.metrics.inc("relay.acks_dropped")
+            return
+        if kind == enc.MSG_DATA_SEQ:
+            # Durable passthrough: the sequence forwards *verbatim* (the
+            # subscriber's dedup window needs the publisher's numbering,
+            # not ours) and the frame is remembered in the bounded
+            # replay window for downstream reactivation.
+            try:
+                cid, fid, _seq, _record = enc.parse_data_seq(message)
+            except PbioError:
+                self.metrics.inc("relay.rejected")
+                return
+            self.messages_seen += 1
+            key = (cid, fid)
+            window = self._replay.get(key)
+            if window is None:
+                window = self._replay[key] = deque(maxlen=self.replay_window)
+            data = bytes(message)
+            window.append((_seq, data))
+            stripped = None  # filters read the plain data form, built lazily
+            for downstream in self._downstreams:
+                if downstream.quarantined:
+                    continue
+                if downstream.filter is not None:
+                    if stripped is None:
+                        stripped = enc.seq_to_data(data)[1]
+                    try:
+                        matched = downstream.filter.matches(stripped)
+                    except PbioError:
+                        downstream.metrics.inc("filter_errors")
+                        continue
+                    if not matched:
+                        downstream.metrics.inc("filtered_out")
+                        continue
+                self._send(downstream, data, "forwarded")
             return
         if header[3] != len(message) - enc.HEADER_SIZE:
             self.metrics.inc("relay.rejected")  # torn/padded data frame
@@ -519,6 +628,10 @@ class Relay:
         policy = self.probe_policy
         for downstream in list(self._downstreams):
             if downstream.state == ACTIVE:
+                # Ack frames ride the same back-channel the probe pump
+                # uses: harvesting here is what keeps downstream cursors
+                # (and the upstream min-cursor aggregate) current.
+                self._harvest_pong(downstream)
                 self._try_flush(downstream)
                 continue
             if policy is None or downstream.state == EVICTED:
@@ -533,9 +646,16 @@ class Relay:
                 continue
             if downstream.next_probe_at is not None and now >= downstream.next_probe_at:
                 self._probe(downstream, now)
+        self._aggregate_acks()
 
     def _harvest_pong(self, downstream: Downstream) -> bool:
-        """Drain the downstream's back-channel; True on proof of life."""
+        """Drain the downstream's back-channel; True on proof of life.
+
+        Pongs answer probes; ``MSG_ACK`` frames both prove life *and*
+        advance the downstream's per-stream ack cursors (a peer that
+        acks is necessarily receiving).  Anything else a peer sends
+        (stray requests, garbage) is not proof it can receive.
+        """
         alive = False
         while True:
             try:
@@ -545,11 +665,53 @@ class Relay:
             if frame is None:
                 return alive
             header = enc.try_unpack_header(frame)
-            if header is not None and header[0] == enc.MSG_PONG:
+            if header is None:
+                continue
+            if header[0] == enc.MSG_PONG:
                 alive = True
-            # Anything else a subscriber sends while quarantined (stray
-            # requests, garbage) is not proof it can *receive* — only a
-            # pong answers the probe.
+            elif header[0] == enc.MSG_ACK:
+                try:
+                    cid, fid, cursor, _nb, _bits = enc.parse_ack(frame)
+                except PbioError:
+                    continue
+                alive = True
+                key = (cid, fid)
+                if cursor > downstream.ack_cursors.get(key, 0):
+                    downstream.ack_cursors[key] = cursor
+                self.metrics.inc("durable.acks_received")
+
+    def _aggregate_acks(self) -> None:
+        """Push the min-cursor over active downstreams toward upstream.
+
+        For each stream, the relay may only ack what *every* acking
+        downstream has confirmed — the minimum cursor — because an
+        upstream ack licenses WAL compaction there.  Downstreams that
+        have never acked a stream (plain, non-durable subscribers) do
+        not participate; a relay fanning out only to such peers simply
+        never acks upstream, which is the conservative truth.
+        """
+        if self.ack_upstream is None:
+            return
+        active = [d for d in self._downstreams if d.state == ACTIVE]
+        if not active:
+            return
+        keys: set[tuple[int, int]] = set()
+        for downstream in active:
+            keys.update(downstream.ack_cursors)
+        for key in keys:
+            cursors = [
+                d.ack_cursors[key] for d in active if key in d.ack_cursors
+            ]
+            agg = min(cursors)
+            if agg <= self._upstream_acked.get(key, 0):
+                continue
+            self._upstream_acked[key] = agg
+            try:
+                self.ack_upstream(enc.encode_ack(key[0], key[1], agg))
+            except Exception:
+                self.metrics.inc("durable.ack_send_errors")
+            else:
+                self.metrics.inc("durable.acks_sent")
 
     def _probe(self, downstream: Downstream, now: float) -> None:
         self._ping_nonce += 1

@@ -8,11 +8,14 @@
   per-record CRCs, report damage, repair or truncate.
 * ``pbio-fmtserv`` (:mod:`repro.tools.fmtserv_tool`) — run a format
   server; list, prime and purge format caches.
+* ``pbio-wal`` (:mod:`repro.tools.wal_tool`) — inspect, verify and
+  compact durable-publisher WAL directories.
 """
 
 from .layout_tool import main as layout_main
 from .dump_tool import main as dump_main
 from .fsck_tool import main as fsck_main
 from .fmtserv_tool import main as fmtserv_main
+from .wal_tool import main as wal_main
 
-__all__ = ["layout_main", "dump_main", "fsck_main", "fmtserv_main"]
+__all__ = ["layout_main", "dump_main", "fsck_main", "fmtserv_main", "wal_main"]

@@ -130,17 +130,17 @@ def _resync(data: bytes, pos: int, version: int) -> int:
     return len(data)
 
 
-def scan_bytes(data: bytes) -> FsckReport:
-    """Scan an in-memory PBIO file image."""
-    if len(data) < _FILE_HEADER.size:
-        raise NotPbioFile("truncated file header")
-    magic, version = _FILE_HEADER.unpack_from(data, 0)
-    if magic != FILE_MAGIC:
-        raise NotPbioFile(f"bad magic {magic!r}")
-    if version not in (1, 2):
-        raise NotPbioFile(f"unsupported PBIO file version {version}")
+def scan_region(data: bytes, start: int = 0, version: int = 2) -> list[FrameReport]:
+    """Walk a framed region of ``data`` from ``start``, one verdict per frame.
+
+    This is the fsck frame walker proper, header-agnostic so every framed
+    file format built on :mod:`repro.core.framing` — PBIO record files,
+    publisher WAL segments, ack cursor stores — shares one damage
+    taxonomy (``ok`` / ``corrupt`` / ``torn`` / ``framing``) and one
+    resynchronization strategy.
+    """
     frames: list[FrameReport] = []
-    pos = _FILE_HEADER.size
+    pos = start
     while pos < len(data):
         parsed = _frame_at(data, pos, version)
         if parsed is None:
@@ -151,6 +151,19 @@ def scan_bytes(data: bytes) -> FsckReport:
         verdict, _body_start, end = parsed
         frames.append(FrameReport(pos, end - pos, verdict))
         pos = end
+    return frames
+
+
+def scan_bytes(data: bytes) -> FsckReport:
+    """Scan an in-memory PBIO file image."""
+    if len(data) < _FILE_HEADER.size:
+        raise NotPbioFile("truncated file header")
+    magic, version = _FILE_HEADER.unpack_from(data, 0)
+    if magic != FILE_MAGIC:
+        raise NotPbioFile(f"bad magic {magic!r}")
+    if version not in (1, 2):
+        raise NotPbioFile(f"unsupported PBIO file version {version}")
+    frames = scan_region(data, _FILE_HEADER.size, version)
     return FsckReport(version=version, frames=frames, file_size=len(data))
 
 

@@ -1,0 +1,274 @@
+"""pbio-wal: inspect, verify and compact publisher WAL directories.
+
+Usage::
+
+    pbio-wal ls WALDIR        # segments, per-stream sequence spans, cursors
+    pbio-wal verify WALDIR    # frame-level damage scan of every file
+    pbio-wal compact WALDIR   # heal torn tails, drop fully-acked segments
+
+Exit codes: 0 — directory clean; 1 — damage found (``compact`` heals the
+torn tails it finds and still reports 1); 2 — not a WAL directory or
+usage error.
+
+A WAL directory (:class:`repro.net.durable.PublisherWAL`) holds numbered
+``wal-<n>.seg`` segment files of v2-framed wire messages plus an
+``acked.cursors`` file of framed cursor entries.  Both use the same
+``u32 len | payload | crc32 | len-echo`` frame discipline as PBIO record
+files, so this tool shares the fsck frame walker
+(:func:`repro.tools.fsck_tool.scan_region`) — one damage taxonomy
+(``ok`` / ``corrupt`` / ``torn`` / ``framing``), one resync strategy —
+and adds a payload layer on top: frames whose bytes are intact but do
+not parse as a WAL-legal message (``MSG_DATA_SEQ``, ``MSG_FORMAT``,
+``MSG_FORMAT_TOKEN``, or a cursor entry) are reported as ``payload``
+damage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import sys
+
+from repro.core import encoder as enc
+from repro.core.errors import PbioError
+from repro.core.framing import MSG_LEN, V2_TRAILER
+from repro.core.errors import MessageError
+from repro.net.durable import (
+    _CURSOR_ENTRY,
+    _FILE_HEADER,
+    CURSOR_MAGIC,
+    WAL_MAGIC,
+    WAL_VERSION,
+    PublisherWAL,
+    split_wal_frame,
+)
+
+from .fsck_tool import FrameReport, scan_region
+
+CURSOR_FILE = "acked.cursors"
+
+
+class NotWalFile(ValueError):
+    pass
+
+
+@dataclasses.dataclass
+class FileScan:
+    """One scanned WAL file: its frames plus the decoded payloads."""
+
+    path: str
+    file_size: int
+    frames: list[FrameReport]
+    #: (frame, payload bytes) for every structurally intact frame
+    payloads: list[tuple[FrameReport, bytes]]
+    #: intact frames whose payload is not a WAL-legal message
+    payload_damage: int = 0
+
+    @property
+    def damaged(self) -> int:
+        return sum(1 for f in self.frames if f.verdict != "ok") + self.payload_damage
+
+
+def scan_wal_file(path: str, magic: bytes) -> FileScan:
+    """Scan one WAL segment or cursor file with the fsck frame walker."""
+    with open(path, "rb") as stream:
+        data = stream.read()
+    if len(data) < _FILE_HEADER.size:
+        raise NotWalFile(f"{path}: truncated file header")
+    found, version = _FILE_HEADER.unpack_from(data, 0)
+    if found != magic:
+        raise NotWalFile(f"{path}: bad magic {found!r}")
+    if version != WAL_VERSION:
+        raise NotWalFile(f"{path}: unsupported WAL version {version}")
+    frames = scan_region(data, _FILE_HEADER.size, 2)
+    payloads = [
+        (f, data[f.offset + MSG_LEN.size : f.end - V2_TRAILER.size])
+        for f in frames
+        if f.verdict == "ok"
+    ]
+    return FileScan(path=path, file_size=len(data), frames=frames, payloads=payloads)
+
+
+def segment_paths(directory: str) -> list[str]:
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.startswith("wal-") and name.endswith(".seg")
+    )
+
+
+def scan_segment(path: str) -> tuple[FileScan, dict]:
+    """Scan one segment; returns the scan plus a per-stream digest:
+    ``{key: {"count", "lo", "hi", "announced"}}``."""
+    scan = scan_wal_file(path, WAL_MAGIC)
+    streams: dict[tuple[int, int], dict] = {}
+    for _frame, payload in scan.payloads:
+        # One frame carries one message or a whole journaled burst;
+        # the embedded headers self-delimit (split_wal_frame).
+        try:
+            messages = split_wal_frame(payload)
+        except MessageError:
+            scan.payload_damage += 1
+            continue
+        for message in messages:
+            header = enc.try_unpack_header(message)
+            if header is None:
+                scan.payload_damage += 1
+                continue
+            if header[0] in (enc.MSG_FORMAT, enc.MSG_FORMAT_TOKEN):
+                key = (header[1], header[2])
+                streams.setdefault(
+                    key, {"count": 0, "lo": 0, "hi": 0, "announced": False}
+                )
+                streams[key]["announced"] = True
+                continue
+            try:
+                cid, fid, seq, _record = enc.parse_data_seq(message)
+            except PbioError:
+                scan.payload_damage += 1
+                continue
+            digest = streams.setdefault(
+                (cid, fid), {"count": 0, "lo": 0, "hi": 0, "announced": False}
+            )
+            digest["count"] += 1
+            digest["lo"] = seq if not digest["lo"] else min(digest["lo"], seq)
+            digest["hi"] = max(digest["hi"], seq)
+    return scan, streams
+
+
+def scan_cursors(path: str) -> tuple[FileScan, dict[tuple[int, int], int]]:
+    """Scan the cursor file; returns the scan plus the effective cursors
+    (append-wins, never-regress — the same read :class:`AckCursorStore`
+    performs)."""
+    scan = scan_wal_file(path, CURSOR_MAGIC)
+    cursors: dict[tuple[int, int], int] = {}
+    for _frame, payload in scan.payloads:
+        if len(payload) != _CURSOR_ENTRY.size:
+            scan.payload_damage += 1
+            continue
+        cid, fid, cursor = _CURSOR_ENTRY.unpack(payload)
+        if cursor > cursors.get((cid, fid), 0):
+            cursors[(cid, fid)] = cursor
+    return scan, cursors
+
+
+def _stream_name(key: tuple[int, int]) -> str:
+    return f"ctx={key[0]:#x} fmt={key[1]}"
+
+
+def cmd_ls(directory: str, quiet: bool) -> int:
+    damage = 0
+    cursors: dict[tuple[int, int], int] = {}
+    cursor_path = os.path.join(directory, CURSOR_FILE)
+    if os.path.exists(cursor_path):
+        scan, cursors = scan_cursors(cursor_path)
+        damage += scan.damaged
+    totals: dict[tuple[int, int], dict] = {}
+    for path in segment_paths(directory):
+        scan, streams = scan_segment(path)
+        damage += scan.damaged
+        if not quiet:
+            spans = ", ".join(
+                f"{_stream_name(key)} "
+                + (f"seq {d['lo']}..{d['hi']} ({d['count']})" if d["count"] else "meta only")
+                for key, d in sorted(streams.items())
+            )
+            flag = "" if not scan.damaged else f"  [{scan.damaged} damaged]"
+            print(f"{os.path.basename(path)}: {scan.file_size} bytes, {spans or 'empty'}{flag}")
+        for key, digest in streams.items():
+            total = totals.setdefault(key, {"count": 0, "hi": 0, "unacked": 0})
+            total["count"] += digest["count"]
+            total["hi"] = max(total["hi"], digest["hi"])
+    for key, total in totals.items():
+        acked = cursors.get(key, 0)
+        total["unacked"] = max(0, total["hi"] - acked)
+    for key in sorted(set(totals) | set(cursors)):
+        total = totals.get(key, {"count": 0, "hi": 0, "unacked": 0})
+        print(
+            f"{_stream_name(key)}: {total['count']} journaled, "
+            f"acked through {cursors.get(key, 0)}, ~{total['unacked']} unacked"
+        )
+    return 1 if damage else 0
+
+
+def cmd_verify(directory: str, quiet: bool) -> int:
+    damage = 0
+    paths = []
+    cursor_path = os.path.join(directory, CURSOR_FILE)
+    if os.path.exists(cursor_path):
+        paths.append((cursor_path, CURSOR_MAGIC))
+    paths.extend((p, WAL_MAGIC) for p in segment_paths(directory))
+    if not paths:
+        print(f"{directory}: no WAL files", file=sys.stderr)
+        return 2
+    for path, magic in paths:
+        if magic is CURSOR_MAGIC:
+            scan, _cursors = scan_cursors(path)
+        else:
+            scan, _streams = scan_segment(path)
+        counts = {"ok": 0, "corrupt": 0, "torn": 0, "framing": 0}
+        for frame in scan.frames:
+            counts[frame.verdict] += 1
+        damage += scan.damaged
+        if not quiet or scan.damaged:
+            print(
+                f"{path}: {scan.file_size} bytes, {counts['ok']} ok, "
+                f"{counts['corrupt']} corrupt, {counts['torn']} torn, "
+                f"{counts['framing']} framing, {scan.payload_damage} payload"
+            )
+    print(f"{directory}: {'DAMAGED' if damage else 'clean'}")
+    return 1 if damage else 0
+
+
+def cmd_compact(directory: str, quiet: bool) -> int:
+    # Opening the WAL is the heal: torn tails are truncated at a clean
+    # frame boundary, damaged entries are skipped, and compaction then
+    # drops every non-active segment fully behind its acked cursor.
+    wal = PublisherWAL(directory)
+    try:
+        removed = wal.compact()
+        healed = int(
+            wal.metrics.value("durable.wal_torn") + wal.metrics.value("durable.wal_corrupt")
+        )
+    finally:
+        wal.close()
+    if not quiet:
+        print(
+            f"{directory}: {removed} segment(s) compacted, "
+            f"{healed} damaged frame(s) healed, {wal.unacked_count} entries unacked"
+        )
+    return 1 if healed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pbio-wal", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("command", choices=("ls", "verify", "compact"))
+    parser.add_argument("directory", help="publisher WAL directory")
+    parser.add_argument("--quiet", action="store_true", help="suppress per-file output")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not os.path.isdir(args.directory):
+        print(f"not a directory: {args.directory}", file=sys.stderr)
+        return 2
+    try:
+        if args.command == "ls":
+            return cmd_ls(args.directory, args.quiet)
+        if args.command == "verify":
+            return cmd_verify(args.directory, args.quiet)
+        return cmd_compact(args.directory, args.quiet)
+    except NotWalFile as exc:
+        print(f"not a WAL file: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"io error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

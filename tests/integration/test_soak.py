@@ -210,3 +210,168 @@ def test_soak_self_healing_plane():
     finally:
         cold.close()
         service.close()
+
+
+# ---------------------------------------------------------------------------
+# Durable delivery under crash-restart churn
+# ---------------------------------------------------------------------------
+
+DURABLE_PUB_ID = 0xBEEF
+N_DURABLE_SUBS = 4
+
+
+class DurableSub:
+    """One durable subscriber process behind a relay downstream.
+
+    ``crash()`` discards every in-memory object — channel, subscription,
+    sequence window — and reboots purely from the cursor file, exactly
+    what a kill -9 leaves behind.  The pipe (the network) survives; any
+    frames queued in it are redelivered into the new incarnation and
+    absorbed by its dedup window.
+    """
+
+    def __init__(self, relay, cursor_path):
+        self.cursor_path = cursor_path
+        self.received = []  # seqs, in delivery order, across incarnations
+        self._connect(relay)
+        self._boot()
+
+    def _connect(self, relay):
+        self.pipe = InMemoryPipe()
+        self.down = relay.attach(self.pipe.a)  # attach replays announcements
+
+    def _boot(self):
+        from repro.net import DurableSubscription, EventChannel
+
+        self.chan = EventChannel()
+        ctx = IOContext(X86)
+        ctx.expect(TELEMETRY)
+        self.sub = DurableSubscription(
+            self.chan,
+            ctx,
+            lambda record: self.received.append(record["seq"]),
+            cursor_path=self.cursor_path,
+            ack_sink=self.pipe.b.send,
+            window=8192,
+        )
+
+    def crash(self, relay):
+        # kill -9 also drops the connection: the relay notices the
+        # hangup (detach) and the reborn process dials back in, which
+        # replays the announcements its empty registry needs.
+        relay.detach(self.down)
+        self._connect(relay)
+        self._boot()
+
+    def reattach(self, relay):
+        """After a *relay* crash: the new relay adopts the old pipe."""
+        self.down = relay.attach(self.pipe.a)
+
+    def pump(self):
+        while True:
+            frame = self.pipe.b.poll_recv()
+            if frame is None:
+                return
+            kind = enc.unpack_header(frame)[0]
+            if kind == enc.MSG_PING:
+                nonce, _depth = enc.parse_ping(frame)
+                if nonce != enc.GOODBYE_NONCE:
+                    self.pipe.b.send(enc.encode_pong(nonce))
+            elif kind == enc.MSG_PONG:
+                continue
+            else:
+                self.chan.ingest(frame)
+
+
+def test_soak_durable_crash_restart(tmp_path):
+    """Publisher, relay and subscribers all crash-restart mid-stream;
+    every published record is observed exactly once, in order, at every
+    subscriber — the durable plane's whole contract."""
+    from repro.net import DurablePublisher, EventChannel, Relay as DurableRelay
+
+    rng = random.Random(CHAOS_SEED + 0xD0)
+    wal_dir = str(tmp_path / "wal")
+    chan_box = [None]  # current publisher-side channel (relay acks route here)
+
+    def boot_relay():
+        return DurableRelay(
+            quarantine_after=1,
+            probe_policy=ProbePolicy(
+                base_delay_s=0.01,
+                multiplier=2.0,
+                max_delay_s=0.05,
+                eviction_deadline_s=3600.0,
+            ),
+            ack_upstream=lambda message: chan_box[0].route_ack(message),
+            replay_window=8192,
+        )
+
+    relay_box = [boot_relay()]
+
+    def boot_publisher():
+        """Rebuild the publisher process from its WAL alone."""
+        chan = EventChannel()
+        chan.attach_wire(lambda message: relay_box[0].forward(message))
+        chan_box[0] = chan
+        ctx = IOContext(SPARC_V8, context_id=DURABLE_PUB_ID)
+        handle = ctx.register_format(TELEMETRY)
+        return DurablePublisher(chan, ctx, wal_dir=wal_dir), handle
+
+    pub, handle = boot_publisher()
+    subs = [
+        DurableSub(relay_box[0], str(tmp_path / f"sub{i}.cursors"))
+        for i in range(N_DURABLE_SUBS)
+    ]
+
+    published = 0
+    deadline = time.monotonic() + SOAK_SECONDS
+    while time.monotonic() < deadline:
+        # -- chaos: kill -9 one of the three process kinds now and then
+        roll = rng.random()
+        if roll < 0.02:
+            pub, handle = boot_publisher()  # no close(), no goodbye
+            pub.resend_unacked()
+        elif roll < 0.04:
+            relay_box[0] = boot_relay()  # replay window + cursors lost
+            for sub in subs:
+                sub.reattach(relay_box[0])
+            pub.resend_unacked()  # the WAL refills what the relay forgot
+        elif roll < 0.08:
+            rng.choice(subs).crash(relay_box[0])
+
+        pub.publish(handle, {"seq": published, "value": published * 0.5})
+        published += 1
+        relay_box[0].heal()
+        for sub in subs:
+            sub.pump()
+
+    # -- quiesce: retransmit and heal until everyone has everything
+    expected = list(range(published))
+    recovery_deadline = time.monotonic() + 10.0
+    while any(len(sub.received) < published for sub in subs):
+        assert time.monotonic() < recovery_deadline, (
+            "durable soak never converged: "
+            + str([len(sub.received) for sub in subs])
+        )
+        pub.resend_unacked()
+        relay_box[0].heal()
+        for sub in subs:
+            sub.pump()
+        time.sleep(0.001)
+
+    for sub in subs:
+        assert sub.received == expected, (
+            f"exactly-once violated: got {len(sub.received)} records, "
+            f"first divergence at "
+            f"{next((i for i, (a, b) in enumerate(zip(sub.received, expected)) if a != b), 'tail')}"
+        )
+
+    # -- and the acks must drain the WAL completely
+    ack_deadline = time.monotonic() + 10.0
+    while pub.unacked_count:
+        assert time.monotonic() < ack_deadline, "acks never drained the WAL"
+        relay_box[0].heal()
+        for sub in subs:
+            sub.pump()
+        time.sleep(0.001)
+    assert pub.stats.acked > 0

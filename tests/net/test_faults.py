@@ -167,6 +167,79 @@ class TestFaultInjectingTransport:
         assert stream_a != stream_c  # a different seed takes a different path
 
 
+class TestCrashPlan:
+    def test_crash_probability_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(crash=2.0)
+        assert FaultPlan(crash=0.5).active
+
+    def test_crash_drops_held_frames_and_raises(self):
+        pipe = InMemoryPipe()
+        chaotic = FaultInjectingTransport(
+            pipe.a, FaultPlan(delay=1.0, max_delay_messages=10), seed=CHAOS_SEED
+        )
+        chaotic.send(b"held")  # parked in the delay buffer
+        assert pipe.b.pending() == 0
+        with pytest.raises(PeerClosedError):
+            chaotic.crash()
+        # The held frame died inside the process: a close() flush after
+        # the crash must NOT resurrect it.
+        chaotic.close()
+        assert pipe.b.pending() == 0
+        assert chaotic.metrics.value("faults.crashes") == 1
+        # The peer sees a real hangup, not a silent stall.
+        with pytest.raises(PeerClosedError):
+            pipe.b.recv()
+
+    def test_crash_breaks_transport_for_later_sends(self):
+        pipe = InMemoryPipe()
+        chaotic = FaultInjectingTransport(pipe.a, FaultPlan(crash=1.0), seed=CHAOS_SEED)
+        with pytest.raises(PeerClosedError):
+            chaotic.send(b"never arrives")
+        assert pipe.b.pending() == 0
+        with pytest.raises(TransportError):
+            chaotic.send(b"post mortem")
+
+    def test_crash_draw_is_seeded_and_deterministic(self):
+        def crashes_at(seed):
+            pipe = InMemoryPipe()
+            chaotic = FaultInjectingTransport(
+                pipe.a, FaultPlan(crash=0.2), seed=seed
+            )
+            for i in range(200):
+                try:
+                    chaotic.send(b"x%d" % i)
+                except PeerClosedError:
+                    return i
+            return None
+
+        first = crashes_at(CHAOS_SEED + 3)
+        assert first is not None
+        assert crashes_at(CHAOS_SEED + 3) == first
+
+    def test_crash_draw_does_not_shift_main_fault_vector(self):
+        # The crash draw comes after the fixed six-fault vector, so a
+        # schedule replayed with crash disabled keeps its exact shape.
+        def delivered(plan, seed):
+            pipe = InMemoryPipe()
+            chaotic = FaultInjectingTransport(pipe.a, plan, seed=seed)
+            for i in range(50):
+                try:
+                    chaotic.send(b"m%d" % i)
+                except PeerClosedError:
+                    break
+            out = []
+            while pipe.b.pending():
+                out.append(pipe.b.recv())
+            return out
+
+        with_crash = delivered(FaultPlan(drop=0.2, crash=0.0), CHAOS_SEED + 11)
+        without = delivered(FaultPlan(drop=0.2), CHAOS_SEED + 11)
+        assert with_crash == without
+
+
 class TestRetryPolicy:
     def test_backoff_schedule_is_deterministic_and_bounded(self):
         policy = RetryPolicy(max_attempts=6, base_delay_s=0.01, multiplier=2.0, max_delay_s=0.05)

@@ -1,10 +1,10 @@
-"""Tests for the CLI tools (pbio-layout, pbio-dump)."""
+"""Tests for the CLI tools (pbio-layout, pbio-dump, pbio-wal)."""
 
 import pytest
 
 from repro.abi import SPARC_V8, X86, RecordSchema
 from repro.core import IOContext, write_records
-from repro.tools import dump_main, layout_main
+from repro.tools import dump_main, layout_main, wal_main
 
 
 class TestLayoutTool:
@@ -127,3 +127,100 @@ class TestDumpTool:
         assert rc == 0
         assert "format 'alpha'" in out and "format 'beta'" in out
         assert "2 record(s), 2 format(s)" in out
+
+
+@pytest.fixture
+def wal_dir(tmp_path):
+    """A WAL directory with three segments of one sequenced stream."""
+    from repro.net import DurablePublisher, EventChannel
+
+    schema = RecordSchema.from_pairs("point", [("x", "int"), ("y", "double")])
+    ctx = IOContext(X86, context_id=0x1234)
+    handle = ctx.register_format(schema)
+    directory = str(tmp_path / "wal")
+    pub = DurablePublisher(EventChannel(), ctx, wal_dir=directory, segment_bytes=4096)
+    for i in range(200):
+        pub.publish(handle, {"x": i, "y": i * 0.5})
+    pub.close()
+    return directory
+
+
+class TestWalTool:
+    def test_ls_reports_streams_and_cursors(self, wal_dir, capsys):
+        rc = wal_main(["ls", wal_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wal-00000001.seg" in out
+        assert "ctx=0x1234 fmt=1" in out
+        assert "200 journaled, acked through 0, ~200 unacked" in out
+
+    def test_verify_clean(self, wal_dir, capsys):
+        rc = wal_main(["verify", wal_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.strip().endswith("clean")
+
+    def test_verify_detects_torn_tail(self, wal_dir, capsys):
+        import os
+
+        segs = sorted(n for n in os.listdir(wal_dir) if n.endswith(".seg"))
+        with open(os.path.join(wal_dir, segs[-1]), "r+b") as stream:
+            stream.seek(0, os.SEEK_END)
+            stream.truncate(stream.tell() - 3)
+        rc = wal_main(["verify", wal_dir])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "1 torn" in out and "DAMAGED" in out
+
+    def test_verify_detects_corruption(self, wal_dir, capsys):
+        import os
+
+        segs = sorted(n for n in os.listdir(wal_dir) if n.endswith(".seg"))
+        path = os.path.join(wal_dir, segs[0])
+        data = bytearray(open(path, "rb").read())
+        data[40] ^= 0xFF  # flip a payload byte inside the first frame
+        open(path, "wb").write(bytes(data))
+        rc = wal_main(["verify", wal_dir, "--quiet"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "1 corrupt" in out
+
+    def test_compact_heals_torn_tail(self, wal_dir, capsys):
+        import os
+
+        segs = sorted(n for n in os.listdir(wal_dir) if n.endswith(".seg"))
+        with open(os.path.join(wal_dir, segs[-1]), "r+b") as stream:
+            stream.seek(0, os.SEEK_END)
+            stream.truncate(stream.tell() - 3)
+        rc = wal_main(["compact", wal_dir])
+        assert rc == 1  # damage was found (and healed)
+        capsys.readouterr()
+        rc = wal_main(["verify", wal_dir, "--quiet"])
+        assert rc == 0  # the heal stuck
+
+    def test_compact_drops_fully_acked_segments(self, wal_dir, capsys):
+        import os
+
+        from repro.net import PublisherWAL
+
+        with PublisherWAL(wal_dir, segment_bytes=4096) as wal:
+            wal.ack((0x1234, 1), 200)
+        before = len([n for n in os.listdir(wal_dir) if n.endswith(".seg")])
+        rc = wal_main(["compact", wal_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        after = len([n for n in os.listdir(wal_dir) if n.endswith(".seg")])
+        assert after <= before
+        assert "0 entries unacked" in out
+
+    def test_not_a_directory(self, tmp_path, capsys):
+        rc = wal_main(["ls", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_not_a_wal_file(self, tmp_path, capsys):
+        directory = str(tmp_path)
+        (tmp_path / "wal-00000001.seg").write_bytes(b"garbage bytes here")
+        rc = wal_main(["verify", directory])
+        assert rc == 2
+        assert "not a WAL file" in capsys.readouterr().err
