@@ -394,6 +394,35 @@ def batch() -> None:
     print()
 
 
+def fabric() -> None:
+    """Sharded relay fabric: throughput vs worker count, filter push-down."""
+    print("=" * 78)
+    print("Fabric: sharded relays (rec/s vs workers) and edge filter push-down")
+    print("=" * 78)
+    import os
+
+    from bench_fabric_scaling import measure_pushdown, measure_scaling
+
+    rates = measure_scaling((1, 2, 4))
+    base = rates[1]
+    cpus = os.cpu_count() or 1
+    for workers, rate in rates.items():
+        print(f"{workers} worker(s): {rate:12,.0f} rec/s  ({rate / base:4.2f}x)")
+    print(
+        f"({cpus} CPU(s) on this host; the >= 1.8x 1->4 gate runs in "
+        f"bench_fabric_scaling.py on >= 4 CPUs)"
+    )
+    print()
+    print("edge filter push-down vs subscriber-side full decode (1kb records):")
+    for pct, (t_push, t_full) in measure_pushdown().items():
+        print(
+            f"selectivity {pct:3d}%: push-down {t_push * 1e3:8.2f} ms | "
+            f"full decode {t_full * 1e3:8.2f} ms -> {t_full / t_push:5.2f}x"
+        )
+    print("the 1% row is gated >= 5x in bench_fabric_scaling.py")
+    print()
+
+
 FIGURES = {
     "fig1": fig1,
     "fig2": fig2,
@@ -407,6 +436,7 @@ FIGURES = {
     "metrics": metrics,
     "faults": faults,
     "batch": batch,
+    "fabric": fabric,
 }
 
 

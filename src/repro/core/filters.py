@@ -156,20 +156,36 @@ class RecordFilter:
         self.format_name = format_name
         self.expression = expression
         self._compiled: dict[bytes, Callable[[bytes], bool]] = {}
+        #: Wire formats this *instance* had to look up (a shared-cache hit
+        #: still counts: the instance saw a new format).  Cross-instance
+        #: sharing is visible in ``ctx.cache.metrics`` instead
+        #: (``filters_compiled`` / ``filter_cache_hits``).
         self.compilations = 0
 
-    def matches(self, message) -> bool:
-        """Evaluate the filter against one data message."""
+    def matches(self, message, *, header=None) -> bool:
+        """Evaluate the filter against one data message.
+
+        ``header`` forwards an already-parsed message header to the
+        decode pipeline (single-parse discipline: relays sniff every
+        frame once and thread the result here).
+        """
         # The context's decode pipeline owns header parsing and the
         # remote-format lookup; the payload is a memoryview — the whole
         # point is reading 2 fields out of a possibly 100 KB record
         # without touching the rest.
-        fmt, payload = self.ctx.pipeline.open_data(message)
+        fmt, payload = self.ctx.pipeline.open_data(message, header=header)
         if fmt.name != self.format_name:
             return False
         predicate = self._compiled.get(fmt.fingerprint)
         if predicate is None:
-            predicate = compile_predicate(fmt, self.expression)
+            # Compilation goes through the context's converter cache, so
+            # N same-predicate subscribers sharing a cache compile once.
+            predicate, _built = self.ctx.cache.resolve_compiled(
+                "filter",
+                self.expression,
+                fmt,
+                lambda: compile_predicate(fmt, self.expression),
+            )
             self._compiled[fmt.fingerprint] = predicate
             self.compilations += 1
         return predicate(payload)
@@ -184,13 +200,18 @@ class RecordProjector:
         self.field_names = list(field_names)
         self._compiled: dict[bytes, Callable[[bytes], dict]] = {}
 
-    def project(self, message) -> dict | None:
+    def project(self, message, *, header=None) -> dict | None:
         """Extract the fields from one data message (None if another type)."""
-        fmt, payload = self.ctx.pipeline.open_data(message)
+        fmt, payload = self.ctx.pipeline.open_data(message, header=header)
         if fmt.name != self.format_name:
             return None
         projector = self._compiled.get(fmt.fingerprint)
         if projector is None:
-            projector = compile_projection(fmt, self.field_names)
+            projector, _built = self.ctx.cache.resolve_compiled(
+                "projection",
+                tuple(self.field_names),
+                fmt,
+                lambda: compile_projection(fmt, self.field_names),
+            )
             self._compiled[fmt.fingerprint] = projector
         return projector(payload)

@@ -86,6 +86,12 @@ class ConverterCache:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None)")
         self._entries: dict[CacheKey, CacheEntry] = {}
+        #: Compiled filter/projection code, keyed (kind, spec, wire
+        #: fingerprint) — see :meth:`resolve_compiled`.  Held apart from
+        #: the converter entries: a predicate is not a converter, and the
+        #: FIFO cap above must not evict tiny code objects to make room
+        #: for them.
+        self._compiled: dict[tuple, Callable] = {}
         self._lock = threading.RLock()
         self.metrics = Metrics()
         self.max_entries = max_entries
@@ -129,6 +135,37 @@ class ConverterCache:
             self.metrics.inc("zero_copy_formats")
             return entry, "zero_copy"
 
+    def resolve_compiled(
+        self,
+        kind: str,
+        spec,
+        wire: IOFormat,
+        build: Callable[[], Callable],
+    ) -> tuple[Callable, bool]:
+        """Look up or build one compiled filter/projection callable.
+
+        The amortization argument for converters applies verbatim to DCG
+        predicates: a compiled filter is fully determined by its
+        expression and the wire format it reads, so N subscribers sharing
+        one cache and one predicate compile it once.  ``kind``
+        distinguishes the compilation families (``"filter"`` /
+        ``"projection"``), ``spec`` is the expression string (or field
+        tuple), and ``build`` compiles on miss.  Returns ``(callable,
+        built)`` — ``built`` is True when this call did the compilation —
+        and counts ``filters_compiled`` / ``filter_cache_hits`` in
+        :attr:`metrics` so the sharing is observable.
+        """
+        key = (kind, spec, wire.fingerprint)
+        with self._lock:
+            fn = self._compiled.get(key)
+            if fn is not None:
+                self.metrics.inc("filter_cache_hits")
+                return fn, False
+            fn = build()
+            self._compiled[key] = fn
+            self.metrics.inc("filters_compiled")
+            return fn, True
+
     def sources(
         self,
         format_name: str | None = None,
@@ -166,6 +203,7 @@ class ConverterCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._compiled.clear()
             self.metrics.reset()
 
     def __len__(self) -> int:

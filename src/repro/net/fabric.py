@@ -1,0 +1,1110 @@
+"""Sharded relay fabric: consistent-hash routing, fan-out trees, edge filters.
+
+One :class:`~repro.net.relay.Relay` is one event loop: aggregate
+throughput is capped by a single process however many downstreams it
+fans to.  This module shards the relay plane the way the paper's
+closing section wants message operations pushed "`into' the
+communication co-processors" — by channel, with the fabric itself
+touching nothing but the 16-byte header:
+
+* a :class:`HashRing` (consistent hashing with virtual nodes) maps
+  ``(context_id, format_id)`` channel keys to N workers; membership
+  changes move only the channels adjacent to the joined/left worker's
+  points (the classic minimal-movement property);
+* each :class:`RelayWorker` owns the channels the ring assigns it, one
+  per-channel fan-out tree of :class:`Relay` nodes: above a configurable
+  ``branching_factor`` the leaves are chunked under interior relays
+  (workers chain as interior nodes), so a 10 000-subscriber channel
+  costs each node at most ``branching_factor`` sends per record;
+* the :class:`FabricDispatcher` front routes every inbound frame by
+  sniffing only the channel key from its header — data, sequenced and
+  token frames are forwarded *verbatim*, never decoded (announcements
+  are remembered as opaque bytes for replay, validation happens at the
+  owning worker's relay);
+* filters push down to the edge: ``subscribe(..., filter_expr=...)``
+  places a :class:`~repro.core.filters.RecordFilter` on the subscriber's
+  *leaf* attachment, compiled per arriving wire format against the
+  packed bytes (interior hops forward verbatim) and shared through the
+  fabric-wide :class:`~repro.core.runtime.ConverterCache`, so N
+  subscribers with one predicate compile it once.
+
+The existing planes are integrated, not reimplemented.  Worker death
+is detected the way the health plane detects peer death — ingest
+failures count toward quarantine, a :class:`~repro.net.health.ProbePolicy`
+schedules probes and the eviction deadline — and quarantine triggers a
+ring rebalance: surviving workers take over the lost channels, their
+subscribers are re-attached (with the announcement replay
+:meth:`Relay.attach` already performs), and the publisher WAL's
+retransmission covers the frames that died in the worker's queues.
+Durable streams keep PR 8 semantics per shard: ``MSG_DATA_SEQ`` frames
+pass through unmodified, subscriber acks are harvested up each fan-out
+tree (interior relays aggregate their leaves' min-cursor exactly as a
+standalone relay does), and the dispatcher forwards each shard's
+min-cursor upstream, never-regressing per channel across rebalances.
+
+See docs/fabric.md for the full design.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import struct
+import time
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.core import encoder as enc
+from repro.core.errors import PbioError
+from repro.core.runtime import ConverterCache, Metrics
+from repro.core.safety import DEFAULT_LIMITS, DecodeLimits
+from repro.net.health import ProbePolicy
+from repro.net.relay import ACTIVE, EVICTED, QUARANTINED, Downstream, Relay
+from repro.net.transport import PeerUnresponsive, Transport, TransportError
+
+#: Virtual nodes per worker.  512 keeps every worker's owned share of
+#: the hash space within ~14% of fair across 2..8 workers (measured over
+#: 400 random worker-name sets), comfortably inside the 20% balance
+#: target; the per-lookup cost is one bisect over ``workers * vnodes``
+#: points, and the rebuild a membership change pays is a ~30 ms sort at
+#: 8 workers — rare (scale events, failures) and off the record path.
+DEFAULT_VNODES = 512
+
+#: Fan-out tree branching factor: a relay node (root or interior) sends
+#: each record to at most this many children before another tree level
+#: is introduced.
+DEFAULT_BRANCHING = 8
+
+
+class FabricError(RuntimeError):
+    """Fabric-level misuse: no live workers, unknown worker, bad key."""
+
+
+def _hash64(data: bytes) -> int:
+    """The ring's 64-bit hash point for ``data`` (sha1-based: stable
+    across processes and Python versions, unlike ``hash()``)."""
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big")
+
+
+_KEY = struct.Struct(">II")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes over worker names.
+
+    Each worker contributes ``vnodes`` points ``sha1("<name>#<i>")`` to
+    a 64-bit ring; a channel key ``(context_id, format_id)`` hashes to a
+    point and is owned by the first worker point at or after it
+    (wrapping).  Adding a worker therefore steals only the key ranges
+    immediately before its new points; removing one hands its ranges to
+    the next points around the ring — no other key moves.
+    """
+
+    def __init__(self, workers: Iterable[str] = (), *, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._members: set[str] = set()
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for worker in workers:
+            self.add(worker)
+
+    @staticmethod
+    def key_hash(key: tuple[int, int]) -> int:
+        """The ring point for one ``(context_id, format_id)`` channel."""
+        cid, fid = key
+        return _hash64(_KEY.pack(cid & 0xFFFFFFFF, fid & 0xFFFFFFFF))
+
+    def add(self, worker: str) -> None:
+        if worker in self._members:
+            raise ValueError(f"worker {worker!r} already on the ring")
+        self._members.add(worker)
+        self._rebuild()
+
+    def remove(self, worker: str) -> None:
+        self._members.remove(worker)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        # Membership changes are rare (scale events, failures); a full
+        # re-sort keeps lookup a single bisect over flat arrays.  Point
+        # collisions between workers tie-break on the name, so the order
+        # is deterministic everywhere.
+        points = sorted(
+            (_hash64(f"{worker}#{i}".encode()), worker)
+            for worker in self._members
+            for i in range(self.vnodes)
+        )
+        self._points = [p for p, _ in points]
+        self._owners = [w for _, w in points]
+
+    def owner(self, key: tuple[int, int]) -> str | None:
+        """The worker owning ``key`` (None on an empty ring)."""
+        if not self._points:
+            return None
+        i = bisect.bisect_right(self._points, self.key_hash(key))
+        return self._owners[i % len(self._owners)]
+
+    @property
+    def workers(self) -> list[str]:
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, worker: str) -> bool:
+        return worker in self._members
+
+    def assignment(self, keys: Iterable[tuple[int, int]]) -> dict[str, list[tuple[int, int]]]:
+        """``{worker: [keys...]}`` for a set of channels (ownership map)."""
+        out: dict[str, list[tuple[int, int]]] = {w: [] for w in self._members}
+        for key in keys:
+            owner = self.owner(key)
+            if owner is not None:
+                out[owner].append(key)
+        return out
+
+    def arc_shares(self) -> dict[str, float]:
+        """Fraction of the hash space each worker owns (sums to 1.0) —
+        the ring's deterministic balance, independent of any key sample."""
+        if not self._points:
+            return {}
+        space = 1 << 64
+        shares = {w: 0 for w in self._members}
+        prev = self._points[-1] - space
+        for point, owner in zip(self._points, self._owners):
+            shares[owner] += point - prev
+            prev = point
+        return {w: n / space for w, n in shares.items()}
+
+
+class EdgeSubscription:
+    """One subscriber placed on a worker: the transport, the channel key
+    and the (optional) pushed-down filter.  ``downstream`` is the live
+    :class:`~repro.net.relay.Downstream` handle inside whichever tree
+    relay currently owns the leaf — it changes on every tree rebuild."""
+
+    def __init__(
+        self,
+        key: tuple[int, int] | None,
+        transport: Transport,
+        format_name: str | None,
+        filter_expr: str | None,
+    ):
+        self.key = key
+        self.transport = transport
+        self.format_name = format_name
+        self.filter_expr = filter_expr
+        self.worker_name: str | None = None
+        self.downstream: Downstream | None = None
+
+
+class _InteriorLink(Transport):
+    """The in-process edge between a tree relay and its interior child.
+
+    ``send``/``send_many`` feed the child relay's forward path directly
+    (no copies, no queues); the child's upstream acks are queued here as
+    a back-channel the parent harvests with ``poll_recv`` in ``heal()``,
+    exactly as it would off a socket.  Probe pings are answered
+    immediately — an in-process child is alive iff we are.
+    """
+
+    def __init__(self) -> None:
+        self.relay: Relay | None = None
+        self._backchannel: deque[bytes] = deque()
+
+    def enqueue_ack(self, frame: bytes) -> None:
+        """The child relay's ``ack_upstream`` sink."""
+        self._backchannel.append(frame)
+
+    def send(self, message) -> None:
+        if len(message) >= enc.HEADER_SIZE and message[0] == enc.MAGIC \
+                and message[2] == enc.MSG_PING:
+            try:
+                nonce, _depth = enc.parse_ping(bytes(message))
+            except PbioError:
+                return
+            if nonce != enc.GOODBYE_NONCE:
+                self._backchannel.append(enc.encode_pong(nonce, 0))
+            return
+        self.relay.forward(bytes(message))
+
+    def send_many(self, messages) -> None:
+        self.relay.forward_batch([bytes(m) for m in messages])
+
+    def recv(self) -> bytes:
+        if self._backchannel:
+            return self._backchannel.popleft()
+        raise TransportError("interior link has no pending back-channel frame")
+
+    def poll_recv(self) -> bytes | None:
+        return self._backchannel.popleft() if self._backchannel else None
+
+    def close(self) -> None:
+        self._backchannel.clear()
+
+
+def _chunks(items: list, size: int) -> list[list]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+class _ChannelFanout:
+    """One channel's fan-out tree on one worker.
+
+    ``root`` ingests the channel's frames; when the leaf count exceeds
+    the worker's branching factor, leaves are chunked bottom-up under
+    interior relays until one level fits under the root.  Leaves carry
+    the pushed-down filters; interior hops forward verbatim.  The tree
+    is rebuilt from scratch on membership changes — cheap (subscribe
+    events are rare next to records) and correct: the worker replays its
+    announcement backlog through the fresh root, which cascades it down
+    the new tree, so every leaf can decode what arrives next.
+    """
+
+    def __init__(self, worker: "RelayWorker", key: tuple[int, int]):
+        self.worker = worker
+        self.key = key
+        self.leaves: list[EdgeSubscription] = []
+        self.root: Relay | None = None
+        self._interiors: list[Relay] = []
+        self._rebuild()
+
+    @property
+    def relays(self) -> list[Relay]:
+        return [*self._interiors, self.root]
+
+    @property
+    def depth(self) -> int:
+        """Tree depth in relay levels (1 = flat fan-out)."""
+        n = max(1, len(self.leaves) + len(self.worker.taps))
+        levels = 1
+        while n > self.worker.branching_factor:
+            n = -(-n // self.worker.branching_factor)
+            levels += 1
+        return levels
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(
+            d.write_queue_depth for relay in self.relays for d in relay.active_downstreams
+        )
+
+    def add(self, sub: EdgeSubscription) -> None:
+        self.leaves.append(sub)
+        self._rebuild()
+
+    def remove(self, sub: EdgeSubscription) -> None:
+        self.leaves.remove(sub)
+        self._rebuild()
+
+    def _attach(self, relay: Relay, children: list) -> None:
+        for kind, child in children:
+            if kind == "leaf":
+                child.downstream = relay.attach(
+                    child.transport,
+                    format_name=child.format_name,
+                    filter_expr=child.filter_expr,
+                )
+            else:  # an interior link: verbatim hop, no filter
+                relay.attach(child)
+
+    def _rebuild(self) -> None:
+        worker = self.worker
+        # Taps (worker-wide wildcard subscribers, e.g. pbio-fabric peers)
+        # get a fresh leaf record per tree so their Downstream handles
+        # never collide across channels.
+        tap_leaves = [
+            EdgeSubscription(self.key, tap.transport, tap.format_name, tap.filter_expr)
+            for tap in worker.taps
+        ]
+        level: list[tuple[str, object]] = [
+            ("leaf", sub) for sub in (*self.leaves, *tap_leaves)
+        ]
+        interiors: list[Relay] = []
+        while len(level) > worker.branching_factor:
+            next_level: list[tuple[str, object]] = []
+            for chunk in _chunks(level, worker.branching_factor):
+                link = _InteriorLink()
+                interior = worker._new_relay(ack_upstream=link.enqueue_ack)
+                link.relay = interior
+                interiors.append(interior)
+                self._attach(interior, chunk)
+                next_level.append(("link", link))
+            level = next_level
+        root = worker._new_relay(ack_upstream=worker._emit_ack)
+        self._attach(root, level)
+        # Replay the worker's announcement backlog through the new root;
+        # forward() stores, dedups and cascades it down every level, so
+        # the whole tree (and every leaf) regains the format state.
+        for frame in worker._announcements:
+            root.forward(frame)
+        self.root = root
+        self._interiors = interiors
+
+    def heal(self, now: float | None = None) -> None:
+        # Deepest level first (interiors were appended bottom-up): a
+        # leaf's ack harvested at its interior this pass is aggregated
+        # and queued on the link, where the next level up harvests it —
+        # one pass moves cursors one level, repeated passes converge.
+        for relay in self._interiors:
+            relay.heal(now)
+        self.root.heal(now)
+
+    def drain_and_stop(self, deadline_s: float = 5.0) -> None:
+        self.root.drain_and_stop(deadline_s)
+        for relay in self._interiors:
+            relay.drain_and_stop(deadline_s)
+
+
+class RelayWorker:
+    """One shard of the fabric: the relays for the channels a ring
+    assigns to this worker, one fan-out tree per channel.
+
+    The worker is addressed through :meth:`ingest` /
+    :meth:`ingest_batch` (the dispatcher's route targets); a dead worker
+    (:meth:`kill` — the in-process stand-in for ``kill -9``) raises
+    :class:`~repro.net.transport.PeerUnresponsive` from both, which is
+    what lets the dispatcher's health machinery treat worker death
+    exactly like peer death.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        branching_factor: int = DEFAULT_BRANCHING,
+        cache: ConverterCache | None = None,
+        limits: DecodeLimits | None = DEFAULT_LIMITS,
+        quarantine_after: int = 3,
+        probe_policy: ProbePolicy | None = None,
+        overflow: str = "block",
+        max_queue_bytes: int = 1 << 20,
+        clock: Callable[[], float] = time.monotonic,
+        replay_window: int = 256,
+        ack_upstream: Callable[[bytes], None] | None = None,
+        format_service=None,
+    ):
+        if branching_factor < 2:
+            raise ValueError("branching_factor must be >= 2")
+        self.name = name
+        self.branching_factor = branching_factor
+        #: Shared across every relay in every tree on this worker (and,
+        #: when the dispatcher hands one in, across the whole fabric):
+        #: converters and compiled filters are built once per fabric.
+        self.cache = cache if cache is not None else ConverterCache()
+        self.limits = limits
+        self.quarantine_after = quarantine_after
+        self.probe_policy = probe_policy
+        self.overflow = overflow
+        self.max_queue_bytes = max_queue_bytes
+        self.clock = clock
+        self.replay_window = replay_window
+        self.ack_upstream = ack_upstream
+        self.format_service = format_service
+        self.alive = True
+        self.metrics = Metrics()
+        self._fanouts: dict[tuple[int, int], _ChannelFanout] = {}
+        self._announcements: list[bytes] = []
+        self._seen_announcements: set[bytes] = set()
+        self.taps: list[EdgeSubscription] = []
+
+    def _new_relay(self, *, ack_upstream: Callable[[bytes], None] | None) -> Relay:
+        return Relay(
+            cache=self.cache,
+            quarantine_after=self.quarantine_after,
+            limits=self.limits,
+            format_service=self.format_service,
+            probe_policy=self.probe_policy,
+            overflow=self.overflow,
+            max_queue_bytes=self.max_queue_bytes,
+            clock=self.clock,
+            ack_upstream=ack_upstream,
+            replay_window=self.replay_window,
+        )
+
+    def _emit_ack(self, frame: bytes) -> None:
+        """Root relays' ``ack_upstream`` sink: one shard's min-cursor."""
+        self.metrics.inc("worker.acks_up")
+        if self.ack_upstream is not None:
+            self.ack_upstream(frame)
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise PeerUnresponsive(f"worker {self.name!r} is down")
+
+    # -- the dispatcher-facing ingest path -----------------------------------
+
+    def ingest(self, message: bytes, header=None) -> None:
+        """Route one frame into the owning channel's tree.
+
+        ``header`` is the dispatcher's already-parsed header (single
+        parse per frame across the whole fabric).
+        """
+        self._check_alive()
+        if header is None:
+            header = enc.try_unpack_header(message)
+        if header is None:
+            self.metrics.inc("worker.rejected")
+            return
+        kind = header[0]
+        if kind in (enc.MSG_FORMAT, enc.MSG_FORMAT_TOKEN):
+            self._absorb_announcement(message)
+            return
+        if kind in (enc.MSG_DATA, enc.MSG_DATA_SEQ):
+            key = (header[1], header[2])
+            self._fanout(key).root.forward(message, header=header)
+            self.metrics.inc("worker.routed")
+            return
+        # Pings, pongs, requests and forward-path acks have no business
+        # inside a shard; the dispatcher normally drops them first.
+        self.metrics.inc("worker.dropped")
+
+    def ingest_batch(self, frames: list[tuple[bytes, tuple]]) -> None:
+        """Route one dispatcher run — ``(message, header)`` pairs already
+        sniffed upstream — grouping per channel so each tree gets one
+        vectored ``forward_batch``.  Cross-channel order inside a run is
+        not meaningful; per-channel arrival order is preserved."""
+        self._check_alive()
+        by_key: dict[tuple[int, int], tuple[list[bytes], list[tuple]]] = {}
+        for message, header in frames:
+            kind = header[0]
+            if kind in (enc.MSG_DATA, enc.MSG_DATA_SEQ):
+                messages, headers = by_key.setdefault((header[1], header[2]), ([], []))
+                messages.append(message)
+                headers.append(header)
+            else:
+                self.ingest(message, header)
+        for key, (messages, headers) in by_key.items():
+            self._fanout(key).root.forward_batch(messages, headers=headers)
+            self.metrics.inc("worker.routed", len(messages))
+
+    def _absorb_announcement(self, message: bytes) -> None:
+        data = bytes(message)
+        fresh = data not in self._seen_announcements
+        if fresh:
+            self._seen_announcements.add(data)
+            self._announcements.append(data)
+            self.metrics.inc("worker.announcements")
+        # Existing trees hear it either way (their relays dedup); the
+        # backlog replay covers trees created later.
+        for fanout in self._fanouts.values():
+            fanout.root.forward(data)
+
+    def _fanout(self, key: tuple[int, int]) -> _ChannelFanout:
+        fanout = self._fanouts.get(key)
+        if fanout is None:
+            fanout = self._fanouts[key] = _ChannelFanout(self, key)
+        return fanout
+
+    # -- subscriptions --------------------------------------------------------
+
+    def subscribe(
+        self,
+        key: tuple[int, int],
+        transport: Transport,
+        *,
+        format_name: str | None = None,
+        filter_expr: str | None = None,
+    ) -> EdgeSubscription:
+        """Attach a subscriber leaf for one channel (filter pushed down
+        to the leaf attachment; announcements replayed by the tree)."""
+        sub = EdgeSubscription(tuple(key), transport, format_name, filter_expr)
+        self.adopt(sub)
+        return sub
+
+    def adopt(self, sub: EdgeSubscription) -> None:
+        """Place an existing subscription handle on this worker — the
+        migration primitive: the dispatcher moves *handles* between
+        workers on rebalance, so caller and fabric always agree on the
+        one object that represents the subscription."""
+        self._check_alive()
+        sub.worker_name = self.name
+        self._fanout(sub.key).add(sub)
+        self.metrics.inc("worker.subscribed")
+
+    def unsubscribe(self, sub: EdgeSubscription) -> None:
+        fanout = self._fanouts.get(sub.key)
+        if fanout is not None and sub in fanout.leaves:
+            fanout.remove(sub)
+            self.metrics.inc("worker.unsubscribed")
+
+    def subscribe_tap(self, transport: Transport) -> EdgeSubscription:
+        """Attach a worker-wide wildcard subscriber: it receives every
+        channel this worker owns, now and later (``pbio-fabric`` peers)."""
+        self._check_alive()
+        tap = EdgeSubscription(None, transport, None, None)
+        tap.worker_name = self.name
+        self.taps.append(tap)
+        for fanout in self._fanouts.values():
+            fanout._rebuild()
+        return tap
+
+    def unsubscribe_tap(self, tap: EdgeSubscription) -> None:
+        if tap in self.taps:
+            self.taps.remove(tap)
+            for fanout in self._fanouts.values():
+                fanout._rebuild()
+
+    # -- lifecycle / health ---------------------------------------------------
+
+    def heal(self, now: float | None = None) -> None:
+        """Drive every tree's quarantine/ack machinery one step."""
+        if not self.alive:
+            return
+        for fanout in self._fanouts.values():
+            fanout.heal(now)
+
+    def kill(self) -> None:
+        """Die abruptly, state and all — the in-process ``kill -9``.
+
+        Every tree, announcement and subscription is gone; the next
+        :meth:`ingest` raises, which is how the dispatcher finds out.
+        """
+        self.alive = False
+        self._fanouts.clear()
+        self._announcements.clear()
+        self._seen_announcements.clear()
+        self.taps.clear()
+        self.metrics.inc("worker.killed")
+
+    def revive(self) -> None:
+        """Come back empty (a restarted process): the dispatcher replays
+        announcements and re-places subscriptions on reactivation."""
+        self.alive = True
+
+    def drain_and_stop(self, deadline_s: float = 5.0) -> None:
+        """Graceful exit: flush every tree, goodbye every leaf, go down."""
+        for fanout in self._fanouts.values():
+            fanout.drain_and_stop(deadline_s)
+        self.alive = False
+        self.metrics.inc("worker.drained")
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(f.queue_depth for f in self._fanouts.values())
+
+    @property
+    def channel_keys(self) -> list[tuple[int, int]]:
+        return sorted(self._fanouts)
+
+    def channels(self) -> dict[tuple[int, int], dict]:
+        """Per-channel ``{"subscribers", "queue_depth", "depth"}``."""
+        return {
+            key: {
+                "subscribers": len(fanout.leaves) + len(self.taps),
+                "queue_depth": fanout.queue_depth,
+                "depth": fanout.depth,
+            }
+            for key, fanout in sorted(self._fanouts.items())
+        }
+
+
+class _WorkerSlot:
+    """The dispatcher's per-worker health record (the same state machine
+    a relay keeps per downstream, lifted one level up)."""
+
+    def __init__(self, worker: RelayWorker):
+        self.worker = worker
+        self.state = ACTIVE
+        self.consecutive_errors = 0
+        self.quarantined_at: float | None = None
+        self.probe_attempts = 0
+        self.next_probe_at: float | None = None
+
+
+class FabricDispatcher:
+    """The fabric front: header-sniff routing over a worker ring.
+
+    ``workers`` is either an int (that many local :class:`RelayWorker`\\ s
+    named ``w0..wN-1`` are built, sharing the dispatcher's converter
+    cache) or an iterable of prebuilt workers.  Inbound frames go
+    through :meth:`forward` / :meth:`forward_batch`:
+
+    * data and sequenced frames route to ``ring.owner((cid, fid))``
+      verbatim — the dispatcher parses the header once and threads it
+      through the worker into the tree (no re-sniffing anywhere);
+    * format and token announcements are remembered as opaque bytes and
+      broadcast to every active worker (and replayed into workers that
+      join or return later), so any worker can own any channel after a
+      rebalance;
+    * pings/pongs/requests/forward-path acks are dropped with counters,
+      as a relay drops them.
+
+    Worker failure follows the health plane's shape: consecutive ingest
+    errors quarantine the worker, quarantine removes it from the ring
+    and triggers :meth:`_rebalance` (channels re-owned, subscribers
+    re-placed with announcement replay), a
+    :class:`~repro.net.health.ProbePolicy` schedules liveness probes
+    with exponential backoff, a worker alive again is reactivated (ring
+    re-add, backlog replay, rebalance back) and one silent past the
+    eviction deadline is evicted for good.  Call :meth:`heal`
+    periodically — once per pump burst is enough.
+
+    Durable delivery aggregates per shard: each worker forwards its
+    root relays' min-cursor acks into the dispatcher, which never
+    regresses a channel's cursor (a freshly-placed worker starts at 0;
+    the publisher must not see time run backward) and emits the result
+    to ``ack_upstream`` — the same sink contract a relay takes.
+    """
+
+    def __init__(
+        self,
+        workers: int | Iterable[RelayWorker],
+        *,
+        vnodes: int = DEFAULT_VNODES,
+        branching_factor: int = DEFAULT_BRANCHING,
+        cache: ConverterCache | None = None,
+        limits: DecodeLimits | None = DEFAULT_LIMITS,
+        quarantine_after: int = 3,
+        probe_policy: ProbePolicy | None = None,
+        worker_probe_policy: ProbePolicy | None = None,
+        overflow: str = "block",
+        max_queue_bytes: int = 1 << 20,
+        clock: Callable[[], float] = time.monotonic,
+        replay_window: int = 256,
+        ack_upstream: Callable[[bytes], None] | None = None,
+        format_service=None,
+    ):
+        self.cache = cache if cache is not None else ConverterCache()
+        self.limits = limits
+        self.quarantine_after = quarantine_after
+        #: Probe schedule for *workers* (quarantine recovery/eviction).
+        self.probe_policy = probe_policy
+        self._clock = clock
+        self.ack_upstream = ack_upstream
+        self.metrics = Metrics()
+        self._slots: dict[str, _WorkerSlot] = {}
+        self._subs: dict[tuple[int, int], list[EdgeSubscription]] = {}
+        self._taps: list[EdgeSubscription] = []
+        self._keys: set[tuple[int, int]] = set()
+        self._owner_of: dict[tuple[int, int], str | None] = {}
+        self._announcements: list[bytes] = []
+        self._seen_announcements: set[bytes] = set()
+        self._acked: dict[tuple[int, int], int] = {}
+        if isinstance(workers, int):
+            if workers < 1:
+                raise ValueError("a fabric needs at least one worker")
+            workers = [
+                RelayWorker(
+                    f"w{i}",
+                    branching_factor=branching_factor,
+                    cache=self.cache,
+                    limits=limits,
+                    quarantine_after=quarantine_after,
+                    probe_policy=worker_probe_policy,
+                    overflow=overflow,
+                    max_queue_bytes=max_queue_bytes,
+                    clock=clock,
+                    replay_window=replay_window,
+                    format_service=format_service,
+                )
+                for i in range(workers)
+            ]
+        self.ring = HashRing(vnodes=vnodes)
+        for worker in workers:
+            self._admit(worker)
+
+    def _admit(self, worker: RelayWorker) -> None:
+        if worker.name in self._slots:
+            raise ValueError(f"duplicate worker name {worker.name!r}")
+        worker.ack_upstream = self._on_shard_ack
+        self._slots[worker.name] = _WorkerSlot(worker)
+        self.ring.add(worker.name)
+
+    # -- membership -----------------------------------------------------------
+
+    def add_worker(self, worker: RelayWorker) -> None:
+        """Scale out: replay the announcement backlog into the worker,
+        put it on the ring and rebalance (existing taps included)."""
+        self._admit(worker)
+        self._replay_announcements(worker)
+        for tap in self._taps:
+            worker.subscribe_tap(tap.transport)
+        self.metrics.inc("fabric.workers_added")
+        self._rebalance()
+
+    def remove_worker(self, name: str, *, drain: bool = True) -> None:
+        """Scale in: take the worker off the ring, move its channels to
+        the survivors, then drain it gracefully."""
+        slot = self._slots.pop(name, None)
+        if slot is None:
+            raise FabricError(f"no worker named {name!r}")
+        if name in self.ring:
+            self.ring.remove(name)
+        self.metrics.inc("fabric.workers_removed")
+        self._rebalance()
+        if drain and slot.worker.alive:
+            slot.worker.drain_and_stop()
+        slot.state = EVICTED
+
+    def worker(self, name: str) -> RelayWorker:
+        slot = self._slots.get(name)
+        if slot is None:
+            raise FabricError(f"no worker named {name!r}")
+        return slot.worker
+
+    @property
+    def workers(self) -> list[RelayWorker]:
+        return [slot.worker for slot in self._slots.values()]
+
+    def worker_states(self) -> dict[str, str]:
+        return {name: slot.state for name, slot in self._slots.items()}
+
+    # -- the forward path -----------------------------------------------------
+
+    def forward(self, message: bytes, *, header=None) -> None:
+        """Route one inbound frame (header sniffed at most once)."""
+        if header is None:
+            header = enc.try_unpack_header(message)
+        if header is None:
+            self.metrics.inc("fabric.rejected")
+            return
+        kind = header[0]
+        if kind in (enc.MSG_DATA, enc.MSG_DATA_SEQ):
+            if self.limits is not None and len(message) > self.limits.max_message_size:
+                self.metrics.inc("fabric.rejected")
+                return
+            if kind == enc.MSG_DATA and header[3] != len(message) - enc.HEADER_SIZE:
+                self.metrics.inc("fabric.rejected")
+                return
+            self._route_data(message, header)
+            return
+        if kind in (enc.MSG_FORMAT, enc.MSG_FORMAT_TOKEN):
+            self._broadcast_announcement(message)
+            return
+        if kind in (enc.MSG_PING, enc.MSG_PONG):
+            self.metrics.inc("fabric.heartbeats_dropped")
+            return
+        if kind == enc.MSG_ACK:
+            self.metrics.inc("fabric.acks_dropped")
+            return
+        self.metrics.inc("fabric.requests_dropped")
+
+    def forward_batch(self, messages, headers=None) -> None:
+        """Route a burst, grouping data runs per owning worker so each
+        worker sees one vectored batch per run (control frames flush
+        pending runs first: announcement-before-data order holds)."""
+        pairs = zip(messages, headers) if headers is not None else ((m, None) for m in messages)
+        runs: dict[str, list[tuple[bytes, tuple]]] = {}
+        for message, header in pairs:
+            if header is None:
+                header = enc.try_unpack_header(message)
+            if header is not None and header[0] in (enc.MSG_DATA, enc.MSG_DATA_SEQ):
+                if self.limits is not None and len(message) > self.limits.max_message_size:
+                    self.metrics.inc("fabric.rejected")
+                    continue
+                if header[0] == enc.MSG_DATA and header[3] != len(message) - enc.HEADER_SIZE:
+                    self.metrics.inc("fabric.rejected")
+                    continue
+                name = self._owner_for((header[1], header[2]))
+                if name is None:
+                    self.metrics.inc("fabric.dropped_no_worker")
+                    continue
+                runs.setdefault(name, []).append((message, header))
+                continue
+            for name, run in runs.items():
+                self._deliver_run(name, run)
+            runs.clear()
+            self.forward(message, header=header)
+        for name, run in runs.items():
+            self._deliver_run(name, run)
+
+    def _owner_for(self, key: tuple[int, int]) -> str | None:
+        if key not in self._keys:
+            self._keys.add(key)
+        name = self.ring.owner(key)
+        self._owner_of[key] = name
+        return name
+
+    def _route_data(self, message: bytes, header) -> None:
+        name = self._owner_for((header[1], header[2]))
+        if name is None:
+            self.metrics.inc("fabric.dropped_no_worker")
+            return
+        slot = self._slots[name]
+        try:
+            slot.worker.ingest(message, header)
+        except TransportError:
+            self._count_worker_failure(slot)
+            self.metrics.inc("fabric.dropped_worker_error")
+        else:
+            slot.consecutive_errors = 0
+            self.metrics.inc("fabric.routed")
+
+    def _deliver_run(self, name: str, run: list[tuple[bytes, tuple]]) -> None:
+        slot = self._slots.get(name)
+        if slot is None or slot.state != ACTIVE:
+            self.metrics.inc("fabric.dropped_worker_error", len(run))
+            return
+        try:
+            slot.worker.ingest_batch(run)
+        except TransportError:
+            self._count_worker_failure(slot)
+            self.metrics.inc("fabric.dropped_worker_error", len(run))
+        else:
+            slot.consecutive_errors = 0
+            self.metrics.inc("fabric.routed", len(run))
+
+    def _broadcast_announcement(self, message: bytes) -> None:
+        """Remember (verbatim bytes, never decoded) and fan to every
+        active worker; each worker's relays validate and dedup."""
+        data = bytes(message)
+        if data not in self._seen_announcements:
+            self._seen_announcements.add(data)
+            self._announcements.append(data)
+            self.metrics.inc("fabric.announcements")
+        for slot in self._slots.values():
+            if slot.state != ACTIVE:
+                continue
+            try:
+                slot.worker.ingest(data)
+            except TransportError:
+                self._count_worker_failure(slot)
+
+    def _replay_announcements(self, worker: RelayWorker) -> None:
+        for frame in self._announcements:
+            try:
+                worker.ingest(frame)
+            except TransportError:
+                return
+
+    # -- subscriptions --------------------------------------------------------
+
+    def subscribe(
+        self,
+        key: tuple[int, int],
+        transport: Transport,
+        *,
+        format_name: str | None = None,
+        filter_expr: str | None = None,
+    ) -> EdgeSubscription:
+        """Place a subscriber on the channel's owning worker (the filter
+        expression pushes down to the leaf there; on rebalance the
+        subscription follows the channel to its new owner)."""
+        key = (int(key[0]), int(key[1]))
+        name = self._owner_for(key)
+        if name is None:
+            raise FabricError("fabric has no live workers to place the subscription on")
+        sub = self._slots[name].worker.subscribe(
+            key, transport, format_name=format_name, filter_expr=filter_expr
+        )
+        self._subs.setdefault(key, []).append(sub)
+        self.metrics.inc("fabric.subscriptions")
+        return sub
+
+    def unsubscribe(self, sub: EdgeSubscription) -> None:
+        subs = self._subs.get(sub.key, [])
+        if sub in subs:
+            subs.remove(sub)
+        if sub.worker_name is not None:
+            slot = self._slots.get(sub.worker_name)
+            if slot is not None and slot.worker.alive:
+                slot.worker.unsubscribe(sub)
+
+    def tap(self, transport: Transport) -> EdgeSubscription:
+        """Subscribe a transport to *every* worker's whole output (the
+        ``pbio-fabric serve`` peer contract, like ``channel_handler``)."""
+        tap = EdgeSubscription(None, transport, None, None)
+        self._taps.append(tap)
+        for slot in self._slots.values():
+            if slot.state == ACTIVE and slot.worker.alive:
+                slot.worker.subscribe_tap(transport)
+        return tap
+
+    def untap(self, tap: EdgeSubscription) -> None:
+        if tap in self._taps:
+            self._taps.remove(tap)
+        for slot in self._slots.values():
+            if not slot.worker.alive:
+                continue
+            for worker_tap in list(slot.worker.taps):
+                if worker_tap.transport is tap.transport:
+                    slot.worker.unsubscribe_tap(worker_tap)
+
+    # -- health / rebalance ---------------------------------------------------
+
+    def _count_worker_failure(self, slot: _WorkerSlot) -> None:
+        slot.consecutive_errors += 1
+        self.metrics.inc("fabric.worker_errors")
+        if slot.state == ACTIVE and slot.consecutive_errors >= self.quarantine_after:
+            self._quarantine(slot)
+
+    def _quarantine(self, slot: _WorkerSlot) -> None:
+        now = self._clock()
+        slot.state = QUARANTINED
+        slot.quarantined_at = now
+        slot.probe_attempts = 0
+        slot.next_probe_at = (
+            now + self.probe_policy.delay(0) if self.probe_policy is not None else None
+        )
+        if slot.worker.name in self.ring:
+            self.ring.remove(slot.worker.name)
+        self.metrics.inc("fabric.workers_quarantined")
+        self._rebalance()
+
+    def _reactivate(self, slot: _WorkerSlot) -> None:
+        slot.state = ACTIVE
+        slot.consecutive_errors = 0
+        slot.quarantined_at = None
+        slot.probe_attempts = 0
+        slot.next_probe_at = None
+        # A returned worker may be a restarted process with empty state:
+        # replay the backlog (dedup absorbs it if it never died), restore
+        # fabric-wide taps, then take traffic again.
+        self._replay_announcements(slot.worker)
+        for tap in self._taps:
+            worker_taps = slot.worker.taps
+            if not any(t.transport is tap.transport for t in worker_taps):
+                slot.worker.subscribe_tap(tap.transport)
+        self.ring.add(slot.worker.name)
+        self.metrics.inc("fabric.workers_reactivated")
+        self._rebalance()
+
+    def _evict(self, slot: _WorkerSlot) -> None:
+        slot.state = EVICTED
+        self.metrics.inc("fabric.workers_evicted")
+
+    def reactivate_worker(self, name: str) -> None:
+        """Operator override: bring a quarantined worker back by hand
+        (the probe machinery does this automatically with a policy)."""
+        slot = self._slots.get(name)
+        if slot is None:
+            raise FabricError(f"no worker named {name!r}")
+        if slot.state in (QUARANTINED, EVICTED) and slot.worker.alive:
+            self._reactivate(slot)
+
+    def heal(self, now: float | None = None) -> None:
+        """One step of the fabric state machine: detect dead workers,
+        probe and reactivate/evict quarantined ones, drive every live
+        worker's own tree healing (which is what moves acks upstream)."""
+        if now is None:
+            now = self._clock()
+        policy = self.probe_policy
+        for slot in list(self._slots.values()):
+            if slot.state == ACTIVE:
+                if not slot.worker.alive:
+                    self._quarantine(slot)
+                    continue
+                slot.worker.heal(now)
+                continue
+            if slot.state != QUARANTINED or policy is None:
+                continue
+            entered = slot.quarantined_at
+            if entered is not None and now - entered >= policy.eviction_deadline_s:
+                self._evict(slot)
+                continue
+            if slot.next_probe_at is not None and now >= slot.next_probe_at:
+                slot.probe_attempts += 1
+                slot.next_probe_at = now + policy.delay(slot.probe_attempts)
+                self.metrics.inc("fabric.probes_sent")
+                # The in-process probe: is the worker taking traffic
+                # again?  (A socket fabric would ping here instead.)
+                if slot.worker.alive:
+                    self._reactivate(slot)
+
+    def _rebalance(self) -> None:
+        """Re-own every known channel after a membership change and move
+        the subscriptions of channels whose owner changed.  Announcement
+        state needs no special motion: every active worker holds the
+        backlog (broadcast on arrival, replayed on join/return), and
+        :meth:`RelayWorker.subscribe` builds trees that replay it to
+        every leaf."""
+        self.metrics.inc("fabric.rebalances")
+        moved = 0
+        for key in sorted(self._keys):
+            new_name = self.ring.owner(key)
+            old_name = self._owner_of.get(key)
+            if new_name == old_name:
+                continue
+            self._owner_of[key] = new_name
+            subs = self._subs.get(key, ())
+            if subs:
+                moved += 1
+            for sub in subs:
+                old_slot = self._slots.get(sub.worker_name or "")
+                if old_slot is not None and old_slot.worker.alive:
+                    old_slot.worker.unsubscribe(sub)
+                if new_name is None:
+                    sub.worker_name = None
+                    sub.downstream = None
+                    continue
+                self._slots[new_name].worker.adopt(sub)
+        if moved:
+            self.metrics.inc("fabric.migrated_channels", moved)
+
+    def _on_shard_ack(self, frame: bytes) -> None:
+        """A worker root relay's min-cursor ack for one channel: never
+        regress (a re-placed shard restarts at cursor 0), then forward
+        toward the publisher."""
+        try:
+            cid, fid, cursor, _nb, _bits = enc.parse_ack(frame)
+        except PbioError:
+            return
+        key = (cid, fid)
+        if cursor <= self._acked.get(key, 0):
+            return
+        self._acked[key] = cursor
+        self.metrics.inc("fabric.acks_up")
+        if self.ack_upstream is not None:
+            self.ack_upstream(frame)
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(
+            slot.worker.queue_depth
+            for slot in self._slots.values()
+            if slot.state == ACTIVE and slot.worker.alive
+        )
+
+    def ownership(self) -> dict[str, list[tuple[int, int]]]:
+        """``{worker: [channel keys]}`` for every channel seen so far."""
+        return self.ring.assignment(self._keys)
+
+    def drain_and_stop(self, deadline_s: float = 5.0) -> None:
+        for slot in self._slots.values():
+            if slot.worker.alive:
+                slot.worker.drain_and_stop(deadline_s)
+        self.metrics.inc("fabric.drained")
+
+
+def fabric_handler(dispatcher: FabricDispatcher, *, max_frames: int = 0):
+    """An :class:`~repro.net.aio.AsyncServer` connection handler serving
+    a fabric: every peer is an ingress publisher *and* a fabric-wide
+    subscriber tap (the ``channel_handler`` contract).  Pings are
+    answered with the fabric's aggregate queue depth (``pbio-fabric
+    status``); everything else routes through the dispatcher with its
+    header parsed exactly once.  Each burst also drives :meth:`heal`.
+    """
+
+    async def handle(transport) -> None:
+        tap = dispatcher.tap(transport)
+        try:
+            while True:
+                frames = await transport.recv_many(max_frames)
+                batch: list[bytes] = []
+                headers: list[tuple] = []
+                for frame in frames:
+                    header = enc.try_unpack_header(frame)
+                    if header is not None and header[0] == enc.MSG_PING:
+                        try:
+                            nonce, _depth = enc.parse_ping(frame)
+                        except PbioError:
+                            continue
+                        if nonce != enc.GOODBYE_NONCE:
+                            depth = min(dispatcher.queue_depth, 0xFFFFFFFF)
+                            transport.send(enc.encode_pong(nonce, depth))
+                        continue
+                    batch.append(frame)
+                    headers.append(header)
+                if batch:
+                    dispatcher.forward_batch(batch, headers=headers)
+                dispatcher.heal()
+        finally:
+            dispatcher.untap(tap)
+
+    return handle

@@ -380,7 +380,7 @@ class Relay:
             downstream.consecutive_errors = 0
             downstream.metrics.inc(counter)
 
-    def forward(self, message: bytes) -> None:
+    def forward(self, message: bytes, *, header=None) -> None:
         """Process one upstream message.
 
         Frames that are not PBIO messages, that exceed the relay's
@@ -388,11 +388,16 @@ class Relay:
         contradicts their actual length are *dropped* (counted as
         ``relay.rejected`` in :attr:`metrics`) rather than fanned out:
         an intermediary must not amplify damage to every downstream.
+
+        ``header`` accepts the already-parsed header tuple when an
+        upstream stage (a batch grouper, the fabric dispatcher) has
+        sniffed this frame before — the PR 5 single-parse discipline.
         """
         if self._stopped:
             self.metrics.inc("relay.dropped_after_stop")
             return
-        header = enc.try_unpack_header(message)
+        if header is None:
+            header = enc.try_unpack_header(message)
         if header is None:
             self.metrics.inc("relay.rejected")
             return
@@ -513,7 +518,7 @@ class Relay:
                     continue
             self._send(downstream, message, "forwarded")  # verbatim: zero re-encoding
 
-    def forward_batch(self, messages) -> None:
+    def forward_batch(self, messages, headers=None) -> None:
         """Forward a burst of upstream messages, vectoring where possible.
 
         Runs of valid data frames are fanned out with one
@@ -521,13 +526,23 @@ class Relay:
         link) instead of one ``send`` per message.  Control frames and
         rejects take the scalar :meth:`forward` path in arrival order,
         so announcement-before-data ordering is preserved exactly.
+
+        ``headers`` optionally carries the parsed header tuple for each
+        message (parallel to ``messages``, ``None`` entries allowed).
+        Batches that were already grouped by an upstream sniffer — the
+        fabric dispatcher routes on ``(cid, fid)`` — thus flow through
+        without a second header parse, and the headers travel on into
+        each downstream's filter evaluation.
         """
         if self._stopped:
             self.metrics.inc("relay.dropped_after_stop", len(list(messages)))
             return
-        run: list[bytes] = []
-        for message in messages:
-            header = enc.try_unpack_header(message)
+        # messages may be any iterable; pair lazily when unsniffed
+        pairs = zip(messages, headers) if headers is not None else ((m, None) for m in messages)
+        run: list[tuple[bytes, tuple]] = []
+        for message, header in pairs:
+            if header is None:
+                header = enc.try_unpack_header(message)
             if header is not None and header[0] == enc.MSG_DATA:
                 if (
                     self.limits is not None
@@ -536,25 +551,25 @@ class Relay:
                     self.metrics.inc("relay.rejected")
                     continue
                 self.messages_seen += 1
-                run.append(message)
+                run.append((message, header))
                 continue
             if run:
                 self._flush_data_run(run)
                 run = []
-            self.forward(message)
+            self.forward(message, header=header)
         if run:
             self._flush_data_run(run)
 
-    def _flush_data_run(self, run: list[bytes]) -> None:
+    def _flush_data_run(self, run: list[tuple[bytes, tuple]]) -> None:
         """Fan one run of validated data frames to every live downstream."""
         for downstream in self._downstreams:
             if downstream.quarantined:
                 continue
             if downstream.filter is not None:
                 batch = []
-                for message in run:
+                for message, header in run:
                     try:
-                        matched = downstream.filter.matches(message)
+                        matched = downstream.filter.matches(message, header=header)
                     except PbioError:
                         downstream.metrics.inc("filter_errors")
                         continue
@@ -563,7 +578,7 @@ class Relay:
                         continue
                     batch.append(message)
             else:
-                batch = run
+                batch = [message for message, _header in run]
             if batch:
                 self._send_many(downstream, batch, "forwarded")
 

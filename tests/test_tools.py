@@ -224,3 +224,126 @@ class TestWalTool:
         rc = wal_main(["verify", directory])
         assert rc == 2
         assert "not a WAL file" in capsys.readouterr().err
+
+
+class TestFabricTool:
+    def test_ring_prints_shares_and_sample_channels(self, capsys):
+        from repro.tools import fabric_main
+
+        rc = fabric_main(["ring", "--workers", "3", "--channels", "100", "--key", "7:1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "3 worker(s)" in out
+        assert "w0" in out and "w2" in out
+        assert "100 sample channel(s)" in out
+        assert "channel (7, 1) -> w" in out
+
+    def test_ring_balance_is_visibly_fair(self, capsys):
+        from repro.tools import fabric_main
+
+        assert fabric_main(["ring", "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        import re
+
+        shares = [
+            float(line.split()[1])
+            for line in out.splitlines()
+            if re.match(r"^w\d", line)
+        ]
+        assert len(shares) == 4
+        for share in shares:
+            assert abs(share - 0.25) <= 0.05  # within 20% of fair
+
+    def test_usage_errors_exit_2(self, capsys):
+        from repro.tools import fabric_main
+
+        assert fabric_main(["ring", "--workers", "0"]) == 2
+        assert fabric_main(["ring", "--workers", "2", "--key", "junk"]) == 2
+        assert fabric_main(["serve", "--workers", "0"]) == 2
+        capsys.readouterr()
+
+    def test_status_against_dead_port_exits_1(self, capsys):
+        import socket
+
+        from repro.tools import fabric_main
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        rc = fabric_main(
+            ["status", "--server", f"127.0.0.1:{port}", "--timeout", "0.5"]
+        )
+        assert rc == 1
+        assert "DOWN" in capsys.readouterr().err
+
+
+@pytest.mark.integration
+class TestFabricServeOverSockets:
+    def test_serve_status_and_routing_round_trip(self, tmp_path, capsys):
+        import os
+        import re
+        import socket
+        import subprocess
+        import sys
+
+        from repro.abi import SPARC_V8
+        from repro.net.sockets import SocketTransport
+        from repro.tools import fabric_main
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "from repro.tools.fabric_tool import main; import sys;"
+                "sys.exit(main(sys.argv[1:]))",
+                "serve",
+                "--port",
+                "0",
+                "--workers",
+                "2",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            assert "fabric: 2 worker(s)" in proc.stdout.readline()
+            match = re.match(r"listening on (\S+):(\d+)", proc.stdout.readline())
+            assert match, "no listen line"
+            host, port = match.group(1), int(match.group(2))
+            assert fabric_main(["status", "--server", f"{host}:{port}"]) == 0
+            assert "alive" in capsys.readouterr().out
+
+            # One peer publishes, another subscribes through its tap.
+            schema = RecordSchema.from_pairs(
+                "telemetry", [("unit", "int"), ("temperature", "double")]
+            )
+            rx_sock = socket.create_connection((host, port), timeout=10)
+            rx_sock.settimeout(10)
+            rx = SocketTransport(rx_sock)
+            rx_ctx = IOContext(X86)
+            rx_ctx.expect(schema)
+            tx_sock = socket.create_connection((host, port), timeout=10)
+            tx_sock.settimeout(10)
+            tx = SocketTransport(tx_sock)
+            sender = IOContext(SPARC_V8)
+            handle = sender.register_format(schema)
+            tx.send_many(
+                [
+                    sender.announce(handle),
+                    sender.encode(handle, {"unit": 3, "temperature": 30.0}),
+                ]
+            )
+            record = None
+            while record is None:
+                record = rx_ctx.receive(rx.recv())
+            assert record == {"unit": 3, "temperature": 30.0}
+            tx.close()
+            rx.close()
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
