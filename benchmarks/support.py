@@ -16,8 +16,13 @@ Every benchmark follows the paper's experimental setup (Section 4):
 
 from __future__ import annotations
 
+import json
 import os
+import statistics
+import subprocess
+import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.abi import SPARC_V8, X86, MachineDescription, StructLayout, layout_record
 from repro.core import PbioWire
@@ -111,6 +116,86 @@ def default_repeats() -> int:
     if override:
         return max(1, int(override))
     return 7
+
+
+#: Where ``append_trajectory`` writes its machine-readable result files.
+#: ``results/`` is gitignored; CI jobs upload it as an artifact instead.
+TRAJECTORY_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def trajectory_point(
+    *,
+    records: int,
+    payload_bytes: int,
+    samples_s: list[float],
+    extra: dict | None = None,
+) -> dict:
+    """Summarise one benchmark run as a machine-readable point.
+
+    ``samples_s`` are per-iteration wall times in seconds for processing
+    ``records`` records / ``payload_bytes`` bytes.  Rates use the median
+    sample so a single descheduled iteration cannot flatter or sandbag
+    the trajectory.
+    """
+    ordered = sorted(samples_s)
+    p50 = statistics.median(ordered)
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    point = {
+        "records": records,
+        "payload_bytes": payload_bytes,
+        "p50_s": p50,
+        "p99_s": p99,
+        "records_per_sec": records / p50 if p50 else 0.0,
+        "bytes_per_sec": payload_bytes / p50 if p50 else 0.0,
+    }
+    if extra:
+        point.update(extra)
+    return point
+
+
+def append_trajectory(name: str, points: list[dict]) -> Path:
+    """Append one timestamped run to ``results/BENCH_<name>.json``.
+
+    The file holds a JSON array of runs; each run records the git sha,
+    a UTC timestamp, and the measurement points, so successive CI runs
+    build a perf trajectory that tooling can diff without scraping logs.
+    """
+    TRAJECTORY_DIR.mkdir(parents=True, exist_ok=True)
+    path = TRAJECTORY_DIR / f"BENCH_{name}.json"
+    runs: list[dict] = []
+    if path.exists():
+        try:
+            runs = json.loads(path.read_text())
+        except (ValueError, OSError):
+            runs = []  # a torn previous write must not wedge the suite
+    runs.append(
+        {
+            "name": name,
+            "git_sha": _git_sha(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "points": points,
+        }
+    )
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(runs, indent=2) + "\n")
+    tmp.replace(path)
+    return path
 
 
 #: The paper-calibrated network model used by round-trip compositions.

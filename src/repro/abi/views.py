@@ -22,10 +22,20 @@ class RecordView:
     """Lazy, read-only view of one record inside a byte buffer."""
 
     # __weakref__ lets the conversion runtime's buffer pool tie a pooled
-    # destination buffer's release to this view's lifetime.
-    __slots__ = ("_codec", "_data", "_offset", "__weakref__")
+    # destination buffer's release to this view's lifetime.  ``_data`` is
+    # declared before ``_lease`` so the buffer slice is dropped before the
+    # lease during deallocation (the lease's finalizer may recycle — or,
+    # for mmap-backed readers, unmap — the underlying storage).
+    __slots__ = ("_codec", "_data", "_offset", "_lease", "__weakref__")
 
-    def __init__(self, layout_or_codec: StructLayout | NativeCodec, data, offset: int = 0):
+    def __init__(
+        self,
+        layout_or_codec: StructLayout | NativeCodec,
+        data,
+        offset: int = 0,
+        *,
+        lease=None,
+    ):
         if isinstance(layout_or_codec, NativeCodec):
             codec = layout_or_codec
         else:
@@ -33,6 +43,7 @@ class RecordView:
         object.__setattr__(self, "_codec", codec)
         object.__setattr__(self, "_data", data)
         object.__setattr__(self, "_offset", offset)
+        object.__setattr__(self, "_lease", lease)
 
     @property
     def layout(self) -> StructLayout:
@@ -42,6 +53,21 @@ class RecordView:
     def buffer(self):
         """The underlying buffer — shared, not copied."""
         return self._data
+
+    @property
+    def lease(self):
+        """The buffer lease keeping this view's storage alive (or None)."""
+        return self._lease
+
+    def detach(self) -> "RecordView":
+        """Copy-on-escape: a RecordView over a private copy of the data.
+
+        Lend-mode views alias a pooled receive buffer that is recycled
+        when their lease dies; call :meth:`detach` before storing a view
+        beyond the receive loop.  The returned view owns its bytes and
+        carries no lease.
+        """
+        return RecordView(self._codec, bytes(self._data), self._offset)
 
     def __getitem__(self, name: str) -> Any:
         return self._codec.decode_field(self._data, name, self._offset)

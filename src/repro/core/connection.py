@@ -114,7 +114,9 @@ class PbioConnection:
         message, header = self._recv_parsed()
         return self.ctx.pipeline.decode_view(message, header=header)
 
-    def recv_batch(self, max_frames: int = 0, *, on_error: str = "raise") -> list:
+    def recv_batch(
+        self, max_frames: int = 0, *, on_error: str = "raise", lend: bool = False
+    ) -> list:
         """Receive a burst of records in one pass.
 
         Blocks for the first frame, then drains everything the transport
@@ -123,8 +125,17 @@ class PbioConnection:
         batch pipeline — consecutive same-format frames share one
         columnar conversion.  Returns the decoded dicts in arrival order
         (``on_error="skip"`` leaves a ``None`` per rejected frame).
+
+        ``lend=True`` returns leased :class:`~repro.abi.views.RecordView`
+        objects instead of dicts: homogeneous data frames are decoded as
+        views *directly into the transport's receive buffer*
+        (``recv_many_leased``) — zero payload copies end to end.  The
+        views hold the buffer lease; call ``view.detach()`` before
+        storing one past the processing loop.  Control frames and
+        sequenced/held frames are copied out as usual — correctness never
+        depends on the fast path.
         """
-        messages: list[bytes] = []
+        messages: list = []
 
         def drain_ready() -> None:
             while max_frames <= 0 or len(messages) < max_frames:
@@ -134,12 +145,32 @@ class PbioConnection:
                 messages.append(m)
 
         drain_ready()
+        lease = None
         while not messages:
-            for frame in self.transport.recv_many(max_frames):
-                self._negotiator.offer(frame)
+            if lend:
+                frames, lease = self.transport.recv_many_leased(max_frames)
+                for frame in frames:
+                    header = enc.try_unpack_header(frame)
+                    if (
+                        header is not None
+                        and header[0] == enc.MSG_DATA
+                        and not self._negotiator.unresolved
+                    ):
+                        # Steady state: a data frame with nothing pending
+                        # bypasses the negotiator and stays a borrowed
+                        # view.  Everything else (announcements, seq
+                        # frames, held-format data) is copied and takes
+                        # the ordinary path.
+                        messages.append(frame)
+                    else:
+                        self._negotiator.offer(bytes(frame), header=header)
+            else:
+                for frame in self.transport.recv_many(max_frames):
+                    self._negotiator.offer(frame)
             drain_ready()
-        results = self.ctx.pipeline.decode_batch(messages, on_error=on_error)
-        return results
+        return self.ctx.pipeline.decode_batch(
+            messages, on_error=on_error, lend=lend, lease=lease
+        )
 
     def poll(self) -> None:
         """Drain frames available right now without blocking.

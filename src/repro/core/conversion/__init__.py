@@ -3,7 +3,12 @@ dynamic code generation (Python and vcode backends)."""
 
 from .plan import ConversionPlan, ConvOp, OpKind, build_plan
 from .interpreted import InterpretedConverter
-from .batch import BatchConverter, build_batch_converter
+from .batch import (
+    BatchConverter,
+    VarBatchConverter,
+    build_batch_converter,
+    build_var_batch_converter,
+)
 from .codegen import (
     GeneratedConverter,
     generate_converter,
@@ -19,7 +24,9 @@ __all__ = [
     "build_plan",
     "InterpretedConverter",
     "BatchConverter",
+    "VarBatchConverter",
     "build_batch_converter",
+    "build_var_batch_converter",
     "GeneratedConverter",
     "generate_converter",
     "generate_python_converter",

@@ -67,6 +67,11 @@ _MSG_TYPES = (
 _HEADER = struct.Struct(">BBBxIII")
 HEADER_SIZE = _HEADER.size
 
+#: Public handles for callers that inline the header scan on hot paths
+#: (batch decode); semantics stay defined by :func:`unpack_header`.
+HEADER_STRUCT = _HEADER
+MESSAGE_TYPES = frozenset(_MSG_TYPES)
+
 FINGERPRINT_SIZE = 20  # sha1 digest length (matches IOFormat.fingerprint)
 _TOKEN_PAYLOAD = struct.Struct(f">{FINGERPRINT_SIZE}sQ")  # fingerprint, token
 

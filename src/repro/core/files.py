@@ -49,6 +49,7 @@ a v1 reader would have lost).
 from __future__ import annotations
 
 import io
+import mmap
 import os
 import struct
 import zlib
@@ -59,6 +60,7 @@ from repro.abi import RecordSchema
 from . import encoder as enc
 from .context import FormatHandle, IOContext
 from .errors import MessageError, PbioError
+from .runtime.pool import Lease
 
 # The frame discipline itself lives in repro.core.framing (shared with
 # the fmtserv cache file and the durable-delivery WAL); the historical
@@ -198,6 +200,36 @@ class PbioFileWriter:
         self.close()
 
 
+class _MapSource:
+    """Holds one read-only mmap of a PBIO file plus its master view.
+
+    Deliberately a separate object: the unmap callback must not close
+    over the reader (a ``self``-capturing closure inside a
+    :class:`~repro.core.runtime.pool.Lease` keeps the reader — and
+    therefore the lease — alive through the finalizer registry, so the
+    map would never unmap).
+    """
+
+    __slots__ = ("mm", "stream", "view")
+
+    def __init__(self, mm: mmap.mmap, stream: BinaryIO):
+        self.mm = mm
+        self.stream = stream
+        self.view: memoryview | None = memoryview(mm)
+
+
+def _close_map(source: _MapSource) -> None:
+    source.view = None  # release the master export first
+    try:
+        source.mm.close()
+    except BufferError:
+        # A frame view escaped without its lease (iter_raw caller kept a
+        # raw memoryview).  The map stays pinned by that export and
+        # unmaps when it dies — deferred, never unsafe.
+        pass
+    source.stream.close()
+
+
 class PbioFileReader:
     """Reads a PBIO file, decoding records to the reader's machine.
 
@@ -210,16 +242,37 @@ class PbioFileReader:
     Frame lengths are bounded by the context's
     :class:`~repro.core.safety.DecodeLimits` before any allocation, so a
     corrupted (or hostile) length prefix cannot demand gigabytes.
+
+    ``mapped=True`` (via :meth:`open`) memory-maps the file instead of
+    streaming it: after the ``open(2)``/``mmap(2)`` pair the scan issues
+    *zero read syscalls* — every frame is a :class:`memoryview` slice of
+    the map, CRC-checked lazily as the scan reaches it, and
+    ``read_batch(lend=True)`` decodes records as leased
+    :class:`~repro.abi.views.RecordView` objects pointing straight into
+    the page cache.  The map unmaps when the reader is closed *and* the
+    last leased view has died, whichever comes later.
     """
 
-    def __init__(self, ctx: IOContext, stream: BinaryIO, *, recover: str = "raise"):
+    def __init__(
+        self,
+        ctx: IOContext,
+        stream: BinaryIO,
+        *,
+        recover: str = "raise",
+        _map: "_MapSource | None" = None,
+    ):
         if recover not in RECOVER_POLICIES:
             raise ValueError(f"recover must be one of {RECOVER_POLICIES}, not {recover!r}")
         self.ctx = ctx
         self._stream = stream
         self._recover = recover
         self._damaged = False
-        header = stream.read(_FILE_HEADER.size)
+        self._map = _map
+        self._pos = 0
+        self._lease: Lease | None = None
+        if _map is not None:
+            self._lease = Lease(lambda: _close_map(_map), metrics=ctx.metrics)
+        header = self._read(_FILE_HEADER.size)
         if len(header) != _FILE_HEADER.size:
             raise MessageError("not a PBIO file: truncated header")
         magic, version = _FILE_HEADER.unpack(header)
@@ -230,13 +283,45 @@ class PbioFileReader:
         self.version = version
 
     @classmethod
-    def open(cls, ctx: IOContext, path: str, *, recover: str = "raise") -> "PbioFileReader":
+    def open(
+        cls,
+        ctx: IOContext,
+        path: str,
+        *,
+        recover: str = "raise",
+        mapped: bool = False,
+    ) -> "PbioFileReader":
         stream = open(path, "rb")
         try:
-            return cls(ctx, stream, recover=recover)
+            if not mapped:
+                return cls(ctx, stream, recover=recover)
+            try:
+                mm = mmap.mmap(stream.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError:
+                # Zero-length files cannot be mapped — and are not PBIO
+                # files either; report them exactly like the stream path.
+                raise MessageError("not a PBIO file: truncated header") from None
+            try:
+                return cls(ctx, stream, recover=recover, _map=_MapSource(mm, stream))
+            except Exception:
+                mm.close()
+                raise
         except Exception:
             stream.close()
             raise
+
+    def _read(self, n: int):
+        """Next ``n`` bytes of the file: a copy from the stream, or a
+        zero-copy slice of the map (possibly short at EOF, like read)."""
+        if self._map is None:
+            return self._stream.read(n)
+        view = self._map.view
+        if view is None:
+            raise ValueError("I/O operation on closed PBIO reader")
+        pos = self._pos
+        chunk = view[pos : pos + n]
+        self._pos = pos + len(chunk)
+        return chunk
 
     # -- framing -------------------------------------------------------------
 
@@ -246,17 +331,19 @@ class PbioFileReader:
         self._damaged = True
         self.ctx.metrics.inc("file.torn_tails")
 
-    def _next_frame(self) -> bytes | None:
+    def _next_frame(self):
         """The next complete, CRC-valid frame payload; ``None`` at end.
 
-        Under ``skip``, CRC-mismatched frames are consumed and skipped
-        (the length prefix keeps the scan aligned unless its echo
-        disagrees, in which case alignment is untrustworthy and the scan
-        stops).  Torn tails end the scan under ``skip``/``stop``.
+        Returns ``bytes`` when streaming, a ``memoryview`` slice of the
+        map when mapped.  Under ``skip``, CRC-mismatched frames are
+        consumed and skipped (the length prefix keeps the scan aligned
+        unless its echo disagrees, in which case alignment is
+        untrustworthy and the scan stops).  Torn tails end the scan
+        under ``skip``/``stop``.
         """
         limits = self.ctx.limits
         while True:
-            raw_len = self._stream.read(_MSG_LEN.size)
+            raw_len = self._read(_MSG_LEN.size)
             if not raw_len:
                 return None  # clean EOF at a frame boundary
             if len(raw_len) != _MSG_LEN.size:
@@ -271,13 +358,13 @@ class PbioFileReader:
                 self._damaged = True
                 self.ctx.metrics.inc("file.corrupt_records")
                 return None
-            message = self._stream.read(n)
+            message = self._read(n)
             if len(message) != n:
                 self._torn("message body")
                 return None
             if self.version < 2:
                 return message
-            trailer = self._stream.read(_V2_TRAILER.size)
+            trailer = self._read(_V2_TRAILER.size)
             if len(trailer) != _V2_TRAILER.size:
                 self._torn("record trailer")
                 return None
@@ -300,7 +387,11 @@ class PbioFileReader:
             # skip: framing is still aligned; scan on to the next frame.
 
     def iter_raw(self) -> Iterator[bytes]:
-        """Yield every *data* message, absorbing format messages."""
+        """Yield every *data* message, absorbing format messages.
+
+        Mapped readers yield ``memoryview`` slices of the map; copy
+        (``bytes(m)``) anything kept past the reader's lifetime.
+        """
         while True:
             message = self._next_frame()
             if message is None:
@@ -308,7 +399,11 @@ class PbioFileReader:
             try:
                 kind = enc.message_kind(message)
                 if kind == enc.MSG_FORMAT:
-                    self.ctx.receive(message)
+                    # The context retains format meta; never hand it a
+                    # borrowed slice of the map.
+                    self.ctx.receive(
+                        message if type(message) is bytes else bytes(message)
+                    )
                     continue
                 if kind != enc.MSG_DATA:
                     # Token announcements / format requests are link-level
@@ -347,7 +442,9 @@ class PbioFileReader:
     def read_all(self) -> list[dict[str, Any]]:
         return list(self)
 
-    def read_batch(self, max_records: int | None = None) -> list[dict[str, Any]]:
+    def read_batch(
+        self, max_records: int | None = None, *, lend: bool = False
+    ) -> list:
         """Read up to ``max_records`` records through the batch pipeline.
 
         Frames are scanned with the usual crash-safe ladder
@@ -359,18 +456,31 @@ class PbioFileReader:
         ``__iter__``: ``"raise"`` propagates, ``"skip"`` drops the bad
         record (counted as ``file.corrupt_records``), ``"stop"`` truncates
         the result at the first bad record.
+
+        ``lend=True`` returns :class:`~repro.abi.views.RecordView`
+        objects instead of dicts.  On a mapped reader the zero-copy
+        format (record layout already native) decodes to views *into the
+        map itself* under the reader's lease — no payload bytes are
+        copied anywhere between the page cache and field access.  Call
+        ``view.detach()`` before storing a view past the processing
+        loop.
         """
-        messages: list[bytes] = []
+        messages: list = []
         for message in self.iter_raw():
             messages.append(message)
             if max_records is not None and len(messages) >= max_records:
                 break
         if not messages:
             return []
+        decode_batch = self.ctx.pipeline.decode_batch
         if self._recover == "raise":
-            return self.ctx.pipeline.decode_batch(messages, on_error="raise")
-        results = self.ctx.pipeline.decode_batch(messages, on_error="skip")
-        out: list[dict[str, Any]] = []
+            return decode_batch(
+                messages, on_error="raise", lend=lend, lease=self._lease
+            )
+        results = decode_batch(
+            messages, on_error="skip", lend=lend, lease=self._lease
+        )
+        out: list = []
         for value in results:
             if value is None:
                 self._damaged = True
@@ -382,6 +492,12 @@ class PbioFileReader:
         return out
 
     def close(self) -> None:
+        if self._map is not None:
+            # Drop this reader's hold on the map lease; the unmap runs
+            # now, or when the last leased view dies — whichever is
+            # later.  The lease callback closes the stream too.
+            self._lease = None
+            return
         self._stream.close()
 
     def __enter__(self):

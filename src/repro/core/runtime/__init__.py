@@ -23,10 +23,11 @@ from .metrics import (
     SubscriberStats,
 )
 from .pipeline import DecodePipeline
-from .pool import BufferPool
+from .pool import BufferPool, Lease
 
 __all__ = [
     "BufferPool",
+    "Lease",
     "CacheEntry",
     "ContextStats",
     "ConverterCache",

@@ -66,6 +66,11 @@ class CacheEntry:
     #: VAX floats, float->int) or the mode is not DCG — batch decodes
     #: then loop :attr:`converter`.
     batch: object | None = None
+    #: Columnar converter for *string-bearing* plans
+    #: (:class:`~repro.core.conversion.VarBatchConverter`): offset-table
+    #: passes over the var-length tails.  ``None`` when the plan has no
+    #: strings, is otherwise unliftable, or the mode is not DCG.
+    var_batch: object | None = None
 
 
 class ConverterCache:

@@ -36,9 +36,11 @@ import struct
 
 from .. import encoder as enc
 from ..conversion import (
+    NUMPY_THRESHOLD,
     InterpretedConverter,
     build_batch_converter,
     build_plan,
+    build_var_batch_converter,
     generate_converter,
 )
 from ..errors import (
@@ -316,6 +318,7 @@ class DecodePipeline:
             )
         plan = build_plan(wire_fmt, native, match)
         batch = None
+        var_batch = None
         if self.conversion == "interpreted":
             converter = InterpretedConverter(plan)
             source = plan.describe()
@@ -333,6 +336,7 @@ class DecodePipeline:
                 # modes exist to measure *their* per-record mechanism, so
                 # batch decodes loop their scalar converters instead.
                 batch = build_batch_converter(plan)
+                var_batch = build_var_batch_converter(plan)
         return CacheEntry(
             zero_copy=False,
             converter=converter,
@@ -343,6 +347,7 @@ class DecodePipeline:
             supports_dst=not plan.has_strings,
             generation_time_s=generation_time_s,
             batch=batch,
+            var_batch=var_batch,
         )
 
     # -- public decode entry points -----------------------------------------
@@ -363,12 +368,17 @@ class DecodePipeline:
             self.metrics.inc("decode.rejected")
             raise
 
-    def decode_view(self, message, *, header=None) -> RecordView:
+    def decode_view(self, message, *, header=None, lease=None) -> RecordView:
         """Decode to a :class:`RecordView`.
 
         Zero-copy pairs view the *message buffer itself*; converted pairs
         write into a pooled destination buffer that is recycled only once
         the view (the sole owner callers see) is garbage collected.
+
+        ``lease`` (a :class:`~repro.core.runtime.pool.Lease`) is attached
+        to zero-copy views when the message aliases borrowed storage (a
+        lent receive buffer, an mmap'd file): the storage outlives every
+        view because each view holds the lease alive.
         """
         if self.metrics.timing_enabled:
             return self._decode_view_timed(message)
@@ -379,7 +389,7 @@ class DecodePipeline:
             layout = self._layout_of(native)
             if entry.zero_copy:
                 self.metrics.inc("zero_copy_decodes")
-                return RecordView(layout, payload)
+                return RecordView(layout, payload, lease=lease)
             self.metrics.inc("converted_decodes")
             if entry.supports_dst:
                 buf = self.pool.acquire(entry.native_size)
@@ -451,7 +461,9 @@ class DecodePipeline:
 
     # -- batch decode ---------------------------------------------------------
 
-    def decode_batch(self, messages, *, on_error: str = "raise") -> list:
+    def decode_batch(
+        self, messages, *, on_error: str = "raise", lend: bool = False, lease=None
+    ) -> list:
         """Decode a list of frames in one pass; one result slot per frame.
 
         Frames are parsed once each, announcements are absorbed in
@@ -468,15 +480,34 @@ class DecodePipeline:
         frame — the bad frame's slot stays ``None``, it is counted in
         ``decode.rejected``/``decode.batch.rejected``, and every other
         frame still decodes.
+
+        ``lend=True`` returns :class:`RecordView` objects instead of
+        dicts.  Zero-copy (homogeneous) frames view the *message buffer
+        itself* with ``lease`` attached — no payload byte is copied; the
+        caller's buffer must stay untouched until every returned view
+        dies (views keep ``lease`` — and through it the buffer — alive).
+        Converted frames view private converted bytes and carry no lease.
+        Call :meth:`~repro.abi.views.RecordView.detach` on a lent view
+        before storing it beyond the receive loop.
         """
-        return self._decode_batch(messages, on_error, native_out=False)
+        return self._decode_batch(messages, on_error, native_out=False, lend=lend, lease=lease)
 
-    def decode_batch_native(self, messages, *, on_error: str = "raise") -> list:
+    def decode_batch_native(
+        self, messages, *, on_error: str = "raise", lend: bool = False, lease=None
+    ) -> list:
         """:meth:`decode_batch` returning native record bytes per frame
-        (the batch analogue of :meth:`decode_native`)."""
-        return self._decode_batch(messages, on_error, native_out=True)
+        (the batch analogue of :meth:`decode_native`).
 
-    def _decode_batch(self, messages, on_error: str, native_out: bool) -> list:
+        ``lend=True`` returns memoryviews instead of copied ``bytes``:
+        zero-copy frames alias the message buffers (valid only while
+        ``lease`` is held), converted frames are views of a private
+        conversion blob (no lease needed, but mutating them is on you).
+        """
+        return self._decode_batch(messages, on_error, native_out=True, lend=lend, lease=lease)
+
+    def _decode_batch(
+        self, messages, on_error: str, native_out: bool, lend: bool = False, lease=None
+    ) -> list:
         if on_error not in ("raise", "skip"):
             raise ValueError(f'on_error must be "raise" or "skip", not {on_error!r}')
         out: list = [None] * len(messages)
@@ -489,12 +520,19 @@ class DecodePipeline:
         def flush() -> None:
             nonlocal group, gkey
             if group:
-                self._decode_group(msgs, group, gkey, out, strict, native_out)
+                self._decode_group(msgs, group, gkey, out, strict, native_out, lend, lease)
                 group = []
             gkey = None
 
         max_msg = self._max_msg
         msgs = messages  # swapped for a mutable copy only if seq frames appear
+        # Header scan, inlined: one Struct.unpack_from per message on the
+        # fast path; anything anomalous re-parses through unpack_header
+        # so rejects keep its exact error messages.
+        unpack_from = enc.HEADER_STRUCT.unpack_from
+        magic_want, version_want = enc.MAGIC, enc.VERSION
+        msg_types = enc.MESSAGE_TYPES
+        header_size = enc.HEADER_SIZE
         for i, message in enumerate(messages):
             try:
                 if max_msg is not None and len(message) > max_msg:
@@ -502,7 +540,22 @@ class DecodePipeline:
                         f"message of {len(message)} bytes exceeds max_message_size "
                         f"({max_msg})"
                     )
-                msg_type, context_id, format_id, payload_len = enc.unpack_header(message)
+                if len(message) >= header_size:
+                    magic, version, msg_type, context_id, format_id, payload_len = (
+                        unpack_from(message, 0)
+                    )
+                    if (
+                        magic != magic_want
+                        or version != version_want
+                        or msg_type not in msg_types
+                    ):
+                        msg_type, context_id, format_id, payload_len = (
+                            enc.unpack_header(message)
+                        )
+                else:
+                    msg_type, context_id, format_id, payload_len = enc.unpack_header(
+                        message
+                    )
             except PbioError:
                 flush()
                 self.metrics.inc("decode.rejected")
@@ -568,7 +621,15 @@ class DecodePipeline:
         return out
 
     def _decode_group(
-        self, messages, group, key, out, strict: bool, native_out: bool
+        self,
+        messages,
+        group,
+        key,
+        out,
+        strict: bool,
+        native_out: bool,
+        lend: bool = False,
+        lease=None,
     ) -> None:
         """Decode one run of same-format data frames into ``out`` slots."""
         self.metrics.inc("decode.batch.groups")
@@ -590,9 +651,20 @@ class DecodePipeline:
                 reject(exc)
             return
 
-        def materialize(i: int, buf) -> None:
+        def materialize(i: int, buf, borrowed: bool = False) -> None:
             if native_out:
-                out[i] = bytes(buf) if not isinstance(buf, bytes) else buf
+                if lend:
+                    # Borrowed payloads alias the caller's buffer under
+                    # `lease`; converted outputs are views of a private
+                    # blob, safe to hand out without a copy.
+                    out[i] = buf
+                else:
+                    out[i] = bytes(buf) if not isinstance(buf, bytes) else buf
+                return
+            if lend:
+                # Views: borrowed payloads carry the lease so the buffer
+                # outlives them; converted outputs are private bytes.
+                out[i] = RecordView(layout, buf, lease=lease if borrowed else None)
                 return
             try:
                 out[i] = RecordView(layout, buf).to_dict()
@@ -627,8 +699,10 @@ class DecodePipeline:
         n = len(valid)
         if entry.zero_copy:
             self.metrics.inc("zero_copy_decodes", n)
+            if lend:
+                self.metrics.inc("decode.batch.lent", n)
             for i, payload in valid:
-                materialize(i, payload)
+                materialize(i, payload, borrowed=True)
             return
 
         batch = entry.batch
@@ -647,8 +721,33 @@ class DecodePipeline:
                     materialize(i, blob[j * d : (j + 1) * d])
                 return
 
-        # Fallback ladder: plans numpy cannot express (strings, VAX
-        # floats, float->int), non-DCG modes, or a batch call that blew
+        var_batch = entry.var_batch
+        if var_batch is not None and has_strings and n >= NUMPY_THRESHOLD:
+            # Var-length columnar pass: offset tables + one strided tail
+            # move.  convert_var returns None (and we fall through to the
+            # scalar loop) when any frame would make the scalar converter
+            # raise — per-frame isolation is preserved down there.
+            try:
+                blobs = var_batch.convert_var([p for _, p in valid])
+            except _LEAKY_ERRORS:
+                blobs = None
+            if blobs is not None:
+                self.metrics.inc("converted_decodes", n)
+                self.metrics.inc("decode.batch.converted", n)
+                if native_out and not lend:
+                    for (i, _), blob in zip(valid, blobs):
+                        out[i] = bytes(blob)
+                elif native_out:
+                    for (i, _), blob in zip(valid, blobs):
+                        out[i] = blob
+                else:
+                    for (i, _), blob in zip(valid, blobs):
+                        materialize(i, blob)
+                return
+
+        # Fallback ladder: plans numpy cannot express (string runs below
+        # NUMPY_THRESHOLD or with hostile frames, VAX floats, float->int),
+        # non-DCG modes, or a batch call that blew
         # up — loop the scalar converter, isolating failures per frame.
         self.metrics.inc("decode.batch.fallback", n)
         for i, payload in valid:

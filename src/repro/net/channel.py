@@ -44,6 +44,12 @@ from .transport import TransportError
 #: count-and-continue, or count-and-unsubscribe.
 ERROR_POLICIES = ("raise", "suppress", "detach")
 
+#: Delivery shapes: materialized dicts (pre-existing behaviour) or
+#: :class:`~repro.abi.views.RecordView` objects — zero-copy for
+#: homogeneous publishers, and *leased* straight out of the receive
+#: buffer on lend-mode wire ingress (:meth:`EventChannel.ingest_many`).
+DELIVERY_MODES = ("dict", "view")
+
 
 class Subscription:
     """One subscriber: a context, an optional filter, and a handler."""
@@ -56,15 +62,19 @@ class Subscription:
         format_name: str | None = None,
         filter_expr: str | None = None,
         on_error: str = "raise",
+        deliver: str = "dict",
     ):
         if filter_expr is not None and format_name is None:
             raise ValueError("a filter requires format_name")
         if on_error not in ERROR_POLICIES:
             raise ValueError(f"on_error must be one of {ERROR_POLICIES}, not {on_error!r}")
+        if deliver not in DELIVERY_MODES:
+            raise ValueError(f"deliver must be one of {DELIVERY_MODES}, not {deliver!r}")
         self.ctx = ctx
         self.handler = handler
         self.format_name = format_name
         self.error_policy = on_error
+        self.deliver = deliver
         self.metrics = Metrics()
         self.stats = SubscriberStats(self.metrics)
         self._filter = (
@@ -116,7 +126,10 @@ class Subscription:
             return
         self.metrics.inc("delivered")
         try:
-            decoded = self.ctx.decode(message)
+            if self.deliver == "view":
+                decoded = self.ctx.decode_view(message)
+            else:
+                decoded = self.ctx.decode(message)
         except PbioError:
             self.metrics.inc("decode_errors")
             raise
@@ -126,7 +139,7 @@ class Subscription:
             self.metrics.inc("handler_errors")
             raise
 
-    def _offer_batch(self, messages: list[bytes], suppress: bool) -> None:
+    def _offer_batch(self, messages: list[bytes], suppress: bool, lease=None) -> None:
         """Offer a burst of messages, batching consecutive data frames.
 
         Mirrors a sequential :meth:`_offer` loop message for message —
@@ -143,7 +156,7 @@ class Subscription:
                 run.append((message, header[1], header[2]))
                 continue
             if run:
-                self._flush_run(run, suppress)
+                self._flush_run(run, suppress, lease)
                 run = []
             try:
                 self._offer(message)  # control / malformed: scalar path
@@ -151,9 +164,11 @@ class Subscription:
                 if not suppress:
                     raise
         if run:
-            self._flush_run(run, suppress)
+            self._flush_run(run, suppress, lease)
 
-    def _flush_run(self, run: list[tuple[bytes, int, int]], suppress: bool) -> None:
+    def _flush_run(
+        self, run: list[tuple[bytes, int, int]], suppress: bool, lease=None
+    ) -> None:
         """Screen one run of data frames, then decode it in one batch."""
         deliverable: list[bytes] = []
         for message, context_id, format_id in run:
@@ -177,7 +192,10 @@ class Subscription:
             return
         try:
             decoded = self.ctx.pipeline.decode_batch(
-                deliverable, on_error="skip" if suppress else "raise"
+                deliverable,
+                on_error="skip" if suppress else "raise",
+                lend=self.deliver == "view",
+                lease=lease,
             )
         except PbioError:
             self.metrics.inc("decode_errors")
@@ -265,6 +283,7 @@ class EventChannel:
         format_name: str | None = None,
         filter_expr: str | None = None,
         on_error: str = "raise",
+        deliver: str = "dict",
     ) -> Subscription:
         """Attach a subscriber; formats announced before it joined are
         replayed so it can decode the ongoing stream immediately.
@@ -274,13 +293,25 @@ class EventChannel:
         (the historical behaviour), ``"suppress"`` counts them and keeps
         the subscription, ``"detach"`` counts them and unsubscribes the
         offender — either way the other subscribers still get the event.
+
+        ``deliver="view"`` hands the handler
+        :class:`~repro.abi.views.RecordView` objects instead of dicts —
+        zero-copy for homogeneous publishers, and leased straight out of
+        the receive buffer on lend-mode wire ingress
+        (:meth:`ingest_many`).  A view handler must not keep a view past
+        its return without calling ``view.detach()``.
         """
         if self._cache is not None:
             ctx.use_cache(self._cache)
         if self._format_service is not None and ctx.format_service is None:
             ctx.use_format_service(self._format_service)
         sub = Subscription(
-            ctx, handler, format_name=format_name, filter_expr=filter_expr, on_error=on_error
+            ctx,
+            handler,
+            format_name=format_name,
+            filter_expr=filter_expr,
+            on_error=on_error,
+            deliver=deliver,
         )
         self._attach(sub)
         return sub
@@ -390,7 +421,55 @@ class EventChannel:
             return
         self._publish_message(bytes(message), exclude=exclude)
 
+    def ingest_many(
+        self, messages, *, lease=None, exclude: WireTap | None = None
+    ) -> None:
+        """Feed a burst of wire frames into the channel in one pass.
+
+        The batch analogue of :meth:`ingest`: same screening, but
+        consecutive data frames fan out through :meth:`_publish_batch`
+        (one columnar decode per subscriber per run).  ``lease`` is the
+        receive-buffer lease when the frames are borrowed views from
+        ``recv_many_leased`` — it is threaded through to ``deliver="view"``
+        subscribers, whose views then keep the buffer alive; everything
+        any other path retains (announcement replay, wire taps, dict
+        decodes) is copied, so the caller may drop the lease as soon as
+        this returns.
+        """
+        run: list = []
+        for message in messages:
+            header = enc.try_unpack_header(message)
+            if header is None:
+                self.metrics.inc("channel.frames_rejected")
+                continue
+            kind = header[0]
+            if kind == enc.MSG_ACK:
+                if run:
+                    self._publish_batch(run, exclude=exclude, lease=lease)
+                    run = []
+                self.route_ack(bytes(message))
+                continue
+            if kind in (enc.MSG_FORMAT_REQUEST, enc.MSG_PING, enc.MSG_PONG):
+                continue
+            if kind in (enc.MSG_DATA, enc.MSG_DATA_SEQ):
+                run.append(message)
+                continue
+            # Announcements: flush the run first so ordering holds, then
+            # take the scalar path (replay list wants private bytes).
+            if run:
+                self._publish_batch(run, exclude=exclude, lease=lease)
+                run = []
+            self._publish_message(bytes(message), exclude=exclude)
+        if run:
+            self._publish_batch(run, exclude=exclude, lease=lease)
+
     def _fan_to_wire(self, message: bytes, exclude: WireTap | None) -> None:
+        if not self._taps:
+            return
+        if not isinstance(message, bytes):
+            # Taps may enqueue (async transports): never hand them a
+            # borrowed view whose lease can expire before the send.
+            message = bytes(message)
         for tap in list(self._taps):
             if tap is exclude:
                 continue
@@ -429,13 +508,15 @@ class EventChannel:
                 if sub in self._subscribers:
                     self._subscribers.remove(sub)
 
-    def _publish_batch(self, batch: list[bytes], *, exclude: WireTap | None = None) -> None:
+    def _publish_batch(
+        self, batch: list[bytes], *, exclude: WireTap | None = None, lease=None
+    ) -> None:
         """Fan a burst of data messages to every subscriber, one batch
         decode per subscriber per run instead of one per message."""
         self.messages_published += len(batch)
         for sub in list(self._subscribers):
             try:
-                sub._offer_batch(batch, suppress=sub.error_policy == "suppress")
+                sub._offer_batch(batch, suppress=sub.error_policy == "suppress", lease=lease)
             except Exception:
                 if sub.error_policy == "raise":
                     raise

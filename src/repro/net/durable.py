@@ -879,7 +879,7 @@ class DurableSubscription(Subscription):
             self.cursors.advance(key, self.window.cursor(key))
             self._send_ack(key)
 
-    def _offer_batch(self, messages: list[bytes], suppress: bool) -> None:
+    def _offer_batch(self, messages: list[bytes], suppress: bool, lease=None) -> None:
         """Burst delivery: window the sequenced frames, drain per stream.
 
         Under the ``"raise"`` policy the scalar loop runs instead — a
@@ -888,7 +888,9 @@ class DurableSubscription(Subscription):
         point of that policy.  Otherwise every sequenced frame is offered
         to the window first, non-sequenced traffic takes the base batch
         path, and each touched stream drains its ready run through one
-        batch decode, one cursor persist and one ack.
+        batch decode, one cursor persist and one ack.  Sequenced frames
+        are copied into the replay window regardless, so a borrowed
+        ``lease`` only follows the passthrough traffic.
         """
         if self.error_policy == "raise":
             for message in messages:
@@ -910,7 +912,7 @@ class DurableSubscription(Subscription):
             self.window.offer(key, seq, bytes(message))
             touched[key] = None
         if passthrough:
-            super()._offer_batch(passthrough, suppress)
+            super()._offer_batch(passthrough, suppress, lease)
         for key in touched:
             self._drain_batch(key, suppress)
 

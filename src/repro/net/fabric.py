@@ -228,10 +228,16 @@ class _InteriorLink(Transport):
             if nonce != enc.GOODBYE_NONCE:
                 self._backchannel.append(enc.encode_pong(nonce, 0))
             return
-        self.relay.forward(bytes(message))
+        # Data frames pass through uncopied (the relay forwards MSG_DATA
+        # verbatim and copies only what it retains — announcements and
+        # replay windows); borrowed views are materialized once here so
+        # nothing downstream can outlive a receive-buffer lease.
+        self.relay.forward(message if isinstance(message, bytes) else bytes(message))
 
     def send_many(self, messages) -> None:
-        self.relay.forward_batch([bytes(m) for m in messages])
+        self.relay.forward_batch(
+            [m if isinstance(m, bytes) else bytes(m) for m in messages]
+        )
 
     def recv(self) -> bytes:
         if self._backchannel:

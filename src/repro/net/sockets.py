@@ -33,6 +33,19 @@ from .transport import (
 #: ever tripping EMSGSIZE on smaller platforms.
 _IOV_MAX = 512
 
+#: Shared pool of lent receive buffers (lazy: importing the conversion
+#: runtime here at module scope would be a circular import).
+_recv_pool = None
+
+
+def _lease_pool():
+    global _recv_pool
+    if _recv_pool is None:
+        from repro.core.runtime.pool import BufferPool
+
+        _recv_pool = BufferPool(max_per_size=16)
+    return _recv_pool
+
 
 class SocketTransport(Transport):
     """Length-prefix framed messages over a connected TCP socket."""
@@ -51,6 +64,10 @@ class SocketTransport(Transport):
     def _sendv(self, bufs: list) -> None:
         """sendall for an iovec list: one ``sendmsg`` per <=512 buffers,
         resuming mid-buffer on partial sends."""
+        # Zero-length buffers (empty frames/segments) never advance the
+        # resume cursor — sendmsg reports 0 bytes for them — so drop them
+        # up front or the resume loop spins forever.
+        bufs = [b for b in bufs if len(b)]
         idx = 0
         try:
             while idx < len(bufs):
@@ -132,6 +149,29 @@ class SocketTransport(Transport):
                 break
             out.append(data)
         return out
+
+    def recv_many_leased(self, max_frames: int = 0):
+        """:meth:`recv_many` with zero payload copies.
+
+        Frames are memoryview slices of the receive buffer; the buffer
+        itself is detached to the caller under a pool lease and the
+        framer continues on a fresh pooled buffer (any partial-frame tail
+        is carried over — that copy is at most one incomplete frame).
+        """
+        framer = self._framer
+        first = framer.next_frame_view()
+        while first is None:
+            # No views have been sliced yet, so the fill below is free to
+            # compact or grow the buffer.
+            self._fill()
+            first = framer.next_frame_view()
+        out = [first]
+        while max_frames <= 0 or len(out) < max_frames:
+            data = framer.next_frame_view()
+            if data is None:
+                break
+            out.append(data)
+        return out, framer.detach(_lease_pool())
 
     def poll_recv(self) -> bytes | None:
         """A complete frame if one is buffered or readable *now*, else None.

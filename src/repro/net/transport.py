@@ -151,6 +151,19 @@ class Transport(ABC):
         """
         return None
 
+    def recv_many_leased(self, max_frames: int = 0):
+        """:meth:`recv_many` without copying frames out of the receive
+        buffer, for lend-mode decodes.
+
+        Returns ``(frames, lease)``.  Buffered transports override this
+        to return memoryview slices of their receive buffer plus a
+        :class:`~repro.core.runtime.pool.Lease` that recycles the buffer
+        when the last consumer drops it; the base implementation returns
+        immutable copied frames and ``lease=None`` (always safe — a
+        ``None`` lease simply means the frames own their bytes).
+        """
+        return self.recv_many(max_frames), None
+
 
 def frame(payload: bytes | bytearray | memoryview) -> bytes:
     n = len(payload)
@@ -214,6 +227,47 @@ class FrameBuffer:
         if self._start == self._end:
             self._start = self._end = 0  # drained: make compaction rare
         return data
+
+    def next_frame_view(self) -> memoryview | None:
+        """Like :meth:`next_frame`, but a zero-copy slice of the buffer.
+
+        The slice aliases this framer's buffer, so the caller must either
+        consume it before the next :meth:`writable`/:meth:`advance` cycle
+        (a fill may compact or recycle the storage) or call
+        :meth:`detach` to take ownership of the buffer under a lease.
+        """
+        avail = self._end - self._start
+        if avail < 4:
+            return None
+        (n,) = _LEN.unpack_from(self._buf, self._start)
+        if n > MAX_FRAME:
+            raise TransportError(f"frame too large: {n}")
+        if avail < 4 + n:
+            return None
+        start = self._start + 4
+        data = self._view[start : start + n]
+        self._start = start + n
+        return data
+
+    def detach(self, pool):
+        """Hand the current buffer to the caller under a pool lease.
+
+        Every slice produced by :meth:`next_frame_view` stays valid (the
+        slices reference the bytearray directly); the framer continues on
+        a fresh pool buffer of the same capacity, carrying over any
+        partial frame tail.  Returns the
+        :class:`~repro.core.runtime.pool.Lease` that will return the old
+        buffer to ``pool`` when its last holder dies.
+        """
+        old, view, start, end = self._buf, self._view, self._start, self._end
+        fresh = pool.acquire(len(old), zero=False)
+        pending = end - start
+        if pending:
+            fresh[:pending] = view[start:end]
+        self._buf = fresh
+        self._view = memoryview(fresh)
+        self._start, self._end = 0, pending
+        return pool.lease(old)
 
     def needed(self) -> int:
         """Bytes still missing before the current frame is complete.

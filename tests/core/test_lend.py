@@ -1,0 +1,229 @@
+"""Lease lifecycle, pool-guard, and mmap lend-mode tests.
+
+Lend-mode decodes return views that *borrow* the receive buffer under a
+refcounted :class:`~repro.core.runtime.pool.Lease`.  The safety story
+has three legs, each tested here: ``detach()`` (copy-on-escape) makes a
+view immune to buffer recycling; dropping every view returns the buffer
+to the pool (no growth, no leaks, across sustained ingest); and
+``PBIO_POOL_GUARD=1`` turns any use-after-return into visible poison
+instead of silent stale reads.  The mmap file reader shares the same
+discipline with the page cache as the borrowed buffer.
+"""
+
+import gc
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.abi import SPARC_V8, X86, RecordSchema
+from repro.core import IOContext, read_records, write_records
+from repro.core.files import PbioFileReader
+from repro.core.runtime.pool import POISON_BYTE, BufferPool
+from repro.net import EventChannel, loopback_pair
+from repro.net.sockets import _lease_pool
+
+POINT = RecordSchema.from_pairs("point", [("x", "int"), ("y", "double")])
+
+
+def lend_decode_fixture(records):
+    """Encode ``records`` into one pooled buffer and lend-decode it.
+
+    Returns ``(views, blob, lease)`` — the views borrow ``blob`` under
+    ``lease``, exactly like a transport receive buffer.
+    """
+    sender = IOContext(X86)
+    h = sender.register_format(POINT)
+    messages = [bytes(sender.announce(h))]
+    messages += [bytes(sender.encode(h, r)) for r in records]
+    blob = bytearray(b"".join(messages))
+    frames, off = [], 0
+    for m in messages:
+        frames.append(memoryview(blob)[off : off + len(m)])
+        off += len(m)
+    pool = BufferPool()
+    lease = pool.lease(blob)
+    rx = IOContext(X86)
+    rx.expect(POINT)
+    views = [v for v in rx.pipeline.decode_batch(frames, lend=True, lease=lease) if v is not None]
+    return views, blob, lease
+
+
+class TestCopyOnEscape:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        vals=st.lists(
+            st.tuples(
+                st.integers(min_value=-(2**31), max_value=2**31 - 1),
+                st.floats(allow_nan=False, allow_infinity=False),
+            ),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_escaped_copy_immune_to_buffer_mutation(self, vals):
+        records = [{"x": x, "y": y} for x, y in vals]
+        views, blob, lease = lend_decode_fixture(records)
+        expected = [v.to_dict() for v in views]
+        escaped = [v.detach() for v in views]
+        # The receive buffer is recycled under the views' feet.
+        blob[:] = bytes([POISON_BYTE]) * len(blob)
+        for copy, want in zip(escaped, expected):
+            assert copy.to_dict() == want
+
+    def test_live_view_actually_borrows(self):
+        # Sanity for the property above: a *non*-detached view reads
+        # through to the mutated buffer, proving no hidden copy exists.
+        views, blob, _lease = lend_decode_fixture([{"x": 7, "y": 2.5}])
+        assert views[0]["x"] == 7
+        blob[:] = bytes(len(blob))  # zero everything, headers included
+        assert views[0]["x"] == 0
+
+
+class TestLeaseReturn:
+    def test_gc_of_views_returns_buffer(self):
+        pool = BufferPool()
+        buf = pool.acquire(128, zero=False)
+        lease = pool.lease(buf)
+        assert pool.free_count(128) == 0
+        del lease
+        gc.collect()
+        assert pool.free_count(128) == 1
+        assert pool.leaked == 0
+
+    def test_close_with_outstanding_holds_counts_leak(self):
+        pool = BufferPool()
+        lease = pool.lease(pool.acquire(64, zero=False))
+        lease.retain()
+        assert pool.leaked == 0
+        lease.close()
+        assert pool.leaked == 1
+
+    def test_release_without_retain_rejected(self):
+        pool = BufferPool()
+        lease = pool.lease(pool.acquire(64, zero=False))
+        with pytest.raises(RuntimeError):
+            lease.release()
+
+    def test_close_is_idempotent(self):
+        pool = BufferPool()
+        lease = pool.lease(pool.acquire(64, zero=False))
+        assert lease.alive
+        lease.close()
+        lease.close()
+        assert not lease.alive
+        assert pool.free_count(64) == 1  # returned exactly once
+
+    def test_subscriber_gc_returns_leases_no_pool_growth(self):
+        # 10k lend-mode messages through socket ingest and a view-mode
+        # subscriber that drops every view: the shared lease pool must
+        # end bounded (recycling, not growth) with zero leaks.
+        a, b = loopback_pair()
+        pool = _lease_pool()
+        leaked_before = pool.leaked
+        sender = IOContext(X86)
+        h = sender.register_format(POINT)
+        channel = EventChannel()
+        got = [0]
+        sub_ctx = IOContext(X86)
+        sub_ctx.expect(POINT)
+        sub = channel.subscribe(sub_ctx, lambda v: got.__setitem__(0, got[0] + 1), deliver="view")
+        try:
+            a.send(sender.announce(h))
+            total = 10_000
+            sent = 0
+            while sent < total:
+                burst = [
+                    sender.encode(h, {"x": sent + i, "y": (sent + i) * 0.5})
+                    for i in range(100)
+                ]
+                a.send_many(burst)
+                sent += len(burst)
+                want = got[0] + len(burst)
+                while got[0] < want:
+                    frames, lease = b.recv_many_leased()
+                    channel.ingest_many(frames, lease=lease)
+                    del frames, lease
+            assert got[0] == total
+        finally:
+            channel.unsubscribe(sub)
+            a.close()
+            b.close()
+        gc.collect()
+        assert pool.leaked == leaked_before
+        # Bounded free list, not one buffer per burst retained.
+        assert pool.free_count() <= 16
+        assert int(pool.metrics.value("buffers_reused")) > 0
+
+
+class TestPoolGuard:
+    def test_guard_poisons_returned_buffers(self, monkeypatch):
+        monkeypatch.setenv("PBIO_POOL_GUARD", "1")
+        pool = BufferPool()
+        buf = pool.acquire(32, zero=False)
+        buf[:] = b"A" * 32
+        survivor = memoryview(buf)  # a view that outlives the lease
+        pool.lease(buf).close()
+        # Use-after-return reads are garbage *loudly*, not stale data.
+        assert bytes(survivor) == bytes([POISON_BYTE]) * 32
+
+    def test_guard_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("PBIO_POOL_GUARD", raising=False)
+        pool = BufferPool()
+        buf = pool.acquire(32, zero=False)
+        buf[:] = b"A" * 32
+        survivor = memoryview(buf)
+        pool.lease(buf).close()
+        assert bytes(survivor) == b"A" * 32
+
+
+SIMPLE = RecordSchema.from_pairs(
+    "rec", [("i", "int"), ("d", "double"), ("name", "char[8]")]
+)
+
+
+class TestMmapLend:
+    def write(self, tmp_path, machine=X86, n=50):
+        path = str(tmp_path / "data.pbio")
+        records = [
+            {"i": k, "d": k * 0.25, "name": b"n%03d" % k} for k in range(n)
+        ]
+        write_records(IOContext(machine), path, SIMPLE, records)
+        return path, records
+
+    def test_mapped_read_batch_lends_views(self, tmp_path):
+        path, records = self.write(tmp_path)
+        ctx = IOContext(X86)
+        ctx.expect(SIMPLE)
+        with PbioFileReader.open(ctx, path) as reader:
+            views = reader.read_batch(lend=True)
+            assert len(views) == len(records)
+            for v, want in zip(views, records):
+                assert v["i"] == want["i"]
+                assert v["d"] == want["d"]
+
+    def test_detached_view_outlives_reader(self, tmp_path):
+        path, records = self.write(tmp_path)
+        ctx = IOContext(X86)
+        ctx.expect(SIMPLE)
+        with PbioFileReader.open(ctx, path) as reader:
+            views = reader.read_batch(lend=True)
+            snapshot = views[7].to_dict()
+            escaped = views[7].detach()
+        del views
+        gc.collect()
+        assert escaped.to_dict() == snapshot
+
+    def test_cross_machine_mapped_lend(self, tmp_path):
+        # A foreign-layout file cannot borrow the map; lend-mode must
+        # still produce correct (converted, unleased) views.
+        path, records = self.write(tmp_path, machine=SPARC_V8)
+        ctx = IOContext(X86)
+        ctx.expect(SIMPLE)
+        with PbioFileReader.open(ctx, path) as reader:
+            views = reader.read_batch(lend=True)
+            assert [v["i"] for v in views] == [r["i"] for r in records]
+
+    def test_mapped_matches_streamed(self, tmp_path):
+        path, records = self.write(tmp_path)
+        out = read_records(IOContext(X86), path, SIMPLE)
+        assert [r["i"] for r in out] == [r["i"] for r in records]

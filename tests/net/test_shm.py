@@ -1,0 +1,430 @@
+"""Tests for the shared-memory ring transport.
+
+The ring pair is the same-host fast path: length-prefixed frames in a
+mapped SPSC ring, doorbell FIFOs for the park/wake discipline, and a
+nonce handshake proving the attacher mapped the *right* files.  The
+suite covers the transport contract (framing, wrap, bursts, timeouts,
+close semantics), cross-process delivery over ``fork``, the
+``auto_connect`` upgrade-and-fallback negotiation, and substitution into
+the higher planes (chaos wrapper, relay fan-out, event channel ingest).
+"""
+
+import multiprocessing as mp
+import os
+import threading
+
+import pytest
+
+from repro.abi import SPARC_V8, X86, RecordSchema
+from repro.core import IOContext, PbioConnection
+from repro.net import (
+    EventChannel,
+    FaultInjectingTransport,
+    FaultPlan,
+    PeerClosedError,
+    Relay,
+    ShmRingTransport,
+    TransportError,
+    TransportTimeout,
+    attach_endpoint,
+    auto_connect,
+    create_endpoint,
+    loopback_pair,
+    shm_pair,
+)
+
+CHAOS_SEED = int(os.environ.get("PBIO_CHAOS_SEED", "0"))
+
+TELEMETRY = RecordSchema.from_pairs(
+    "telemetry", [("unit", "int"), ("temperature", "double")]
+)
+
+
+def closing_pair(**kw):
+    a, b = shm_pair(**kw)
+    return a, b
+
+
+class TestFraming:
+    def test_round_trip(self, tmp_path):
+        a, b = shm_pair(directory=str(tmp_path))
+        try:
+            a.send(b"ping")
+            assert b.recv() == b"ping"
+            b.send(b"pong")
+            assert a.recv() == b"pong"
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_frame(self, tmp_path):
+        a, b = shm_pair(directory=str(tmp_path))
+        try:
+            a.send(b"")
+            assert b.recv() == b""
+        finally:
+            a.close()
+            b.close()
+
+    def test_send_segments_joins_buffers(self, tmp_path):
+        a, b = shm_pair(directory=str(tmp_path))
+        try:
+            a.send_segments([b"he", bytearray(b"l"), memoryview(b"lo")])
+            assert b.recv() == b"hello"
+        finally:
+            a.close()
+            b.close()
+
+    def test_fifo_order_and_recv_many(self, tmp_path):
+        a, b = shm_pair(directory=str(tmp_path))
+        try:
+            a.send_many([bytes([i]) * 8 for i in range(5)])
+            frames = b.recv_many()
+            assert frames == [bytes([i]) * 8 for i in range(5)]
+        finally:
+            a.close()
+            b.close()
+
+    def test_wrap_around(self, tmp_path):
+        # A 4 KiB ring carrying 1 KiB frames wraps every few sends; the
+        # payload pattern proves split write/read reassembly is exact.
+        a, b = shm_pair(capacity=4096, directory=str(tmp_path))
+        try:
+            for i in range(64):
+                payload = bytes([i % 251]) * (1000 + i)
+                a.send(payload)
+                assert b.recv() == payload
+        finally:
+            a.close()
+            b.close()
+
+    def test_burst_larger_than_ring(self, tmp_path):
+        # send_many publishes runs and waits for ring space; a reader
+        # thread drains, so a burst bigger than the ring still lands.
+        a, b = shm_pair(capacity=4096, directory=str(tmp_path))
+        frames = [bytes([i % 256]) * 512 for i in range(64)]  # 32 KiB total
+        got = []
+
+        def reader():
+            for _ in range(len(frames)):
+                got.append(b.recv())
+
+        t = threading.Thread(target=reader)
+        t.start()
+        try:
+            a.send_many(frames)
+            t.join(timeout=10)
+            assert not t.is_alive()
+            assert got == frames
+        finally:
+            a.close()
+            b.close()
+
+    def test_poll_recv(self, tmp_path):
+        a, b = shm_pair(directory=str(tmp_path))
+        try:
+            assert b.poll_recv() is None
+            a.send(b"now")
+            assert b.poll_recv() == b"now"
+            assert b.poll_recv() is None
+        finally:
+            a.close()
+            b.close()
+
+    def test_frame_too_large_for_ring(self, tmp_path):
+        a, b = shm_pair(capacity=4096, directory=str(tmp_path))
+        try:
+            with pytest.raises(TransportError):
+                a.send(b"x" * 8192)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestLifecycle:
+    def test_recv_timeout(self, tmp_path):
+        a, b = shm_pair(directory=str(tmp_path))
+        try:
+            b.set_timeout(0.05)
+            with pytest.raises(TransportTimeout):
+                b.recv()
+        finally:
+            a.close()
+            b.close()
+
+    def test_close_drains_then_raises(self, tmp_path):
+        a, b = shm_pair(directory=str(tmp_path))
+        a.send(b"last words")
+        a.close()
+        try:
+            # In-flight frames survive the close; after the drain the
+            # reader gets a crisp peer-closed error, not a hang.
+            assert b.recv() == b"last words"
+            with pytest.raises(PeerClosedError):
+                b.recv()
+            with pytest.raises(PeerClosedError):
+                b.send(b"into the void")
+        finally:
+            b.close()
+
+    def test_send_after_own_close(self, tmp_path):
+        a, b = shm_pair(directory=str(tmp_path))
+        b.close()
+        a.close()
+        with pytest.raises(TransportError):
+            a.send(b"x")
+
+    def test_write_queue_depth_and_drain(self, tmp_path):
+        a, b = shm_pair(directory=str(tmp_path))
+        try:
+            a.send(b"one")
+            a.send(b"two")
+            assert a.write_queue_depth == 2
+            assert b.recv() == b"one"
+            assert b.recv() == b"two"
+            a.drain()  # peer already consumed: returns immediately
+            assert a.write_queue_depth == 0
+        finally:
+            a.close()
+            b.close()
+
+    def test_drain_raises_when_peer_closes(self, tmp_path):
+        a, b = shm_pair(capacity=4096, directory=str(tmp_path))
+        a.send(b"x" * 1024)
+        b.close()
+        try:
+            with pytest.raises(PeerClosedError):
+                a.drain()
+        finally:
+            a.close()
+
+    def test_no_files_left_behind(self, tmp_path):
+        a, b = shm_pair(directory=str(tmp_path))
+        # shm_pair unlinks eagerly: nothing on disk even while open.
+        assert os.listdir(tmp_path) == []
+        a.close()
+        b.close()
+        assert os.listdir(tmp_path) == []
+
+    def test_endpoint_close_unlinks(self, tmp_path):
+        server, offer = create_endpoint(directory=str(tmp_path))
+        client = attach_endpoint(offer)
+        assert len(os.listdir(tmp_path)) == 6  # 2 rings + 4 bell fifos
+        client.send(b"hi")
+        assert server.recv() == b"hi"
+        client.close()
+        server.close()  # owner: unlinks every file
+        assert os.listdir(tmp_path) == []
+
+
+class TestHandshake:
+    def test_malformed_offer(self):
+        with pytest.raises(TransportError):
+            attach_endpoint({"s2c": "/nope"})  # missing keys
+
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(TransportError):
+            attach_endpoint(
+                {
+                    "s2c": str(tmp_path / "gone.s2c"),
+                    "c2s": str(tmp_path / "gone.c2s"),
+                    "nonce": "00" * 16,
+                }
+            )
+
+    def test_nonce_mismatch(self, tmp_path):
+        server, offer = create_endpoint(directory=str(tmp_path))
+        try:
+            bad = dict(offer, nonce="ff" * 16)
+            with pytest.raises(TransportError):
+                attach_endpoint(bad)
+        finally:
+            server.close()
+
+
+class TestCrossProcess:
+    def test_fork_echo(self, tmp_path):
+        ctx = mp.get_context("fork")
+        a, b = shm_pair(directory=str(tmp_path))
+
+        def echo():
+            while True:
+                f = b.recv()
+                if f == b"stop":
+                    return
+                b.send(f)
+
+        child = ctx.Process(target=echo)
+        child.start()
+        try:
+            for i in range(200):
+                payload = bytes([i % 256]) * (1 + i % 900)
+                a.send(payload)
+                assert a.recv() == payload
+            a.send(b"stop")
+            child.join(timeout=10)
+            assert child.exitcode == 0
+        finally:
+            if child.is_alive():
+                child.terminate()
+                child.join(timeout=5)
+            a.close()
+            b.close()
+
+
+class TestAutoConnect:
+    def test_upgrade_over_loopback(self, tmp_path):
+        sock_a, sock_b = loopback_pair()
+        result = {}
+
+        def server():
+            result["server"] = auto_connect(
+                sock_a, "server", directory=str(tmp_path)
+            )
+
+        t = threading.Thread(target=server)
+        t.start()
+        shm_client = auto_connect(sock_b, "client")
+        t.join(timeout=10)
+        shm_server = result["server"]
+        try:
+            assert isinstance(shm_server, ShmRingTransport)
+            assert isinstance(shm_client, ShmRingTransport)
+            shm_client.send(b"upgraded")
+            assert shm_server.recv() == b"upgraded"
+            # Negotiation consumed its own frames: the original socket
+            # pair is still clean for control traffic.
+            sock_a.send(b"control")
+            assert sock_b.recv() == b"control"
+            assert os.listdir(tmp_path) == []  # unlinked after attach
+        finally:
+            shm_server.close()
+            shm_client.close()
+            sock_a.close()
+            sock_b.close()
+
+    def test_fallback_when_server_cannot_create(self, tmp_path):
+        sock_a, sock_b = loopback_pair()
+        result = {}
+
+        def server():
+            result["server"] = auto_connect(
+                sock_a, "server", directory=str(tmp_path / "missing" / "dir")
+            )
+
+        t = threading.Thread(target=server)
+        t.start()
+        client_side = auto_connect(sock_b, "client")
+        t.join(timeout=10)
+        try:
+            # Both ends fall back to the transport they already had.
+            assert result["server"] is sock_a
+            assert client_side is sock_b
+            sock_a.send(b"still works")
+            assert sock_b.recv() == b"still works"
+        finally:
+            sock_a.close()
+            sock_b.close()
+
+    def test_fallback_when_attach_fails(self, tmp_path):
+        # Simulated different host: the client cannot map the offered
+        # paths.  It must refuse, and both sides keep the socket.
+        sock_a, sock_b = loopback_pair()
+        result = {}
+
+        def server():
+            result["server"] = auto_connect(sock_a, "server", directory=str(tmp_path))
+
+        def hostile_client():
+            import json
+
+            from repro.net.shm import _OFFER_TAG, _REPLY_NO
+
+            frame = sock_b.recv()
+            assert frame.startswith(_OFFER_TAG)
+            # A peer on another machine sees paths that do not exist.
+            offer = json.loads(frame[len(_OFFER_TAG):].decode())
+            offer["s2c"] += ".elsewhere"
+            with pytest.raises(TransportError):
+                attach_endpoint(offer)
+            sock_b.send(_REPLY_NO)
+
+        t = threading.Thread(target=server)
+        t.start()
+        hostile_client()
+        t.join(timeout=10)
+        try:
+            assert result["server"] is sock_a
+        finally:
+            sock_a.close()
+            sock_b.close()
+
+    def test_bad_role_rejected(self, tmp_path):
+        a, b = shm_pair(directory=str(tmp_path))
+        try:
+            with pytest.raises(ValueError):
+                auto_connect(a, "sideways")
+        finally:
+            a.close()
+            b.close()
+
+
+class TestPlaneSubstitution:
+    """The higher planes run unchanged over a same-host ring."""
+
+    def test_chaos_wrapper_composes(self, tmp_path):
+        a, b = shm_pair(directory=str(tmp_path))
+        try:
+            clean = FaultInjectingTransport(a, FaultPlan(), seed=CHAOS_SEED)
+            clean.send(b"through")
+            assert b.recv() == b"through"
+            dropper = FaultInjectingTransport(
+                a, FaultPlan(drop=1.0), seed=CHAOS_SEED
+            )
+            dropper.send(b"lost")
+            assert b.poll_recv() is None
+        finally:
+            a.close()
+            b.close()
+
+    def test_relay_fan_out_over_rings(self, tmp_path):
+        sender = IOContext(SPARC_V8)
+        h = sender.register_format(TELEMETRY)
+        messages = [sender.announce(h), sender.encode(h, {"unit": 3, "temperature": 9.5})]
+        relay = Relay()
+        pairs = [shm_pair(directory=str(tmp_path)) for _ in range(3)]
+        try:
+            for up, _ in pairs:
+                relay.attach(up)
+            for m in messages:
+                relay.forward(m)
+            for _, down in pairs:
+                rx = PbioConnection(IOContext(X86), down)
+                rx.ctx.expect(TELEMETRY)
+                assert rx.recv() == {"unit": 3, "temperature": 9.5}
+        finally:
+            for up, down in pairs:
+                up.close()
+                down.close()
+
+    def test_channel_ingest_from_ring(self, tmp_path):
+        # Wire frames produced on one "host side" of the ring feed an
+        # event channel on the other — the same-host subscriber path.
+        sender = IOContext(SPARC_V8)
+        h = sender.register_format(TELEMETRY)
+        a, b = shm_pair(directory=str(tmp_path))
+        try:
+            a.send(sender.announce(h))
+            a.send_many(
+                [sender.encode(h, {"unit": i, "temperature": i * 0.5}) for i in range(8)]
+            )
+            channel = EventChannel()
+            got = []
+            sub_ctx = IOContext(X86)
+            sub_ctx.expect(TELEMETRY)
+            channel.subscribe(sub_ctx, lambda r: got.append(r["unit"]))
+            channel.ingest_many(b.recv_many())
+            assert got == list(range(8))
+        finally:
+            a.close()
+            b.close()

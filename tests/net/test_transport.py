@@ -125,6 +125,22 @@ class TestSockets:
             c.close()
             s.close()
 
+    def test_zero_length_frames_round_trip(self):
+        # Regression: a zero-length iovec never advances sendmsg's resume
+        # cursor, so an empty frame (or empty segment) used to spin the
+        # vectored send loop forever.
+        c, s = loopback_pair(timeout_s=5.0)
+        try:
+            c.send(b"")
+            assert s.recv() == b""
+            c.send_many([b"", b"x", b""])
+            assert s.recv_many(3) == [b"", b"x", b""]
+            c.send_segments([b"", b"mid", b""])
+            assert s.recv() == b"mid"
+        finally:
+            c.close()
+            s.close()
+
     def test_large_message_survives_partial_reads(self):
         c, s = loopback_pair()
         try:
